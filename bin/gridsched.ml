@@ -1,0 +1,393 @@
+(* gridsched — command-line front end for the grid broadcast scheduling
+   library.  Subcommands cover the whole pipeline: topology generation and
+   inspection, schedule computation, simulation experiments and hit-rate
+   analysis. *)
+
+open Cmdliner
+
+module Heuristics = Gridb_sched.Heuristics
+module Instance = Gridb_sched.Instance
+module Schedule = Gridb_sched.Schedule
+module Topology = Gridb_topology
+
+let heuristic_conv =
+  let parse s =
+    match Heuristics.by_name s with
+    | Some h -> Ok h
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown heuristic %S (known: %s)" s
+               (String.concat ", " (List.map (fun h -> h.Heuristics.name) Heuristics.all))))
+  in
+  Arg.conv (parse, fun ppf h -> Format.pp_print_string ppf h.Heuristics.name)
+
+let msg_arg =
+  Arg.(value & opt int 1_000_000 & info [ "m"; "message" ] ~docv:"BYTES" ~doc:"Message size in bytes.")
+
+let seed_arg =
+  Arg.(value & opt int 2006 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "t"; "topology" ] ~docv:"FILE"
+        ~doc:"Topology file (see lib/topology/serialize.mli); defaults to the GRID5000 Table 3 grid.")
+
+let load_grid = function
+  | None -> Ok (Topology.Grid5000.grid ())
+  | Some path -> (
+      match Topology.Serialize.load path with
+      | Ok g -> Ok g
+      | Error e -> Error (Printf.sprintf "cannot load %s: %s" path e))
+
+(* --- schedule: run one heuristic on a topology and print the schedule --- *)
+
+let schedule_cmd =
+  let run heuristic topology msg root gantt improve =
+    match load_grid topology with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok grid ->
+        let inst = Instance.of_grid ~root ~msg grid in
+        let schedule = Heuristics.run heuristic inst in
+        let schedule =
+          if improve then begin
+            let refined = Gridb_sched.Refine.improve inst schedule in
+            Format.printf "local search: %a -> %a@." Gridb_util.Units.pp_time
+              (Schedule.makespan inst schedule)
+              Gridb_util.Units.pp_time
+              (Schedule.makespan inst refined);
+            refined
+          end
+          else schedule
+        in
+        Format.printf "%a@." Schedule.pp schedule;
+        Format.printf "makespan: %a@." Gridb_util.Units.pp_time
+          (Schedule.makespan inst schedule);
+        Format.printf "lower bound: %a (gap ratio %.3f)@." Gridb_util.Units.pp_time
+          (Gridb_sched.Bounds.combined inst)
+          (Gridb_sched.Bounds.gap_ratio inst (Schedule.makespan inst schedule));
+        Format.printf "relay depth: %d, senders: %s@." (Schedule.depth schedule)
+          (String.concat "," (List.map string_of_int (Schedule.senders schedule)));
+        if gantt then print_string (Gridb_sched.Gantt.render inst schedule);
+        0
+  in
+  let heuristic =
+    Arg.(value & opt heuristic_conv Heuristics.ecef_la & info [ "H"; "heuristic" ] ~docv:"NAME")
+  in
+  let root = Arg.(value & opt int 0 & info [ "root" ] ~docv:"CLUSTER") in
+  let gantt = Arg.(value & flag & info [ "gantt" ] ~doc:"Render a text Gantt chart.") in
+  let improve =
+    Arg.(value & flag & info [ "improve" ] ~doc:"Refine the schedule with local search.")
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Compute and print one heuristic's broadcast schedule")
+    Term.(const run $ heuristic $ topology_arg $ msg_arg $ root $ gantt $ improve)
+
+(* --- compare: all heuristics on one topology --- *)
+
+let compare_cmd =
+  let run topology msg root =
+    match load_grid topology with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok grid ->
+        let inst = Instance.of_grid ~root ~msg grid in
+        let table = Gridb_util.Text_table.create [ "heuristic"; "makespan (s)"; "depth" ] in
+        List.iter
+          (fun h ->
+            let s = Heuristics.run h inst in
+            Gridb_util.Text_table.add_row table
+              [
+                h.Heuristics.name;
+                Printf.sprintf "%.4f" (Schedule.makespan inst s /. 1e6);
+                string_of_int (Schedule.depth s);
+              ])
+          Heuristics.all;
+        Gridb_util.Text_table.print table;
+        0
+  in
+  let root = Arg.(value & opt int 0 & info [ "root" ] ~docv:"CLUSTER") in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare all heuristics' makespans on one topology")
+    Term.(const run $ topology_arg $ msg_arg $ root)
+
+(* --- topology: generate and save a random topology --- *)
+
+let topology_cmd =
+  let run kind n seed output dot =
+    let rng = Gridb_util.Rng.create seed in
+    let grid =
+      match kind with
+      | "random" ->
+          Topology.Generators.uniform_random ~rng ~n Topology.Generators.default_random_spec
+      | "multilevel" ->
+          Topology.Generators.multilevel ~rng
+            { Topology.Generators.default_multilevel_spec with sites = max 1 (n / 3) }
+      | "grid5000" -> Topology.Grid5000.grid ()
+      | other ->
+          prerr_endline ("unknown kind " ^ other ^ " (random|multilevel|grid5000)");
+          exit 1
+    in
+    (match output with
+    | Some path ->
+        Topology.Serialize.save path grid;
+        Printf.printf "wrote %s\n" path
+    | None -> print_string (Topology.Serialize.to_string grid));
+    (match dot with
+    | Some path ->
+        Topology.Dot.save path grid;
+        Printf.printf "wrote %s (render with: dot -Tsvg %s)\n" path path
+    | None -> ());
+    0
+  in
+  let kind = Arg.(value & pos 0 string "random" & info [] ~docv:"KIND") in
+  let n = Arg.(value & opt int 10 & info [ "n"; "clusters" ] ~docv:"CLUSTERS") in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
+  let dot =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc:"Also write Graphviz DOT.")
+  in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Generate a topology (random|multilevel|grid5000)")
+    Term.(const run $ kind $ n $ seed_arg $ output $ dot)
+
+(* --- hitrate: Figure 4 style analysis --- *)
+
+let hitrate_cmd =
+  let run n iterations seed overlapped =
+    let rng = Gridb_util.Rng.create seed in
+    let model = if overlapped then Schedule.Overlapped else Schedule.After_sends in
+    let outcomes =
+      Gridb_sched.Hit_rate.run ~model ~rng ~iterations ~n Instance.table2_ranges
+        Heuristics.ecef_family
+    in
+    let table =
+      Gridb_util.Text_table.create
+        [ "heuristic"; "hits"; "rate"; "mean makespan (s)"; "+/- stderr" ]
+    in
+    List.iter
+      (fun o ->
+        Gridb_util.Text_table.add_row table
+          [
+            o.Gridb_sched.Hit_rate.name;
+            string_of_int o.Gridb_sched.Hit_rate.hits;
+            Printf.sprintf "%.1f%%" (100. *. Gridb_sched.Hit_rate.hit_fraction o);
+            Printf.sprintf "%.4f" (o.Gridb_sched.Hit_rate.mean_makespan /. 1e6);
+            Printf.sprintf "%.4f" (Gridb_sched.Hit_rate.stderr_makespan o /. 1e6);
+          ])
+      outcomes;
+    Gridb_util.Text_table.print table;
+    0
+  in
+  let n = Arg.(value & opt int 20 & info [ "n"; "clusters" ] ~docv:"CLUSTERS") in
+  let iterations = Arg.(value & opt int 10_000 & info [ "i"; "iterations" ]) in
+  let overlapped =
+    Arg.(value & flag & info [ "overlapped" ] ~doc:"Use the overlapped completion model.")
+  in
+  Cmd.v
+    (Cmd.info "hitrate" ~doc:"Hit-rate analysis of the ECEF family (paper Figure 4)")
+    Term.(const run $ n $ iterations $ seed_arg $ overlapped)
+
+(* --- figure: regenerate one paper figure --- *)
+
+let figure_cmd =
+  let run which iterations csv_dir =
+    let config = Gridb_experiments.Config.(with_iterations iterations default) in
+    let figures =
+      match which with
+      | "1" -> [ Gridb_experiments.Figures.fig1_small_grids config ]
+      | "2" -> [ Gridb_experiments.Figures.fig2_large_grids config ]
+      | "3" -> [ Gridb_experiments.Figures.fig3_ecef_zoom config ]
+      | "4" ->
+          let a, b = Gridb_experiments.Figures.fig4_hit_rate config in
+          [ a; b ]
+      | "5" -> [ Gridb_experiments.Figures.fig5_predicted config ]
+      | "6" -> [ Gridb_experiments.Figures.fig6_measured config ]
+      | other ->
+          prerr_endline ("unknown figure " ^ other);
+          exit 1
+    in
+    List.iter
+      (fun figure ->
+        Gridb_experiments.Report.print figure;
+        match csv_dir with
+        | Some dir ->
+            let path = Gridb_experiments.Report.to_csv ~dir figure in
+            Printf.printf "csv: %s\n" path
+        | None -> ())
+      figures;
+    0
+  in
+  let which = Arg.(value & pos 0 string "1" & info [] ~docv:"FIGURE") in
+  let iterations = Arg.(value & opt int 10_000 & info [ "i"; "iterations" ]) in
+  let csv_dir = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate a paper figure (1-6)")
+    Term.(const run $ which $ iterations $ csv_dir)
+
+(* --- cluster: run Lowekamp detection on a topology's machine matrix --- *)
+
+let cluster_cmd =
+  let run topology matrix_file rho jitter seed save_grid =
+    let matrix_result =
+      match matrix_file with
+      | Some path -> (
+          match Gridb_clustering.Matrix_io.load path with
+          | Error e -> Error (Printf.sprintf "cannot load %s: %s" path e)
+          | Ok matrix -> (
+              match Gridb_clustering.Matrix_io.validate matrix with
+              | Error e -> Error (Printf.sprintf "%s: %s" path e)
+              | Ok () -> Ok matrix))
+      | None -> (
+          match load_grid topology with
+          | Error e -> Error e
+          | Ok grid ->
+              let machines = Topology.Machines.expand grid in
+              let rng = Gridb_util.Rng.create seed in
+              Ok (Topology.Machines.latency_matrix ~rng ~jitter_sigma:jitter machines))
+    in
+    match matrix_result with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok matrix ->
+        let partition = Gridb_clustering.Lowekamp.detect ~rho matrix in
+        Format.printf "%a@." Gridb_clustering.Partition.pp partition;
+        Format.printf "homogeneity (max/min): %.3f@."
+          (Gridb_clustering.Lowekamp.partition_quality matrix partition);
+        (match save_grid with
+        | Some path ->
+            let grid = Gridb_clustering.Abstraction.grid_of_matrix matrix partition in
+            Topology.Serialize.save path grid;
+            Printf.printf "wrote detected topology to %s\n" path
+        | None -> ());
+        0
+  in
+  let matrix_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "matrix" ] ~docv:"CSV"
+          ~doc:"NxN machine latency matrix in microseconds (CSV); overrides --topology.")
+  in
+  let rho = Arg.(value & opt float 0.30 & info [ "rho" ] ~docv:"TOLERANCE") in
+  let jitter = Arg.(value & opt float 0.03 & info [ "jitter" ] ~docv:"SIGMA") in
+  let save_grid =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-topology" ] ~docv:"FILE"
+          ~doc:"Write the detected cluster-level topology to a file.")
+  in
+  Cmd.v
+    (Cmd.info "cluster" ~doc:"Detect logical clusters from a machine latency matrix")
+    Term.(const run $ topology_arg $ matrix_file $ rho $ jitter $ seed_arg $ save_grid)
+
+(* --- optimal: brute-force optimum for small topologies --- *)
+
+let optimal_cmd =
+  let run topology msg root =
+    match load_grid topology with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok grid ->
+        let inst = Instance.of_grid ~root ~msg grid in
+        if inst.Instance.n > Gridb_sched.Optimal.default_max_clusters then begin
+          Printf.eprintf "brute force is capped at %d clusters (topology has %d)\n"
+            Gridb_sched.Optimal.default_max_clusters inst.Instance.n;
+          1
+        end
+        else begin
+          let schedule = Gridb_sched.Optimal.schedule inst in
+          Format.printf "%a@." Schedule.pp schedule;
+          Format.printf "optimal makespan: %a  (%d candidate schedules)@."
+            Gridb_util.Units.pp_time
+            (Schedule.makespan inst schedule)
+            (Gridb_sched.Optimal.schedule_count inst.Instance.n);
+          let table =
+            Gridb_util.Text_table.create [ "heuristic"; "makespan (s)"; "vs optimal" ]
+          in
+          let opt = Schedule.makespan inst schedule in
+          List.iter
+            (fun h ->
+              let m = Heuristics.makespan h inst in
+              Gridb_util.Text_table.add_row table
+                [
+                  h.Heuristics.name;
+                  Printf.sprintf "%.4f" (m /. 1e6);
+                  Printf.sprintf "%+.2f%%" (100. *. ((m /. opt) -. 1.));
+                ])
+            Heuristics.all;
+          Gridb_util.Text_table.print table;
+          0
+        end
+  in
+  let root = Arg.(value & opt int 0 & info [ "root" ] ~docv:"CLUSTER") in
+  Cmd.v
+    (Cmd.info "optimal" ~doc:"Brute-force optimal schedule and per-heuristic gaps")
+    Term.(const run $ topology_arg $ msg_arg $ root)
+
+(* --- measure: pLogP link measurement over the simulated wire --- *)
+
+let measure_cmd =
+  let run topology a b jitter seed =
+    match load_grid topology with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok grid ->
+        let machines = Topology.Machines.expand grid in
+        let noise =
+          if jitter > 0. then Gridb_des.Noise.Lognormal jitter else Gridb_des.Noise.Exact
+        in
+        let truth = Topology.Machines.link_params machines a b in
+        let recovered = Gridb_mpi.Benchmarks.measure_link ~noise ~seed machines ~a ~b in
+        Format.printf "link ranks %d <-> %d@." a b;
+        Format.printf "  ground truth: %a@." Gridb_plogp.Params.pp truth;
+        Format.printf "  measured:     %a@." Gridb_plogp.Params.pp recovered;
+        let table =
+          Gridb_util.Text_table.create [ "size"; "true g (us)"; "measured g (us)"; "error" ]
+        in
+        List.iter
+          (fun m ->
+            let t = Gridb_plogp.Params.gap truth m in
+            let r = Gridb_plogp.Params.gap recovered m in
+            Gridb_util.Text_table.add_row table
+              [
+                Gridb_util.Units.bytes_to_string m;
+                Printf.sprintf "%.2f" t;
+                Printf.sprintf "%.2f" r;
+                Printf.sprintf "%+.2f%%" (100. *. ((r /. t) -. 1.));
+              ])
+          [ 1_024; 65_536; 1_048_576; 4_194_304 ];
+        Gridb_util.Text_table.print table;
+        0
+  in
+  let a = Arg.(value & opt int 0 & info [ "src" ] ~docv:"RANK") in
+  let b = Arg.(value & opt int 1 & info [ "dst" ] ~docv:"RANK") in
+  let jitter = Arg.(value & opt float 0. & info [ "jitter" ] ~docv:"SIGMA") in
+  Cmd.v
+    (Cmd.info "measure" ~doc:"Measure a link's pLogP parameters on the simulated wire")
+    Term.(const run $ topology_arg $ a $ b $ jitter $ seed_arg)
+
+let main_cmd =
+  let doc = "broadcast scheduling heuristics for grid environments (PMEO-PDS'06 reproduction)" in
+  Cmd.group
+    (Cmd.info "gridsched" ~version:"1.0.0" ~doc)
+    [
+      schedule_cmd;
+      compare_cmd;
+      topology_cmd;
+      hitrate_cmd;
+      figure_cmd;
+      cluster_cmd;
+      optimal_cmd;
+      measure_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,56 @@
+module Params = Gridb_plogp.Params
+module Cluster = Gridb_topology.Cluster
+module Grid = Gridb_topology.Grid
+
+let default_params_of_latency latency =
+  let bandwidth = Gridb_topology.Grid5000.inter_bandwidth_mb_s latency in
+  let g0 = if latency >= 1_000. then 50. else 20. in
+  Params.linear ~latency ~g0 ~bandwidth_mb_s:bandwidth
+
+let median xs =
+  match xs with
+  | [] -> invalid_arg "Abstraction.median: empty"
+  | _ -> Gridb_util.Stats.median (Array.of_list xs)
+
+let median_cross_latency matrix a b =
+  if a = [] || b = [] then invalid_arg "Abstraction.median_cross_latency: empty set";
+  List.iter
+    (fun x -> if List.mem x b then invalid_arg "Abstraction.median_cross_latency: overlap")
+    a;
+  median (List.concat_map (fun x -> List.map (fun y -> matrix.(x).(y)) b) a)
+
+let internal_latencies matrix members =
+  List.concat_map
+    (fun i -> List.filter_map (fun j -> if i < j then Some matrix.(i).(j) else None) members)
+    members
+
+let grid_of_matrix ?(params_of_latency = default_params_of_latency)
+    ?(name_prefix = "logical") matrix partition =
+  let n_machines = Array.length matrix in
+  if Partition.size partition <> n_machines then
+    invalid_arg "Abstraction.grid_of_matrix: size mismatch";
+  let k = Partition.count partition in
+  let members = Array.init k (Partition.members partition) in
+  let clusters =
+    List.init k (fun c ->
+        let intra_latency =
+          match internal_latencies matrix members.(c) with
+          | [] -> 10.
+          | lats -> median lats
+        in
+        Cluster.v ~id:c
+          ~name:(Printf.sprintf "%s-%d" name_prefix c)
+          ~size:(List.length members.(c))
+          ~intra:(params_of_latency intra_latency))
+  in
+  let self = params_of_latency 10. in
+  let inter = Array.make_matrix k k self in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let latency = median_cross_latency matrix members.(i) members.(j) in
+      let p = params_of_latency latency in
+      inter.(i).(j) <- p;
+      inter.(j).(i) <- p
+    done
+  done;
+  Grid.v ~clusters ~inter

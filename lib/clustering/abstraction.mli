@@ -1,0 +1,29 @@
+(** From a machine-level latency matrix and a partition to a cluster-level
+    {!Gridb_topology.Grid.t}.
+
+    This closes the loop of the authors' methodology: measure all-pairs
+    latencies, detect logical clusters (tolerance rho), then feed the
+    cluster-level topology to the scheduling heuristics.  Cluster and link
+    latencies are medians of the underlying machine pairs; gap functions
+    are synthesised from the latency class by a pluggable rule. *)
+
+val default_params_of_latency : float -> Gridb_plogp.Params.t
+(** GRID5000-flavoured synthesis: bandwidth by latency class (see
+    {!Gridb_topology.Grid5000.inter_bandwidth_mb_s}), [g0] of 50 us for WAN
+    classes and 20 us locally. *)
+
+val grid_of_matrix :
+  ?params_of_latency:(float -> Gridb_plogp.Params.t) ->
+  ?name_prefix:string ->
+  float array array ->
+  Partition.t ->
+  Gridb_topology.Grid.t
+(** [grid_of_matrix matrix partition] builds one cluster per partition
+    block: cluster size = block size, intra latency = median of internal
+    pairs (or a 10 us floor for singletons), inter-cluster latency = median
+    of cross pairs.  @raise Invalid_argument if the matrix and partition
+    sizes differ. *)
+
+val median_cross_latency : float array array -> int list -> int list -> float
+(** Median latency between two disjoint machine sets.
+    @raise Invalid_argument if either set is empty or the sets overlap. *)

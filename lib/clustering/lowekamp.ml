@@ -1,0 +1,127 @@
+let default_rho = 0.30
+
+let check_matrix matrix =
+  let n = Array.length matrix in
+  if n = 0 then invalid_arg "Lowekamp: empty matrix";
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Lowekamp: non-square matrix")
+    matrix;
+  n
+
+(* Union-find with per-component min/max internal latency and member list. *)
+type component = {
+  mutable parent : int;
+  mutable rank : int;
+  mutable lat_min : float;  (* infinity for singletons *)
+  mutable lat_max : float;  (* neg_infinity for singletons *)
+  mutable members : int list;
+}
+
+let rec find comps i =
+  if comps.(i).parent = i then i
+  else begin
+    let root = find comps comps.(i).parent in
+    comps.(i).parent <- root;
+    root
+  end
+
+let detect ?(rho = default_rho) ?(require_locality = true) matrix =
+  if rho < 0. then invalid_arg "Lowekamp.detect: negative rho";
+  let n = check_matrix matrix in
+  let comps =
+    Array.init n (fun i ->
+        { parent = i; rank = 0; lat_min = infinity; lat_max = neg_infinity; members = [ i ] })
+  in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (matrix.(i).(j), i, j) :: !edges
+    done
+  done;
+  let edges = List.sort compare !edges in
+  let try_merge (_latency, i, j) =
+    let ri = find comps i and rj = find comps j in
+    if ri <> rj then begin
+      let a = comps.(ri) and b = comps.(rj) in
+      (* Cross-pair extremes between the two components. *)
+      let cross_min = ref infinity and cross_max = ref neg_infinity in
+      List.iter
+        (fun x ->
+          List.iter
+            (fun y ->
+              let l = matrix.(x).(y) in
+              if l < !cross_min then cross_min := l;
+              if l > !cross_max then cross_max := l)
+            b.members)
+        a.members;
+      let merged_min = Float.min (Float.min a.lat_min b.lat_min) !cross_min in
+      let merged_max = Float.max (Float.max a.lat_max b.lat_max) !cross_max in
+      let local_enough () =
+        if not require_locality then true
+        else begin
+          (* Internal links must not be slower than any link leaving the
+             merged cluster. *)
+          let union = a.members @ b.members in
+          let inside = Array.make n false in
+          List.iter (fun x -> inside.(x) <- true) union;
+          let external_min = ref infinity in
+          List.iter
+            (fun x ->
+              for y = 0 to n - 1 do
+                if not inside.(y) && matrix.(x).(y) < !external_min then
+                  external_min := matrix.(x).(y)
+              done)
+            union;
+          merged_max <= (1. +. rho) *. !external_min
+        end
+      in
+      if merged_max <= (1. +. rho) *. merged_min && local_enough () then begin
+        let big, small = if a.rank >= b.rank then (ri, rj) else (rj, ri) in
+        comps.(small).parent <- big;
+        if comps.(big).rank = comps.(small).rank then comps.(big).rank <- comps.(big).rank + 1;
+        comps.(big).lat_min <- merged_min;
+        comps.(big).lat_max <- merged_max;
+        comps.(big).members <- comps.(big).members @ comps.(small).members
+      end
+    end
+  in
+  List.iter try_merge edges;
+  Partition.of_assignment (Array.init n (fun i -> find comps i))
+
+let is_homogeneous ?(rho = default_rho) matrix members =
+  ignore (check_matrix matrix);
+  match members with
+  | [] | [ _ ] -> true
+  | _ ->
+      let lats =
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun j -> if i < j then Some matrix.(i).(j) else None)
+              members)
+          members
+      in
+      let lo = List.fold_left Float.min infinity lats in
+      let hi = List.fold_left Float.max neg_infinity lats in
+      hi <= (1. +. rho) *. lo
+
+let partition_quality matrix partition =
+  ignore (check_matrix matrix);
+  let ratios = ref [] in
+  for c = 0 to Partition.count partition - 1 do
+    match Partition.members partition c with
+    | [] | [ _ ] -> ()
+    | members ->
+        let lats =
+          List.concat_map
+            (fun i ->
+              List.filter_map (fun j -> if i < j then Some matrix.(i).(j) else None) members)
+            members
+        in
+        let lo = List.fold_left Float.min infinity lats in
+        let hi = List.fold_left Float.max neg_infinity lats in
+        ratios := (hi /. lo) :: !ratios
+  done;
+  match !ratios with
+  | [] -> 1.
+  | rs -> List.fold_left ( +. ) 0. rs /. float_of_int (List.length rs)

@@ -1,0 +1,37 @@
+(** Logical homogeneous cluster detection (Lowekamp's algorithm as used by
+    the authors' companion paper "Identifying logical homogeneous clusters
+    for efficient wide-area communication", and in Section 7 with a
+    tolerance rate rho = 30 %).
+
+    Machines are grouped agglomeratively from a full pairwise latency
+    matrix: edges are considered in ascending latency order and two groups
+    merge only if the union stays {e homogeneous} — its largest pairwise
+    latency does not exceed [(1 + rho)] times its smallest.  IDPOT's split
+    into three logical clusters in Table 3 is exactly this effect: the
+    242 us pair fails the 30 % band around the 60 us pairs. *)
+
+val default_rho : float
+(** 0.30, the paper's tolerance rate. *)
+
+val detect : ?rho:float -> ?require_locality:bool -> float array array -> Partition.t
+(** [detect matrix] for a symmetric [n x n] latency matrix (diagonal
+    ignored).
+
+    [require_locality] (default [true]) additionally demands that a merged
+    cluster's largest internal latency not exceed [(1 + rho)] times its
+    smallest latency to any outside machine — i.e. a cluster's internal
+    network is (tolerantly) faster than its external links.  Without it, any two remote singletons would merge
+    (a two-machine cluster is trivially homogeneous): exactly the Table 3
+    case of the two standalone IDPOT machines, 242 us apart but only 60 us
+    from the IDPOT cluster, which the paper keeps separate.
+
+    @raise Invalid_argument on a non-square matrix, [n = 0], or
+    [rho < 0.]. *)
+
+val is_homogeneous : ?rho:float -> float array array -> int list -> bool
+(** Whether a set of machines forms a homogeneous cluster under [rho]
+    (singletons and pairs always do). *)
+
+val partition_quality : float array array -> Partition.t -> float
+(** Mean over non-singleton clusters of (max internal latency / min
+    internal latency); 1.0 is perfectly homogeneous. *)

@@ -1,0 +1,71 @@
+type t = { assignment : int array; count : int }
+
+let of_assignment labels =
+  let n = Array.length labels in
+  if n = 0 then invalid_arg "Partition.of_assignment: empty input";
+  let mapping = Hashtbl.create 16 in
+  let next = ref 0 in
+  let assignment =
+    Array.map
+      (fun label ->
+        match Hashtbl.find_opt mapping label with
+        | Some id -> id
+        | None ->
+            let id = !next in
+            incr next;
+            Hashtbl.add mapping label id;
+            id)
+      labels
+  in
+  { assignment; count = !next }
+
+let trivial n = of_assignment (Array.init n (fun i -> i))
+let all_in_one n = of_assignment (Array.make n 0)
+
+let count t = t.count
+let size t = Array.length t.assignment
+
+let cluster_of t i =
+  if i < 0 || i >= size t then invalid_arg "Partition.cluster_of: out of range";
+  t.assignment.(i)
+
+let members t c =
+  if c < 0 || c >= t.count then invalid_arg "Partition.members: out of range";
+  let acc = ref [] in
+  for i = size t - 1 downto 0 do
+    if t.assignment.(i) = c then acc := i :: !acc
+  done;
+  !acc
+
+let sizes t =
+  let s = Array.make t.count 0 in
+  Array.iter (fun c -> s.(c) <- s.(c) + 1) t.assignment;
+  s
+
+let equal a b = a.assignment = b.assignment
+
+let rand_index a b =
+  let n = size a in
+  if size b <> n then invalid_arg "Partition.rand_index: size mismatch";
+  if n = 1 then 1.
+  else begin
+    let agreements = ref 0 in
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        incr total;
+        let same_a = a.assignment.(i) = a.assignment.(j) in
+        let same_b = b.assignment.(i) = b.assignment.(j) in
+        if same_a = same_b then incr agreements
+      done
+    done;
+    float_of_int !agreements /. float_of_int !total
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>partition: %d clusters over %d machines@," t.count (size t);
+  for c = 0 to t.count - 1 do
+    Format.fprintf ppf "  %d: {%s}@," c
+      (String.concat "," (List.map string_of_int (members t c)))
+  done;
+  Format.fprintf ppf "@]"

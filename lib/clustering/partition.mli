@@ -1,0 +1,36 @@
+(** Partitions of machines into logical clusters.
+
+    A partition maps each machine index to a cluster id.  Ids are
+    normalised to [0 .. k-1] in order of first appearance, so two
+    partitions with the same blocks compare equal. *)
+
+type t = private { assignment : int array; count : int }
+
+val of_assignment : int array -> t
+(** Normalises arbitrary labels.  @raise Invalid_argument on empty input. *)
+
+val trivial : int -> t
+(** Every machine alone ([n] singleton clusters). *)
+
+val all_in_one : int -> t
+
+val count : t -> int
+(** Number of clusters. *)
+
+val size : t -> int
+(** Number of machines. *)
+
+val cluster_of : t -> int -> int
+val members : t -> int -> int list
+(** Ascending machine indices of one cluster.
+    @raise Invalid_argument on out-of-range cluster id. *)
+
+val sizes : t -> int array
+
+val equal : t -> t -> bool
+
+val rand_index : t -> t -> float
+(** Rand similarity in [0, 1]; 1 iff the partitions agree on every pair.
+    @raise Invalid_argument if sizes differ. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** Segmented (pipelined) broadcast.
+
+    For large messages a chain pipeline with segmentation beats the binomial
+    tree: cutting the message into [s] segments of size [m/s] gives a chain
+    completion of [(s + n - 2) * g(m/s) + (n - 1) * L].  This is the
+    standard large-message strategy of the authors' intra-cluster tuning
+    paper and is exposed both as an alternative [T] model and for the
+    ablation bench. *)
+
+val chain_time :
+  params:Gridb_plogp.Params.t -> size:int -> msg:int -> segments:int -> float
+(** Completion time of a segmented chain broadcast.  [segments] is clamped
+    to [1 .. msg] (a segment carries at least one byte); [size <= 1] costs
+    0.  @raise Invalid_argument if [segments < 1]. *)
+
+val best_segments :
+  ?candidates:int list -> params:Gridb_plogp.Params.t -> size:int -> msg:int -> unit -> int * float
+(** Searches the candidate segment counts (default powers of two up to 256)
+    and returns [(segments, time)] minimising {!chain_time}. *)
+
+val binomial_vs_pipeline :
+  params:Gridb_plogp.Params.t -> size:int -> msg:int -> [ `Binomial of float | `Pipeline of int * float ]
+(** Which strategy the auto-tuner would select for this cluster/message. *)

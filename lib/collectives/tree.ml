@@ -1,0 +1,97 @@
+type t = { node : int; children : t list }
+
+let leaf node = { node; children = [] }
+
+let binomial n =
+  if n < 1 then invalid_arg "Tree.binomial: n < 1";
+  (* [build start len] spans [start, start + len).  The root's children sit
+     at offsets 2^i < len; the child at offset p owns min(p, len - p) nodes.
+     Children are listed largest subtree first: that is the transmission
+     order which lets the deepest subtree start earliest. *)
+  let rec build start len =
+    if len = 1 then leaf start
+    else begin
+      let rec powers p acc = if p < len then powers (2 * p) (p :: acc) else acc in
+      let offsets = powers 1 [] in
+      let children =
+        List.map (fun p -> build (start + p) (min p (len - p))) offsets
+      in
+      { node = start; children }
+    end
+  in
+  build 0 n
+
+let flat n =
+  if n < 1 then invalid_arg "Tree.flat: n < 1";
+  { node = 0; children = List.init (n - 1) (fun i -> leaf (i + 1)) }
+
+let chain n =
+  if n < 1 then invalid_arg "Tree.chain: n < 1";
+  let rec build i = if i = n - 1 then leaf i else { node = i; children = [ build (i + 1) ] } in
+  build 0
+
+let kary ~k n =
+  if k < 1 then invalid_arg "Tree.kary: k < 1";
+  if n < 1 then invalid_arg "Tree.kary: n < 1";
+  let rec build i =
+    let children =
+      List.init k (fun c -> (k * i) + c + 1)
+      |> List.filter (fun j -> j < n)
+      |> List.map build
+    in
+    { node = i; children }
+  in
+  build 0
+
+let binary n = kary ~k:2 n
+
+let rec size t = 1 + List.fold_left (fun acc c -> acc + size c) 0 t.children
+
+let rec depth t =
+  match t.children with
+  | [] -> 0
+  | cs -> 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 cs
+
+let nodes t =
+  let rec preorder t acc =
+    t.node :: List.fold_right (fun c acc -> preorder c acc) t.children acc
+  in
+  preorder t []
+
+let rec max_out_degree t =
+  List.fold_left
+    (fun acc c -> max acc (max_out_degree c))
+    (List.length t.children)
+    t.children
+
+let is_spanning ~n t =
+  let ns = nodes t in
+  List.length ns = n
+  && List.sort compare ns = List.init n (fun i -> i)
+
+let rec pp ppf t =
+  match t.children with
+  | [] -> Format.fprintf ppf "%d" t.node
+  | cs ->
+      Format.fprintf ppf "@[<hov 2>%d(%a)@]" t.node
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp)
+        cs
+
+type shape = Binomial | Flat | Chain | Binary | Kary of int
+
+let build shape n =
+  match shape with
+  | Binomial -> binomial n
+  | Flat -> flat n
+  | Chain -> chain n
+  | Binary -> binary n
+  | Kary k -> kary ~k n
+
+let shape_name = function
+  | Binomial -> "binomial"
+  | Flat -> "flat"
+  | Chain -> "chain"
+  | Binary -> "binary"
+  | Kary k -> Printf.sprintf "%d-ary" k
+
+let all_shapes = [ Binomial; Flat; Chain; Binary; Kary 4 ]

@@ -1,0 +1,54 @@
+(** Broadcast tree shapes over [n] homogeneous nodes.
+
+    Intra-cluster broadcasts in the paper use binomial trees ("intra-cluster
+    communications benefit from efficient strategies like binomial trees");
+    the alternative shapes are provided for the ablation benches and the
+    multilevel extension.  Nodes are numbered [0 .. n-1]; node 0 is the
+    root. *)
+
+type t = { node : int; children : t list }
+
+val leaf : int -> t
+
+val binomial : int -> t
+(** Classic binomial broadcast tree: in round [r] every node that holds the
+    message sends to the peer [2^r] away.  Root sends to nodes
+    [1, 2, 4, 8, ...]; subtree sizes halve.  @raise Invalid_argument if
+    [n < 1]. *)
+
+val flat : int -> t
+(** Root sends to every other node sequentially. *)
+
+val chain : int -> t
+(** Linear pipeline: 0 -> 1 -> 2 -> ... *)
+
+val binary : int -> t
+(** Complete binary tree in level order (node [i] has children [2i+1],
+    [2i+2]). *)
+
+val kary : k:int -> int -> t
+(** Complete [k]-ary tree in level order.  @raise Invalid_argument if
+    [k < 1]. *)
+
+val size : t -> int
+(** Number of nodes in the tree. *)
+
+val depth : t -> int
+(** Edges on the longest root-to-leaf path; 0 for a leaf. *)
+
+val nodes : t -> int list
+(** Preorder enumeration. *)
+
+val max_out_degree : t -> int
+
+val is_spanning : n:int -> t -> bool
+(** True iff the tree contains each of [0 .. n-1] exactly once. *)
+
+val pp : Format.formatter -> t -> unit
+
+type shape = Binomial | Flat | Chain | Binary | Kary of int
+
+val build : shape -> int -> t
+val shape_name : shape -> string
+val all_shapes : shape list
+(** [Binomial; Flat; Chain; Binary; Kary 4] — the set the benches sweep. *)

@@ -1,0 +1,37 @@
+type choice = Tree_shape of Tree.shape | Segmented_chain of int
+
+let choice_name = function
+  | Tree_shape shape -> Tree.shape_name shape
+  | Segmented_chain s -> Printf.sprintf "chain/%d-segments" s
+
+let best ~params ~size ~msg () =
+  if size <= 1 then (Tree_shape Tree.Binomial, 0.)
+  else begin
+    let tree_candidates =
+      List.map
+        (fun shape ->
+          (Tree_shape shape, Cost.broadcast_time ~shape ~params ~size ~msg ()))
+        Tree.all_shapes
+    in
+    let segments, pipeline_time = Pipeline.best_segments ~params ~size ~msg () in
+    let candidates = (Segmented_chain segments, pipeline_time) :: tree_candidates in
+    List.fold_left
+      (fun ((_, bt) as best) ((_, t) as cand) -> if t < bt then cand else best)
+      (List.hd candidates) (List.tl candidates)
+  end
+
+let broadcast_time ~params ~size ~msg () = snd (best ~params ~size ~msg ())
+
+let crossover_size ?(lo = 1) ?(hi = 16 * 1024 * 1024) ~params ~size () =
+  if size <= 1 then None
+  else begin
+    let rec probe msg =
+      if msg > hi then None
+      else begin
+        match best ~params ~size ~msg () with
+        | Segmented_chain _, _ -> Some msg
+        | Tree_shape _, _ -> probe (2 * msg)
+      end
+    in
+    probe (max 1 lo)
+  end

@@ -1,0 +1,34 @@
+(** Auto-tuned intra-cluster broadcast — the authors' companion work
+    ("Fast tuning of intra-cluster collective communications",
+    Euro PVM/MPI 2004), which the paper's Section 7 builds on: instead of
+    hard-coding the binomial tree, predict every candidate strategy with
+    the cluster's pLogP parameters and keep the fastest.
+
+    Candidates: the tree shapes of {!Tree.all_shapes} plus the segmented
+    chain pipeline of {!Pipeline} — the classic small-message /
+    large-message trade-off (trees win while the per-message cost
+    dominates; pipelining wins once bandwidth does). *)
+
+type choice =
+  | Tree_shape of Tree.shape
+  | Segmented_chain of int  (** segment count *)
+
+val choice_name : choice -> string
+
+val best :
+  params:Gridb_plogp.Params.t -> size:int -> msg:int -> unit -> choice * float
+(** The fastest candidate and its predicted completion time (us).
+    Clusters of size <= 1 cost 0 with a [Tree_shape Binomial] choice. *)
+
+val broadcast_time :
+  params:Gridb_plogp.Params.t -> size:int -> msg:int -> unit -> float
+(** [snd (best ...)]: drop-in replacement for
+    {!Cost.broadcast_time} that feeds auto-tuned [T_k] values to the
+    grid-aware heuristics. *)
+
+val crossover_size :
+  ?lo:int -> ?hi:int -> params:Gridb_plogp.Params.t -> size:int -> unit -> int option
+(** Smallest message size in [\[lo, hi\]] (defaults 1 B .. 16 MiB, probed at
+    powers of two) at which the pipeline overtakes every tree — [None] if
+    it never does in range.  Characterises a cluster the way the companion
+    paper's tuning tables do. *)

@@ -1,0 +1,54 @@
+type event = { time : float; seq : int; action : t -> unit }
+
+and t = {
+  queue : event Gridb_util.Binary_heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let compare_events a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  {
+    queue = Gridb_util.Binary_heap.create ~cmp:compare_events ();
+    clock = 0.;
+    next_seq = 0;
+    processed = 0;
+  }
+
+let now t = t.clock
+
+let schedule t ~time action =
+  if time < t.clock then invalid_arg "Engine.schedule: time in the past";
+  Gridb_util.Binary_heap.add t.queue { time; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1
+
+let schedule_after t ~delay action =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~time:(t.clock +. delay) action
+
+let step t =
+  match Gridb_util.Binary_heap.pop t.queue with
+  | None -> false
+  | Some e ->
+      t.clock <- e.time;
+      t.processed <- t.processed + 1;
+      e.action t;
+      true
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Gridb_util.Binary_heap.peek t.queue with
+    | Some e when e.time <= horizon -> ignore (step t)
+    | _ -> continue := false
+  done;
+  if t.clock < horizon then t.clock <- horizon
+
+let pending t = Gridb_util.Binary_heap.length t.queue
+let processed t = t.processed

@@ -1,0 +1,36 @@
+(** Generic discrete-event simulation engine.
+
+    A minimal sequential DES: a clock and a time-ordered queue of callbacks.
+    Events scheduled at equal times fire in insertion order (stable), which
+    keeps runs reproducible.  The broadcast executor, the MPI layer and the
+    failure-injection tests all run on this engine. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time (us).  0. before the first event. *)
+
+val schedule : t -> time:float -> (t -> unit) -> unit
+(** Enqueue a callback at an absolute time.
+    @raise Invalid_argument if [time] is in the past (< [now t]). *)
+
+val schedule_after : t -> delay:float -> (t -> unit) -> unit
+(** Relative variant.  @raise Invalid_argument if [delay < 0.]. *)
+
+val step : t -> bool
+(** Execute the next event; [false] when the queue is empty. *)
+
+val run : t -> unit
+(** Drain the queue.  Terminates iff the simulated system quiesces. *)
+
+val run_until : t -> float -> unit
+(** Process events with time <= the horizon; later events stay queued and
+    [now] is advanced to the horizon. *)
+
+val pending : t -> int
+(** Events still queued. *)
+
+val processed : t -> int
+(** Events executed so far. *)

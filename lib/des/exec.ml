@@ -1,0 +1,69 @@
+module Machines = Gridb_topology.Machines
+module Params = Gridb_plogp.Params
+
+type result = {
+  arrival : float array;
+  makespan : float;
+  transmissions : int;
+  trace : Trace.transmission list;
+}
+
+let run ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_000)
+    ?(record_trace = false) machines plan =
+  let n = Machines.count machines in
+  if Plan.size plan <> n then invalid_arg "Exec.run: plan size mismatch";
+  let rng =
+    match rng with Some r -> r | None -> Gridb_util.Rng.create 0
+  in
+  let engine = Engine.create () in
+  let arrival = Array.make n nan in
+  let nic_free = Array.make n 0. in
+  let transmissions = ref 0 in
+  let trace = ref [] in
+  (* On delivery, a rank enqueues its forwarding list: each send seizes the
+     NIC for one (noisy) gap; the child receives a (noisy) latency after the
+     send starts injecting. *)
+  let rec deliver rank engine =
+    let time = Engine.now engine in
+    arrival.(rank) <- time;
+    nic_free.(rank) <- Float.max nic_free.(rank) time;
+    List.iter
+      (fun child ->
+        let p = Machines.link_params machines rank child in
+        let g = Noise.apply noise rng (Params.gap p msg) in
+        let l = Noise.apply noise rng (Params.latency p) in
+        let start = nic_free.(rank) in
+        nic_free.(rank) <- start +. g;
+        incr transmissions;
+        if record_trace then
+          trace :=
+            {
+              Trace.src = rank;
+              dst = child;
+              start;
+              gap_end = start +. g;
+              arrival = start +. g +. l;
+              msg;
+            }
+            :: !trace;
+        Engine.schedule engine ~time:(start +. g +. l) (deliver child))
+      plan.Plan.children.(rank)
+  in
+  Engine.schedule engine ~time:start_delay (deliver plan.Plan.root);
+  Engine.run engine;
+  let makespan = Array.fold_left Float.max 0. arrival in
+  let trace =
+    List.sort (fun (a : Trace.transmission) b -> Float.compare a.arrival b.arrival) !trace
+  in
+  { arrival; makespan; transmissions = !transmissions; trace }
+
+let mean_makespan ?(noise = Noise.default_measured) ?(msg = 1_000_000)
+    ?(repetitions = 10) ~seed machines plan =
+  if repetitions < 1 then invalid_arg "Exec.mean_makespan: repetitions < 1";
+  let rng = Gridb_util.Rng.create seed in
+  let total = ref 0. in
+  for _ = 1 to repetitions do
+    let r = run ~noise ~rng ~msg machines plan in
+    total := !total +. r.makespan
+  done;
+  !total /. float_of_int repetitions

@@ -1,0 +1,45 @@
+(** Execution of a broadcast plan on the discrete-event engine.
+
+    Semantics per transmission from [s] to [d] (pLogP parameters of the
+    [s]-[d] link evaluated at the message size, each scaled by an
+    independent noise factor): the send starts when [s] holds the message
+    and its NIC is free; the NIC is busy for [g]; delivery happens [L]
+    after the send starts injecting, i.e. at [start + g + L].
+
+    With [noise = Exact] the executor reproduces the analytic predictions
+    of {!Gridb_collectives.Cost} and {!Gridb_sched.Schedule} to floating
+    point accuracy — an invariant the integration tests rely on. *)
+
+type result = {
+  arrival : float array;  (** per-rank delivery time; [start_delay] at the root *)
+  makespan : float;  (** max arrival *)
+  transmissions : int;  (** number of point-to-point sends executed *)
+  trace : Trace.transmission list;  (** arrival-ordered; [] unless recorded *)
+}
+
+val run :
+  ?noise:Noise.t ->
+  ?rng:Gridb_util.Rng.t ->
+  ?start_delay:float ->
+  ?msg:int ->
+  ?record_trace:bool ->
+  Gridb_topology.Machines.t ->
+  Plan.t ->
+  result
+(** [run machines plan] broadcasts one [msg]-byte message (default 1 MB)
+    along [plan].  [start_delay] (default 0., e.g. a scheduling overhead)
+    postpones the root's first injection.  [rng] is required when [noise]
+    is not [Exact] (default seed 0 otherwise).  [record_trace] (default
+    false) retains every transmission for {!Trace} analysis.
+    @raise Invalid_argument if plan and machine view sizes differ. *)
+
+val mean_makespan :
+  ?noise:Noise.t ->
+  ?msg:int ->
+  ?repetitions:int ->
+  seed:int ->
+  Gridb_topology.Machines.t ->
+  Plan.t ->
+  float
+(** Average makespan over independent noisy runs (default 10), the
+    "measured" value reported by Figure 6. *)

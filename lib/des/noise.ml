@@ -1,0 +1,18 @@
+type t = Exact | Lognormal of float | Uniform of float
+
+let default_measured = Lognormal 0.08
+
+let factor t rng =
+  match t with
+  | Exact -> 1.
+  | Lognormal sigma -> Gridb_util.Rng.lognormal ~mu:0. ~sigma rng
+  | Uniform eps ->
+      if eps < 0. || eps >= 1. then invalid_arg "Noise.factor: Uniform eps outside [0, 1)";
+      Gridb_util.Rng.float_in rng (1. -. eps) (1. +. eps)
+
+let apply t rng x = x *. factor t rng
+
+let to_string = function
+  | Exact -> "exact"
+  | Lognormal sigma -> Printf.sprintf "lognormal(sigma=%g)" sigma
+  | Uniform eps -> Printf.sprintf "uniform(+/-%g)" eps

@@ -1,0 +1,25 @@
+(** Multiplicative noise models for "measured" runs.
+
+    The practical evaluation (Section 7) compares model predictions against
+    execution on a real grid; the gap between Figure 5 and Figure 6 is
+    network and system jitter.  The DES reproduces it by scaling each
+    transmission's gap and latency by an independent random factor. *)
+
+type t =
+  | Exact  (** no noise: the DES must agree with the analytic model *)
+  | Lognormal of float
+      (** multiplicative lognormal with the given sigma; median 1 *)
+  | Uniform of float
+      (** uniform factor in [1 - eps, 1 + eps]; [eps] in [0, 1) *)
+
+val default_measured : t
+(** [Lognormal 0.08] — a realistic wide-area jitter level. *)
+
+val factor : t -> Gridb_util.Rng.t -> float
+(** Draw one multiplicative factor (>= 0, and > 0 almost surely).
+    @raise Invalid_argument for [Uniform eps] with [eps] outside [0, 1). *)
+
+val apply : t -> Gridb_util.Rng.t -> float -> float
+(** [apply t rng x = x *. factor t rng]. *)
+
+val to_string : t -> string

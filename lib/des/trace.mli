@@ -1,0 +1,32 @@
+(** Transmission traces of DES executions.
+
+    When asked ({!Exec.run} with [record_trace:true]), the executor logs
+    every point-to-point transmission; this module analyses the log:
+    per-sender NIC busy time, the critical path to the last delivery, and a
+    compact textual rendering.  Used by the deeper examples and by tests
+    that assert structural properties of executions (e.g. that the flat
+    tree's root carries all the traffic). *)
+
+type transmission = {
+  src : int;
+  dst : int;
+  start : float;  (** injection start, us *)
+  gap_end : float;  (** sender NIC free again *)
+  arrival : float;  (** receiver holds the message *)
+  msg : int;  (** bytes *)
+}
+
+val sender_busy_time : transmission list -> (int * float) list
+(** Total NIC occupancy per sending rank, descending. *)
+
+val busiest_sender : transmission list -> (int * float) option
+
+val critical_path : transmission list -> transmission list
+(** The chain of transmissions leading to the latest arrival, from the
+    first hop to the last (each hop's receiver is the next hop's sender).
+    Empty for an empty trace. *)
+
+val total_bytes : transmission list -> int
+
+val pp : Format.formatter -> transmission list -> unit
+(** One line per transmission in arrival order. *)

@@ -1,0 +1,25 @@
+type t = {
+  iterations : int;
+  seed : int;
+  msg : int;
+  model : Gridb_sched.Schedule.completion_model;
+  ranges : Gridb_sched.Instance.ranges;
+}
+
+let default =
+  {
+    iterations = 10_000;
+    seed = 2006;
+    msg = 1_000_000;
+    model = Gridb_sched.Schedule.After_sends;
+    ranges = Gridb_sched.Instance.table2_ranges;
+  }
+
+let quick = { default with iterations = 300 }
+
+let with_iterations iterations t = { t with iterations }
+let with_model model t = { t with model }
+
+let point_rng t ~point =
+  (* Derive a stream far from the base seed and from other points. *)
+  Gridb_util.Rng.create (t.seed + (1_000_003 * (point + 1)))

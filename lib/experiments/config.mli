@@ -1,0 +1,27 @@
+(** Experiment configuration.
+
+    The paper's simulations average 10000 iterations per data point
+    (Section 6) on 1 MB broadcasts with the Table 2 parameter ranges.
+    [quick] trades iterations for speed and is what the test suite uses;
+    the bench harness runs [default]. *)
+
+type t = {
+  iterations : int;  (** random draws per data point *)
+  seed : int;  (** base RNG seed; points derive sub-seeds deterministically *)
+  msg : int;  (** broadcast size in bytes *)
+  model : Gridb_sched.Schedule.completion_model;
+  ranges : Gridb_sched.Instance.ranges;  (** Table 2 *)
+}
+
+val default : t
+(** 10000 iterations, seed 2006, 1 MB, [After_sends], Table 2 ranges. *)
+
+val quick : t
+(** 300 iterations — statistically noisy but fast; same draws family. *)
+
+val with_iterations : int -> t -> t
+val with_model : Gridb_sched.Schedule.completion_model -> t -> t
+
+val point_rng : t -> point:int -> Gridb_util.Rng.t
+(** Independent RNG stream for data point number [point] (so adding or
+    reordering points does not perturb other points' draws). *)

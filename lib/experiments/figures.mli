@@ -1,0 +1,38 @@
+(** The reproduced figures of the paper's evaluation (Sections 6 and 7).
+
+    Each function returns one (or two) {!Report.figure}s carrying the exact
+    series the paper plots; the bench harness prints and CSV-dumps them.
+    Expected shapes are spelled out in DESIGN.md and checked loosely by the
+    integration tests. *)
+
+val fig1_small_grids : Config.t -> Report.figure
+(** Average completion time (s) of a 1 MB broadcast, 2-10 clusters, all
+    seven heuristics (paper Figure 1). *)
+
+val fig2_large_grids : Config.t -> Report.figure
+(** Same, 5-50 clusters in steps of 5 (paper Figure 2). *)
+
+val fig3_ecef_zoom : Config.t -> Report.figure
+(** ECEF-like heuristics only, 5-50 clusters (paper Figure 3). *)
+
+val fig4_hit_rate : Config.t -> Report.figure * Report.figure
+(** Hit counts against the per-iteration global minimum for the four
+    ECEF-like heuristics (paper Figure 4).  Returns the figure under the
+    paper's literal completion model ([After_sends]) and under the
+    [Overlapped] model; the paper's qualitative claim (ECEF-LAT keeps a
+    high, roughly constant hit rate while the min-based variants decay) is
+    reproduced by the latter — see EXPERIMENTS.md for the discussion. *)
+
+val fig5_predicted : Config.t -> Report.figure
+(** Predicted completion time vs message size (0.25-4.5 MB) on the
+    Table 3 GRID5000 topology, all heuristics (paper Figure 5). *)
+
+val fig6_measured : Config.t -> Report.figure
+(** "Measured" (DES with noise + scheduling overhead) completion times,
+    including the grid-unaware binomial "Default LAM" curve (paper
+    Figure 6). *)
+
+val message_sizes : int list
+(** The x axis of Figures 5/6: 0.25 MB to 4.5 MB. *)
+
+val grid5000_root : int

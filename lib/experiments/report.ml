@@ -1,0 +1,110 @@
+module Text_table = Gridb_util.Text_table
+module Ascii_plot = Gridb_util.Ascii_plot
+module Csv = Gridb_util.Csv
+
+type figure = {
+  id : string;
+  title : string;
+  x_label : string;
+  y_label : string;
+  series : (string * (float * float) list) list;
+  notes : string list;
+}
+
+let xs_of figure =
+  List.concat_map (fun (_, pts) -> List.map fst pts) figure.series
+  |> List.sort_uniq compare
+
+let y_at points x =
+  List.assoc_opt x points
+
+let render figure =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "=== %s: %s ===\n" figure.id figure.title);
+  let xs = xs_of figure in
+  let table =
+    Text_table.create (figure.x_label :: List.map fst figure.series)
+  in
+  List.iter
+    (fun x ->
+      let cells =
+        Printf.sprintf "%g" x
+        :: List.map
+             (fun (_, pts) ->
+               match y_at pts x with
+               | Some y -> Printf.sprintf "%.4g" y
+               | None -> "-")
+             figure.series
+      in
+      Text_table.add_row table cells)
+    xs;
+  Buffer.add_string buf (Text_table.render table);
+  Buffer.add_char buf '\n';
+  let plot_series =
+    List.map
+      (fun (label, pts) -> { Ascii_plot.label; points = pts })
+      figure.series
+  in
+  Buffer.add_string buf
+    (Ascii_plot.plot ~title:figure.title ~x_label:figure.x_label
+       ~y_label:figure.y_label plot_series);
+  List.iter (fun note -> Buffer.add_string buf ("note: " ^ note ^ "\n")) figure.notes;
+  Buffer.contents buf
+
+let print figure =
+  print_string (render figure);
+  print_newline ()
+
+let to_csv ~dir figure =
+  let xs = xs_of figure in
+  let header = figure.x_label :: List.map fst figure.series in
+  let rows =
+    List.map
+      (fun x ->
+        Printf.sprintf "%.6g" x
+        :: List.map
+             (fun (_, pts) ->
+               match y_at pts x with
+               | Some y -> Printf.sprintf "%.6g" y
+               | None -> "")
+             figure.series)
+      xs
+  in
+  let path = Filename.concat dir (figure.id ^ ".csv") in
+  Csv.write path (header :: rows);
+  path
+
+let to_gnuplot ~dir figure =
+  let path = Filename.concat dir (figure.id ^ ".gp") in
+  let buf = Buffer.create 1024 in
+  let quote s = "\"" ^ String.concat "''" (String.split_on_char '"' s) ^ "\"" in
+  Buffer.add_string buf "set datafile separator \",\"\n";
+  Buffer.add_string buf "set terminal svg size 800,500\n";
+  Buffer.add_string buf (Printf.sprintf "set output \"%s.svg\"\n" figure.id);
+  Buffer.add_string buf (Printf.sprintf "set title %s\n" (quote figure.title));
+  Buffer.add_string buf (Printf.sprintf "set xlabel %s\n" (quote figure.x_label));
+  Buffer.add_string buf (Printf.sprintf "set ylabel %s\n" (quote figure.y_label));
+  Buffer.add_string buf "set key outside right\n";
+  Buffer.add_string buf "set grid\n";
+  let plots =
+    List.mapi
+      (fun i (label, _) ->
+        Printf.sprintf "\"%s.csv\" using 1:%d skip 1 with linespoints title %s"
+          figure.id (i + 2) (quote label))
+      figure.series
+  in
+  Buffer.add_string buf ("plot " ^ String.concat ", \\\n     " plots ^ "\n");
+  Csv.ensure_directory dir;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  path
+
+let series_of_table ~xs rows =
+  List.map
+    (fun (label, ys) ->
+      if List.length ys <> List.length xs then
+        invalid_arg "Report.series_of_table: length mismatch";
+      (label, List.combine xs ys))
+    rows

@@ -1,0 +1,33 @@
+(** Uniform rendering of reproduced figures.
+
+    A figure is a set of labelled series over a numeric x axis.  Rendering
+    prints the numbers as an aligned table (the "same rows the paper
+    reports"), an ASCII plot of the curves, and optionally a CSV file for
+    external plotting. *)
+
+type figure = {
+  id : string;  (** e.g. "fig1" *)
+  title : string;
+  x_label : string;
+  y_label : string;
+  series : (string * (float * float) list) list;  (** label, (x, y) points *)
+  notes : string list;  (** provenance / interpretation lines printed below *)
+}
+
+val render : figure -> string
+val print : figure -> unit
+
+val to_csv : dir:string -> figure -> string
+(** Writes [dir/<id>.csv] (x column followed by one column per series,
+    rows joined on x) and returns the path. *)
+
+val to_gnuplot : dir:string -> figure -> string
+(** Writes [dir/<id>.gp], a self-contained gnuplot script that plots the
+    figure from its CSV sibling (written by {!to_csv}) to
+    [dir/<id>.svg]; returns the script path.  Render with
+    [gnuplot <id>.gp]. *)
+
+val series_of_table :
+  xs:float list -> (string * float list) list -> (string * (float * float) list) list
+(** Zip per-series y-lists with the shared x axis.
+    @raise Invalid_argument on length mismatch. *)

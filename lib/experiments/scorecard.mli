@@ -1,0 +1,34 @@
+(** Reproduction scorecard.
+
+    Turns the paper's qualitative claims into programmatic checks over the
+    regenerated figures, and renders a pass/fail table — the summary at the
+    end of the bench output and the source of EXPERIMENTS.md's verdict
+    column.  All checks are {e shape} checks (orderings, growth rates,
+    ratios), not absolute-number comparisons: the substrate is a simulator,
+    not the 2006 testbed. *)
+
+type verdict = {
+  claim : string;  (** the paper's statement, paraphrased *)
+  expected : string;
+  measured : string;
+  pass : bool;
+}
+
+val of_figures :
+  fig1:Report.figure ->
+  fig2:Report.figure ->
+  fig3:Report.figure ->
+  fig4_literal:Report.figure ->
+  fig4_overlapped:Report.figure ->
+  fig5:Report.figure ->
+  fig6:Report.figure ->
+  unit ->
+  verdict list
+(** Evaluates every claim against already-computed figures (the bench
+    passes the ones it just produced, avoiding recomputation). *)
+
+val table3_verdict : unit -> verdict
+(** Lowekamp re-derivation of the Table 3 cluster map. *)
+
+val render : verdict list -> string
+val all_pass : verdict list -> bool

@@ -1,0 +1,78 @@
+module Text_table = Gridb_util.Text_table
+module Topology = Gridb_topology
+module Clustering = Gridb_clustering
+
+let table1 () =
+  let t = Text_table.create [ "level"; "technology" ] in
+  List.iter
+    (fun (level, tech) ->
+      Text_table.add_row t
+        [ string_of_int (Topology.Levels.level_number level); tech ])
+    Topology.Levels.table1;
+  "=== table1: Communication levels (paper Table 1) ===\n" ^ Text_table.render t
+
+let table2 (config : Config.t) =
+  let r = config.Config.ranges in
+  let t = Text_table.create [ "parameter"; "minimum"; "maximum" ] in
+  let ms (lo, hi) =
+    (Printf.sprintf "%g ms" (lo /. 1e3), Printf.sprintf "%g ms" (hi /. 1e3))
+  in
+  let add name range =
+    let lo, hi = ms range in
+    Text_table.add_row t [ name; lo; hi ]
+  in
+  add "L (inter-cluster latency)" r.Gridb_sched.Instance.latency_us;
+  add "g (inter-cluster gap, 1 MB)" r.Gridb_sched.Instance.gap_us;
+  add "T (intra-cluster broadcast)" r.Gridb_sched.Instance.intra_us;
+  "=== table2: Simulation parameter ranges (paper Table 2) ===\n" ^ Text_table.render t
+
+let table3 () =
+  let names = Topology.Grid5000.cluster_names in
+  let sizes = Topology.Grid5000.cluster_sizes in
+  let m = Topology.Grid5000.latency_matrix in
+  let n = Array.length names in
+  let t =
+    Text_table.create
+      ("cluster (size)" :: List.init n (fun j -> Printf.sprintf "C%d" j))
+  in
+  for i = 0 to n - 1 do
+    Text_table.add_row t
+      (Printf.sprintf "C%d %s (%d)" i names.(i) sizes.(i)
+      :: List.init n (fun j ->
+             if i = j && sizes.(i) = 1 then "-" else Printf.sprintf "%.2f" m.(i).(j))
+      )
+  done;
+  "=== table3: GRID5000 latency matrix, us (paper Table 3) ===\n" ^ Text_table.render t
+
+let table3_rederived () =
+  let grid = Topology.Grid5000.grid () in
+  let machines = Topology.Machines.expand grid in
+  let rng = Gridb_util.Rng.create 31 in
+  let matrix = Topology.Machines.latency_matrix ~rng ~jitter_sigma:0.03 machines in
+  let partition = Clustering.Lowekamp.detect ~rho:0.30 matrix in
+  let reference =
+    Clustering.Partition.of_assignment
+      (Array.init (Topology.Machines.count machines) (fun r ->
+           (Topology.Machines.machine machines r).Topology.Machines.cluster))
+  in
+  let t = Text_table.create [ "quantity"; "value" ] in
+  Text_table.add_row t
+    [ "clusters detected (rho=30%)"; string_of_int (Clustering.Partition.count partition) ];
+  Text_table.add_row t
+    [
+      "cluster sizes";
+      String.concat ";"
+        (Array.to_list (Array.map string_of_int (Clustering.Partition.sizes partition)));
+    ];
+  Text_table.add_row t
+    [
+      "Rand index vs paper map";
+      Printf.sprintf "%.4f" (Clustering.Partition.rand_index partition reference);
+    ];
+  Text_table.add_row t
+    [
+      "homogeneity (max/min)";
+      Printf.sprintf "%.3f" (Clustering.Lowekamp.partition_quality matrix partition);
+    ];
+  "=== table3 (re-derived): Lowekamp detection on noisy 88-machine matrix ===\n"
+  ^ Text_table.render t

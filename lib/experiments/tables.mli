@@ -1,0 +1,16 @@
+(** The paper's tables, rendered for the bench output. *)
+
+val table1 : unit -> string
+(** Communication levels (paper Table 1). *)
+
+val table2 : Config.t -> string
+(** Simulation parameter ranges (paper Table 2), from the live config. *)
+
+val table3 : unit -> string
+(** GRID5000 inter-cluster latency matrix (paper Table 3) as built into
+    {!Gridb_topology.Grid5000}. *)
+
+val table3_rederived : unit -> string
+(** Table 3's cluster map re-derived by running Lowekamp detection
+    (rho = 30 %) on the synthetic 88-machine latency matrix — the Section 7
+    methodology check. *)

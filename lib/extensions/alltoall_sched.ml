@@ -1,0 +1,115 @@
+module Grid = Gridb_topology.Grid
+module Cluster = Gridb_topology.Cluster
+module Cost = Gridb_collectives.Cost
+module Machines = Gridb_topology.Machines
+
+type prediction = {
+  gather : float;
+  exchange : float;
+  scatter : float;
+  total : float;
+}
+
+let cluster_size grid c = (Grid.cluster grid c).Cluster.size
+
+let block grid ~msg_per_pair src dst =
+  msg_per_pair * cluster_size grid src * cluster_size grid dst
+
+let gather_time grid ~msg_per_pair c =
+  let cl = Grid.cluster grid c in
+  (* Each member contributes its blocks for every process in the grid. *)
+  let per_member = msg_per_pair * (Grid.total_processes grid - 1) in
+  Cost.gather_time ~params:cl.Cluster.intra ~size:cl.Cluster.size ~msg:per_member
+
+let scatter_time grid ~msg_per_pair c =
+  let cl = Grid.cluster grid c in
+  let per_member = msg_per_pair * (Grid.total_processes grid - 1) in
+  Cost.scatter_time ~params:cl.Cluster.intra ~size:cl.Cluster.size ~msg:per_member
+
+let exchange_time grid ~msg_per_pair c =
+  let n = Grid.size grid in
+  let gaps = ref 0. in
+  let last_latency = ref 0. in
+  for step = 1 to n - 1 do
+    let d = (c + step) mod n in
+    gaps := !gaps +. Grid.gap grid c d (block grid ~msg_per_pair c d);
+    if step = n - 1 then last_latency := Grid.latency grid c d
+  done;
+  !gaps +. !last_latency
+
+let fold_max f grid =
+  let n = Grid.size grid in
+  let m = ref 0. in
+  for c = 0 to n - 1 do
+    m := Float.max !m (f c)
+  done;
+  !m
+
+let predict grid ~msg_per_pair =
+  let gather = fold_max (gather_time grid ~msg_per_pair) grid in
+  let exchange =
+    if Grid.size grid = 1 then 0. else fold_max (exchange_time grid ~msg_per_pair) grid
+  in
+  let scatter = fold_max (scatter_time grid ~msg_per_pair) grid in
+  { gather; exchange; scatter; total = gather +. exchange +. scatter }
+
+let predict_direct grid ~msg_per_pair =
+  let machines = Machines.expand grid in
+  let n = Machines.count machines in
+  let worst = ref 0. in
+  for r = 0 to n - 1 do
+    let gaps = ref 0. and last_latency = ref 0. in
+    for step = 1 to n - 1 do
+      let d = (r + step) mod n in
+      let p = Machines.link_params machines r d in
+      gaps := !gaps +. Gridb_plogp.Params.gap p msg_per_pair;
+      if step = n - 1 then last_latency := Gridb_plogp.Params.latency p
+    done;
+    worst := Float.max !worst (!gaps +. !last_latency)
+  done;
+  !worst
+
+let rotation_rounds n =
+  List.concat_map
+    (fun step -> List.init n (fun src -> (step, src, (src + step) mod n)))
+    (List.init (max 0 (n - 1)) (fun s -> s + 1))
+
+let simulate ?noise ?seed ?(nonblocking = false) grid ~msg_per_pair =
+  let machines = Machines.expand grid in
+  let n_clusters = Grid.size grid in
+  if n_clusters = 1 then (predict grid ~msg_per_pair).total
+  else begin
+    let coordinator = Array.init n_clusters (Machines.coordinator machines) in
+    let cluster_of_rank = Array.make (Machines.count machines) (-1) in
+    Array.iteri (fun c r -> cluster_of_rank.(r) <- c) coordinator;
+    let blocking_rounds c =
+      for step = 1 to n_clusters - 1 do
+        let dst = (c + step) mod n_clusters in
+        let src = ((c - step) + n_clusters) mod n_clusters in
+        Gridb_mpi.Runtime.Api.send ~dst:coordinator.(dst)
+          ~msg_size:(block grid ~msg_per_pair c dst) ();
+        ignore (Gridb_mpi.Runtime.Api.recv ~src:coordinator.(src) ())
+      done
+    in
+    let nonblocking_rounds c =
+      let requests =
+        List.init (n_clusters - 1) (fun i ->
+            let dst = (c + i + 1) mod n_clusters in
+            Gridb_mpi.Runtime.Api.isend ~dst:coordinator.(dst)
+              ~msg_size:(block grid ~msg_per_pair c dst) ())
+      in
+      for step = 1 to n_clusters - 1 do
+        let src = ((c - step) + n_clusters) mod n_clusters in
+        ignore (Gridb_mpi.Runtime.Api.recv ~src:coordinator.(src) ())
+      done;
+      List.iter Gridb_mpi.Runtime.Api.wait requests
+    in
+    let result =
+      Gridb_mpi.Runtime.run_exn ?noise ?seed machines (fun ~rank ~size:_ ->
+          let c = cluster_of_rank.(rank) in
+          if c >= 0 then
+            if nonblocking then nonblocking_rounds c else blocking_rounds c)
+    in
+    let p = predict grid ~msg_per_pair in
+    p.gather +. result.Gridb_mpi.Runtime.makespan +. p.scatter
+  end

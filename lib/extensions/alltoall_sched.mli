@@ -1,0 +1,50 @@
+(** Grid-aware scheduling for the alltoall pattern (future work).
+
+    Hierarchical alltoall in three phases:
+    + every cluster gathers its members' outgoing blocks at the coordinator
+      ([T_gather]);
+    + coordinators exchange aggregated inter-cluster blocks — cluster [c]'s
+      block for cluster [d] is [msg_per_pair * size_c * size_d] bytes;
+    + every coordinator scatters the received data internally
+      ([T_scatter]).
+
+    Phase 2 dominates and is sender-gap bound, so each coordinator's cost is
+    the sum of its outgoing gaps plus the last latency; the rotation
+    schedule (step [s]: send to [(c + s) mod n]) balances receivers.  The
+    predicted makespan is compared against a direct (non-aggregated)
+    machine-level alltoall to quantify the benefit of cluster aggregation. *)
+
+type prediction = {
+  gather : float;  (** max over clusters of phase 1 time, us *)
+  exchange : float;  (** max over coordinators of phase 2 completion, us *)
+  scatter : float;  (** max over clusters of phase 3 time, us *)
+  total : float;
+}
+
+val predict :
+  Gridb_topology.Grid.t -> msg_per_pair:int -> prediction
+(** Closed-form prediction of the hierarchical alltoall. *)
+
+val predict_direct : Gridb_topology.Grid.t -> msg_per_pair:int -> float
+(** Machine-level rotation alltoall (no aggregation): every machine sends
+    [msg_per_pair] to every other machine; sender-gap bound with
+    inter-cluster links for remote peers. *)
+
+val rotation_rounds : int -> (int * int * int) list
+(** [(round, src, dst)] triples of the coordinator-level rotation schedule
+    for [n] clusters — exposed for the simulator and the tests
+    ([n * (n - 1)] triples, each ordered pair exactly once). *)
+
+val simulate :
+  ?noise:Gridb_des.Noise.t ->
+  ?seed:int ->
+  ?nonblocking:bool ->
+  Gridb_topology.Grid.t ->
+  msg_per_pair:int ->
+  float
+(** Executes the coordinator exchange phase (phase 2) on simMPI and returns
+    its makespan plus the analytic phase 1/3 times — the "measured"
+    counterpart of {!predict}.  With [nonblocking] (default [false]) the
+    coordinators post every send up front (isend), which saturates the NIC
+    and approaches the gap bound; the default rendezvous rounds are
+    latency-synchronised and slower. *)

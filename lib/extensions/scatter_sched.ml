@@ -1,0 +1,79 @@
+module Grid = Gridb_topology.Grid
+module Cluster = Gridb_topology.Cluster
+module Cost = Gridb_collectives.Cost
+
+type evaluation = {
+  order : int list;
+  makespan : float;
+  per_cluster : (int * float) array;
+}
+
+let non_root_clusters grid ~root =
+  List.filter (fun c -> c <> root) (List.init (Grid.size grid) (fun i -> i))
+
+let intra_scatter_time grid c ~msg_per_proc =
+  let cluster = Grid.cluster grid c in
+  Cost.scatter_time ~params:cluster.Cluster.intra ~size:cluster.Cluster.size
+    ~msg:msg_per_proc
+
+let block_size grid c ~msg_per_proc =
+  msg_per_proc * (Grid.cluster grid c).Cluster.size
+
+let tail grid c ~msg_per_proc ~root =
+  Grid.latency grid root c +. intra_scatter_time grid c ~msg_per_proc
+
+let evaluate grid ~root ~msg_per_proc order =
+  let expected = List.sort compare (non_root_clusters grid ~root) in
+  if List.sort compare order <> expected then
+    invalid_arg "Scatter_sched.evaluate: order is not a permutation of non-root clusters";
+  let clock = ref 0. in
+  let per_cluster =
+    List.map
+      (fun c ->
+        clock := !clock +. Grid.gap grid root c (block_size grid c ~msg_per_proc);
+        (c, !clock +. tail grid c ~msg_per_proc ~root))
+      order
+  in
+  (* The root cluster scatters internally after all remote sends. *)
+  let root_completion = !clock +. intra_scatter_time grid root ~msg_per_proc in
+  let all = (root, root_completion) :: per_cluster in
+  {
+    order;
+    makespan = List.fold_left (fun acc (_, t) -> Float.max acc t) 0. all;
+    per_cluster = Array.of_list all;
+  }
+
+let in_order grid ~root = non_root_clusters grid ~root
+
+let fastest_edge_first grid ~root ~msg_per_proc =
+  non_root_clusters grid ~root
+  |> List.map (fun c ->
+         (Grid.gap grid root c (block_size grid c ~msg_per_proc) +. Grid.latency grid root c, c))
+  |> List.sort compare
+  |> List.map snd
+
+let longest_delivery_first grid ~root ~msg_per_proc =
+  non_root_clusters grid ~root
+  |> List.map (fun c -> (-.tail grid c ~msg_per_proc ~root, c))
+  |> List.sort compare
+  |> List.map snd
+
+let optimal_order ?(max_clusters = 9) grid ~root ~msg_per_proc =
+  let rest = non_root_clusters grid ~root in
+  if List.length rest + 1 > max_clusters then
+    invalid_arg "Scatter_sched.optimal_order: too many clusters for brute force";
+  let best = ref None in
+  let rec permute prefix remaining =
+    match remaining with
+    | [] ->
+        let e = evaluate grid ~root ~msg_per_proc (List.rev prefix) in
+        (match !best with
+        | Some (m, _) when m <= e.makespan -> ()
+        | _ -> best := Some (e.makespan, e.order))
+    | _ ->
+        List.iter
+          (fun c -> permute (c :: prefix) (List.filter (fun x -> x <> c) remaining))
+          remaining
+  in
+  permute [] rest;
+  match !best with Some (_, order) -> order | None -> []

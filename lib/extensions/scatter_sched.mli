@@ -1,0 +1,44 @@
+(** Grid-aware scheduling for the scatter pattern (the paper's future work,
+    Section 8: "development of efficient communication schedules for other
+    communication patterns like scatter and alltoall").
+
+    Hierarchical scatter: the root coordinator sends each cluster [c] one
+    aggregated block of [msg_per_proc * size_c] bytes; [c]'s coordinator
+    then scatters it internally.  Unlike broadcast, blocks are distinct so
+    relaying through other clusters buys nothing (it only adds volume) and
+    the whole problem reduces to {e ordering} the root's sends.  With
+    per-cluster delivery tails [q_c = L_c + T_scatter_c] this is the
+    classical one-machine scheduling problem 1 || Lmax-with-delivery-times,
+    for which Jackson's Longest-Delivery-Time-first rule is optimal — the
+    kind of structural win the paper's grid-aware viewpoint anticipates. *)
+
+type evaluation = {
+  order : int list;  (** cluster ids in send order (root excluded) *)
+  makespan : float;  (** us *)
+  per_cluster : (int * float) array;  (** cluster id, completion time *)
+}
+
+val evaluate :
+  Gridb_topology.Grid.t -> root:int -> msg_per_proc:int -> int list -> evaluation
+(** Evaluate a given send order.  @raise Invalid_argument unless the order
+    is a permutation of the non-root clusters. *)
+
+val in_order : Gridb_topology.Grid.t -> root:int -> int list
+(** Index order — the baseline a topology-unaware MagPIe would use. *)
+
+val fastest_edge_first : Gridb_topology.Grid.t -> root:int -> msg_per_proc:int -> int list
+(** Ascending aggregated send time [g(m_c) + L] — FEF's analogue. *)
+
+val longest_delivery_first :
+  Gridb_topology.Grid.t -> root:int -> msg_per_proc:int -> int list
+(** Jackson's rule: descending tail [L_c + T_scatter_c].  Optimal for this
+    model (proved by the standard exchange argument; asserted against
+    {!optimal_order} in the tests). *)
+
+val optimal_order :
+  ?max_clusters:int -> Gridb_topology.Grid.t -> root:int -> msg_per_proc:int -> int list
+(** Brute force over all orders (default ceiling 9 clusters).
+    @raise Invalid_argument above the ceiling. *)
+
+val intra_scatter_time : Gridb_topology.Grid.t -> int -> msg_per_proc:int -> float
+(** [T_scatter_c]: linear scatter inside cluster [c]. *)

@@ -1,0 +1,45 @@
+(** Runtime parameter acquisition and schedule caching — the paper's
+    "modified version of the MagPIe library ... extended with the capability
+    to acquire pLogP parameters and to predict the communication performance
+    of homogeneous clusters" (Section 7).
+
+    At startup the library measures, {e on the simulated wire} (via
+    {!Gridb_mpi.Benchmarks}), the pLogP parameters of every
+    coordinator-to-coordinator link and of one representative intra-cluster
+    link per cluster, and rebuilds a {e measured} grid from them.  Schedules
+    are then computed against the measured grid — not the ground truth —
+    exactly as a real deployment would, and cached per (heuristic, root,
+    message class) so repeated broadcasts pay the scheduling cost once. *)
+
+type t
+
+val create :
+  ?noise:Gridb_des.Noise.t ->
+  ?seed:int ->
+  ?sizes:int list ->
+  Gridb_topology.Machines.t ->
+  t
+(** Runs the measurement campaign.  [sizes] are the gap-probe message sizes
+    (defaults to {!Gridb_mpi.Benchmarks.measure_link}'s).  With [noise]
+    absent the measured grid reproduces the ground truth to floating-point
+    accuracy. *)
+
+val machines : t -> Gridb_topology.Machines.t
+val measured_grid : t -> Gridb_topology.Grid.t
+
+val size_class : int -> int
+(** MagPIe-style message classes: sizes are bucketed to the next power of
+    two (minimum 64 B) so the schedule cache stays small.
+    @raise Invalid_argument on negative size. *)
+
+val instance : t -> root:int -> msg:int -> Gridb_sched.Instance.t
+(** Scheduling instance against the measured grid, at the class-rounded
+    message size. *)
+
+val schedule :
+  t -> heuristic:Gridb_sched.Heuristics.t -> root:int -> msg:int -> Gridb_sched.Schedule.t
+(** Cached: the first call for a (heuristic, root, class) triple computes
+    and stores; later calls are hits. *)
+
+val cache_stats : t -> int * int
+(** (hits, misses) of the schedule cache so far. *)

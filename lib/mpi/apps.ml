@@ -1,0 +1,34 @@
+type bcast = tag:int -> rank:int -> size:int -> root:int -> msg:int -> unit
+
+let plan_bcast plan ~tag ~rank ~size:_ ~root:_ ~msg =
+  Collectives.bcast_plan ~tag ~rank plan ~msg
+
+let default_bcast ~tag ~rank ~size ~root ~msg =
+  Collectives.bcast ~tag ~rank ~size ~root ~msg ()
+
+let iterative_solver ?(bcast = default_bcast) ~iterations ~compute_us ~msg ~rank ~size ()
+    =
+  if iterations < 0 then invalid_arg "Apps.iterative_solver: negative iterations";
+  for iteration = 1 to iterations do
+    (* Even tags for the broadcast, odd for the allreduce of the same
+       iteration: no phase can steal another's messages. *)
+    bcast ~tag:(2 * iteration) ~rank ~size ~root:0 ~msg;
+    Runtime.Api.compute compute_us;
+    ignore
+      (Collectives.allreduce ~tag:((2 * iteration) + 1) ~rank ~size ~msg:8 ~value:1.
+         ( +. ))
+  done
+
+let master_worker ~rounds ~task_msg ~result_msg ~compute_us ~rank ~size () =
+  if rounds < 0 then invalid_arg "Apps.master_worker: negative rounds";
+  for _ = 1 to rounds do
+    ignore (Collectives.scatter ~rank ~size ~root:0 ~msg:task_msg ());
+    if rank <> 0 then Runtime.Api.compute compute_us;
+    ignore
+      (Collectives.gather ~rank ~size ~root:0 ~msg:result_msg
+         ~payload:(float_of_int rank))
+  done
+
+let run_solver ?noise ?seed ?bcast ~iterations ~compute_us ~msg machines =
+  Runtime.run_exn ?noise ?seed machines (fun ~rank ~size ->
+      iterative_solver ?bcast ~iterations ~compute_us ~msg ~rank ~size ())

@@ -1,0 +1,63 @@
+(** Canonical parallel application skeletons on simMPI.
+
+    The paper motivates broadcast optimisation with "parallel scientific
+    applications" that call collectives inside their iteration loops.
+    These skeletons let the repository quantify the {e application-level}
+    payoff of a broadcast strategy, not just the single-collective
+    makespan: a faster broadcast shortens every iteration of an iterative
+    solver, while master/worker patterns stress scatter/gather instead.
+
+    Each function is a complete per-rank program for {!Runtime.run}; the
+    broadcast step is pluggable so the paper's heuristic schedules can be
+    compared against the grid-unaware default inside a realistic loop. *)
+
+type bcast = tag:int -> rank:int -> size:int -> root:int -> msg:int -> unit
+(** A broadcast implementation (e.g. [Collectives.bcast ?shape ()], or a
+    closure around [Collectives.bcast_plan]).  [tag] namespaces the
+    iteration so overlapping iterations cannot consume each other's
+    messages. *)
+
+val plan_bcast : Gridb_des.Plan.t -> bcast
+(** Adapt a precomputed rank-level plan (the plan's own root wins; the
+    [root] argument is ignored). *)
+
+val default_bcast : bcast
+(** Grid-unaware binomial ({!Collectives.bcast}). *)
+
+val iterative_solver :
+  ?bcast:bcast ->
+  iterations:int ->
+  compute_us:float ->
+  msg:int ->
+  rank:int ->
+  size:int ->
+  unit ->
+  unit
+(** Bulk-synchronous iterative solver: per iteration, rank 0 broadcasts the
+    current state ([msg] bytes), every rank computes for [compute_us], then
+    an 8-byte allreduce agrees on the residual.  [bcast] defaults to
+    {!default_bcast}. *)
+
+val master_worker :
+  rounds:int ->
+  task_msg:int ->
+  result_msg:int ->
+  compute_us:float ->
+  rank:int ->
+  size:int ->
+  unit ->
+  unit
+(** Master/worker: per round, rank 0 scatters [task_msg]-byte work items,
+    workers compute for [compute_us], results ([result_msg] bytes) are
+    gathered back at rank 0. *)
+
+val run_solver :
+  ?noise:Gridb_des.Noise.t ->
+  ?seed:int ->
+  ?bcast:bcast ->
+  iterations:int ->
+  compute_us:float ->
+  msg:int ->
+  Gridb_topology.Machines.t ->
+  Runtime.result
+(** Convenience wrapper launching {!iterative_solver} on every rank. *)

@@ -1,0 +1,57 @@
+module Machines = Gridb_topology.Machines
+
+let check_pair machines a b =
+  let n = Machines.count machines in
+  if a = b then invalid_arg "Benchmarks: a = b";
+  if a < 0 || a >= n || b < 0 || b >= n then invalid_arg "Benchmarks: rank out of range"
+
+let ping_pong ?noise ?seed machines ~a ~b ~msg =
+  check_pair machines a b;
+  let rtt = ref nan in
+  let result =
+    Runtime.run_exn ?noise ?seed machines (fun ~rank ~size:_ ->
+        if rank = a then begin
+          let t0 = Runtime.Api.time () in
+          Runtime.Api.send ~dst:b ~msg_size:msg ();
+          ignore (Runtime.Api.recv ~src:b ());
+          rtt := Runtime.Api.time () -. t0
+        end
+        else if rank = b then begin
+          ignore (Runtime.Api.recv ~src:a ());
+          Runtime.Api.send ~dst:a ~msg_size:0 ()
+        end)
+  in
+  ignore result;
+  !rtt
+
+let gap_of_train ?noise ?seed ?(train = 16) machines ~a ~b ~msg =
+  check_pair machines a b;
+  if train < 1 then invalid_arg "Benchmarks.gap_of_train: train < 1";
+  let injection_done = ref nan in
+  ignore
+    (Runtime.run_exn ?noise ?seed machines (fun ~rank ~size:_ ->
+         if rank = a then begin
+           for _ = 1 to train do
+             Runtime.Api.send ~dst:b ~msg_size:msg ()
+           done;
+           injection_done := Runtime.Api.time ()
+         end
+         else if rank = b then
+           for _ = 1 to train do
+             ignore (Runtime.Api.recv ~src:a ())
+           done));
+  !injection_done /. float_of_int train
+
+let default_sizes = [ 1; 4; 16; 64; 256; 1_024; 4_096; 16_384; 65_536; 262_144; 1_048_576; 4_194_304 ]
+
+let measure_link ?noise ?seed ?(sizes = default_sizes) machines ~a ~b =
+  check_pair machines a b;
+  let gap_points =
+    List.map (fun msg -> (msg, gap_of_train ?noise ?seed machines ~a ~b ~msg)) sizes
+  in
+  let g0 = gap_of_train ?noise ?seed machines ~a ~b ~msg:0 in
+  let rtt0 = ping_pong ?noise ?seed machines ~a ~b ~msg:0 in
+  let latency = Float.max 0. ((rtt0 -. (2. *. g0)) /. 2.) in
+  Gridb_plogp.Params.v ~latency
+    ~gap:(Gridb_plogp.Piecewise.of_points ((0, g0) :: gap_points))
+    ()

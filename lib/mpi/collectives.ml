@@ -1,0 +1,137 @@
+module Tree = Gridb_collectives.Tree
+module Api = Runtime.Api
+
+(* Parent and ordered children of virtual node [v] in [tree]. *)
+let adjacency tree v =
+  let found = ref None in
+  let rec go (t : Tree.t) parent =
+    if t.Tree.node = v then found := Some (parent, List.map (fun c -> c.Tree.node) t.Tree.children);
+    List.iter (fun c -> go c (Some t.Tree.node)) t.Tree.children
+  in
+  go tree None;
+  match !found with
+  | Some adj -> adj
+  | None -> invalid_arg "Collectives: rank not in tree"
+
+let to_virtual ~size ~root rank = ((rank - root) + size) mod size
+let to_actual ~size ~root v = (v + root) mod size
+
+let bcast ?(shape = Tree.Binomial) ?(tag = 0) ~rank ~size ~root ~msg () =
+  let v = to_virtual ~size ~root rank in
+  let parent, children = adjacency (Tree.build shape size) v in
+  (match parent with
+  | None -> ()
+  | Some p -> ignore (Api.recv ~src:(to_actual ~size ~root p) ~tag ()));
+  List.iter
+    (fun c -> Api.send ~dst:(to_actual ~size ~root c) ~tag ~msg_size:msg ())
+    children
+
+let bcast_plan ?(tag = 0) ~rank (plan : Gridb_des.Plan.t) ~msg =
+  if rank <> plan.Gridb_des.Plan.root then ignore (Api.recv ~tag ());
+  List.iter
+    (fun child -> Api.send ~dst:child ~tag ~msg_size:msg ())
+    plan.Gridb_des.Plan.children.(rank)
+
+let scatter ~rank ~size ~root ~msg () =
+  if rank = root then begin
+    for i = 1 to size - 1 do
+      let dst = to_actual ~size ~root i in
+      Api.send ~dst ~msg_size:msg ~payload:(float_of_int dst) ()
+    done;
+    float_of_int root
+  end
+  else begin
+    let m = Api.recv ~src:root () in
+    m.Runtime.payload
+  end
+
+let gather ~rank ~size ~root ~msg ~payload =
+  if rank = root then begin
+    let received = ref [ (rank, payload) ] in
+    for _ = 1 to size - 1 do
+      let m = Api.recv () in
+      received := (m.Runtime.src, m.Runtime.payload) :: !received
+    done;
+    List.sort compare !received |> List.map snd
+  end
+  else begin
+    Api.send ~dst:root ~msg_size:msg ~payload ();
+    []
+  end
+
+let allgather_ring ~rank ~size ~msg () =
+  if size > 1 then begin
+    let succ = (rank + 1) mod size and pred = ((rank - 1) + size) mod size in
+    for _ = 1 to size - 1 do
+      Api.send ~dst:succ ~msg_size:msg ();
+      ignore (Api.recv ~src:pred ())
+    done
+  end
+
+let alltoall ~rank ~size ~msg () =
+  for step = 1 to size - 1 do
+    let dst = (rank + step) mod size in
+    let src = ((rank - step) + size) mod size in
+    Api.send ~dst ~msg_size:msg ();
+    ignore (Api.recv ~src ())
+  done
+
+let alltoall_nonblocking ~rank ~size ~msg () =
+  let requests =
+    List.init (size - 1) (fun i ->
+        let dst = (rank + i + 1) mod size in
+        Api.isend ~dst ~msg_size:msg ())
+  in
+  for step = 1 to size - 1 do
+    let src = ((rank - step) + size) mod size in
+    ignore (Api.recv ~src ())
+  done;
+  List.iter Api.wait requests
+
+let barrier ~rank ~size () =
+  let rec rounds k =
+    if k < size then begin
+      let dst = (rank + k) mod size and src = ((rank - k) + size) mod size in
+      Api.send ~dst ~msg_size:0 ();
+      ignore (Api.recv ~src ());
+      rounds (2 * k)
+    end
+  in
+  if size > 1 then rounds 1
+
+let reduce ?(tag = 0) ~rank ~size ~root ~msg ~value op =
+  let v = to_virtual ~size ~root rank in
+  let parent, children = adjacency (Tree.binomial size) v in
+  (* Fold the children's partial results in deterministic (listed) order,
+     deepest subtree first as laid out by the binomial construction. *)
+  let acc =
+    List.fold_left
+      (fun acc c ->
+        let m = Api.recv ~src:(to_actual ~size ~root c) ~tag () in
+        op acc m.Runtime.payload)
+      value children
+  in
+  match parent with
+  | None -> Some acc
+  | Some p ->
+      Api.send ~dst:(to_actual ~size ~root p) ~tag ~msg_size:msg ~payload:acc ();
+      None
+
+let allreduce ?(tag = 0) ~rank ~size ~msg ~value op =
+  match reduce ~tag ~rank ~size ~root:0 ~msg ~value op with
+  | Some total ->
+      (* Root broadcasts the result; payload rides on the tree messages. *)
+      let _, children = adjacency (Tree.binomial size) 0 in
+      List.iter (fun c -> Api.send ~dst:c ~tag ~msg_size:msg ~payload:total ()) children;
+      total
+  | None ->
+      let parent, children = adjacency (Tree.binomial size) rank in
+      let parent =
+        match parent with
+        | Some p -> p
+        | None -> invalid_arg "Collectives.allreduce: non-root without parent"
+      in
+      let m = Api.recv ~src:parent ~tag () in
+      let total = m.Runtime.payload in
+      List.iter (fun c -> Api.send ~dst:c ~tag ~msg_size:msg ~payload:total ()) children;
+      total

@@ -1,0 +1,69 @@
+(** Collective operations written as simMPI rank programs.
+
+    Every function here is meant to be called from inside
+    {!Runtime.run} — it performs send/recv effects for the calling rank and
+    returns when this rank's role in the collective is over.  All ranks of
+    the communicator must call the same collective with compatible
+    arguments, exactly like MPI.
+
+    Trees are laid over {e virtual} ranks ([(rank - root + size) mod size])
+    so any root works with any shape.  The optional [?tag] namespaces a
+    collective's messages: programs issuing several collectives whose
+    deliveries may reorder under noise (e.g. the iteration loops in
+    {!Apps}) should pass a distinct tag per logical operation. *)
+
+val bcast :
+  ?shape:Gridb_collectives.Tree.shape ->
+  ?tag:int ->
+  rank:int ->
+  size:int ->
+  root:int ->
+  msg:int ->
+  unit ->
+  unit
+(** Tree broadcast over all ranks (default binomial — the "grid-unaware"
+    MPI_Bcast of Section 7). *)
+
+val bcast_plan : ?tag:int -> rank:int -> Gridb_des.Plan.t -> msg:int -> unit
+(** Broadcast along an arbitrary precomputed plan (e.g. a hierarchical plan
+    from {!Gridb_des.Plan.of_cluster_schedule}): receive once (unless root),
+    then forward to the plan's children in order. *)
+
+val scatter : rank:int -> size:int -> root:int -> msg:int -> unit -> float
+(** Root sends a distinct [msg]-byte block to every other rank (linear
+    scatter); returns this rank's received payload (the root sends rank
+    numbers as payloads; the root returns its own rank). *)
+
+val gather : rank:int -> size:int -> root:int -> msg:int -> payload:float -> float list
+(** Everyone sends [payload] to the root; the root returns the payloads in
+    rank order (its own included), others return []. *)
+
+val allgather_ring : rank:int -> size:int -> msg:int -> unit -> unit
+(** [size - 1] ring rounds; each rank forwards the newest block to its
+    successor while receiving from its predecessor. *)
+
+val alltoall : rank:int -> size:int -> msg:int -> unit -> unit
+(** Rotation pairwise exchange: in step [s], send to [(rank + s) mod size]
+    and receive from [(rank - s) mod size].  Each round blocks on its
+    receive, so rounds are rendezvous-synchronised. *)
+
+val alltoall_nonblocking : rank:int -> size:int -> msg:int -> unit -> unit
+(** Posts all [size - 1] sends with {!Runtime.Api.isend} first, then
+    receives; the sender NIC stays saturated, which approaches the
+    gap-bound prediction of {!Gridb_extensions.Alltoall_sched.predict}. *)
+
+val barrier : rank:int -> size:int -> unit -> unit
+(** Dissemination barrier: [ceil (log2 size)] rounds of zero-byte
+    exchanges. *)
+
+val reduce :
+  ?tag:int ->
+  rank:int -> size:int -> root:int -> msg:int -> value:float -> (float -> float -> float) -> float option
+(** Binomial-tree reduction of [value] with the given associative operator;
+    [Some total] at the root, [None] elsewhere. *)
+
+val allreduce :
+  ?tag:int ->
+  rank:int -> size:int -> msg:int -> value:float -> (float -> float -> float) -> float
+(** {!reduce} to rank 0 followed by {!bcast} of the result (the result
+    value itself is returned on every rank). *)

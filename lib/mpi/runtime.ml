@@ -1,0 +1,199 @@
+module Machines = Gridb_topology.Machines
+module Params = Gridb_plogp.Params
+module Engine = Gridb_des.Engine
+module Noise = Gridb_des.Noise
+
+type message = {
+  src : int;
+  dst : int;
+  tag : int;
+  msg_size : int;
+  payload : float;
+  sent_at : float;
+  delivered_at : float;
+}
+
+type filter = { want_src : int option; want_tag : int option }
+
+type request = float
+(* A request is simply the simulated time at which the injection (the
+   sender-side gap) completes; the NIC reservation happens eagerly at isend
+   time, so waiting is just sleeping until that instant. *)
+
+type _ Effect.t +=
+  | Send_eff : { dst : int; tag : int; msg_size : int; payload : float } -> unit Effect.t
+  | Isend_eff : {
+      dst : int;
+      tag : int;
+      msg_size : int;
+      payload : float;
+    }
+      -> request Effect.t
+  | Wait_eff : request -> unit Effect.t
+  | Recv_eff : filter -> message Effect.t
+  | Time_eff : float Effect.t
+  | Compute_eff : float -> unit Effect.t
+
+module Api = struct
+  let send ?(tag = 0) ?(payload = 0.) ~dst ~msg_size () =
+    Effect.perform (Send_eff { dst; tag; msg_size; payload })
+
+  let isend ?(tag = 0) ?(payload = 0.) ~dst ~msg_size () =
+    Effect.perform (Isend_eff { dst; tag; msg_size; payload })
+
+  let wait request = Effect.perform (Wait_eff request)
+  let recv ?src ?tag () = Effect.perform (Recv_eff { want_src = src; want_tag = tag })
+  let time () = Effect.perform Time_eff
+  let compute duration = Effect.perform (Compute_eff duration)
+end
+
+type failure =
+  | Dead_rank of int
+  | Drop_message of { src : int; dst : int; nth : int }
+
+type result = {
+  finish : float array;
+  makespan : float;
+  messages : int;
+  deadlocked : int list;
+}
+
+let matches filter m =
+  (match filter.want_src with None -> true | Some s -> s = m.src)
+  && (match filter.want_tag with None -> true | Some t -> t = m.tag)
+
+(* Remove the first matching message (mailboxes are kept oldest first). *)
+let take_matching mailbox filter =
+  let rec go acc = function
+    | [] -> None
+    | m :: rest ->
+        if matches filter m then Some (m, List.rev_append acc rest) else go (m :: acc) rest
+  in
+  go [] !mailbox
+  |> Option.map (fun (m, rest) ->
+         mailbox := rest;
+         m)
+
+type parked = Parked : filter * (message, unit) Effect.Deep.continuation -> parked
+
+let run ?(noise = Noise.Exact) ?(seed = 0) ?(failures = []) machines program =
+  let n = Machines.count machines in
+  let engine = Engine.create () in
+  let rng = Gridb_util.Rng.create seed in
+  let nic_free = Array.make n 0. in
+  let mailboxes = Array.init n (fun _ -> ref []) in
+  let parked : parked option array = Array.make n None in
+  let finish = Array.make n nan in
+  let delivered = ref 0 in
+  let dead = Array.make n false in
+  let drops = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Dead_rank r ->
+          if r >= 0 && r < n then dead.(r) <- true
+          else invalid_arg "simMPI: Dead_rank out of range"
+      | Drop_message { src; dst; nth } ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt drops (src, dst)) in
+          Hashtbl.replace drops (src, dst) (nth :: prev))
+    failures;
+  let sent_on_link = Hashtbl.create 16 in
+  let should_drop src dst =
+    let count = Option.value ~default:0 (Hashtbl.find_opt sent_on_link (src, dst)) in
+    Hashtbl.replace sent_on_link (src, dst) (count + 1);
+    match Hashtbl.find_opt drops (src, dst) with
+    | Some nths -> List.mem count nths
+    | None -> false
+  in
+  let deliver m _engine =
+    incr delivered;
+    match parked.(m.dst) with
+    | Some (Parked (filter, k)) when matches filter m ->
+        parked.(m.dst) <- None;
+        Effect.Deep.continue k m
+    | _ -> mailboxes.(m.dst) := !(mailboxes.(m.dst)) @ [ m ]
+  in
+  (* Reserve the sender's NIC and schedule delivery (unless dropped or the
+     destination is dead); returns the injection-complete instant. *)
+  let inject rank ~dst ~tag ~msg_size ~payload =
+    if dst = rank then invalid_arg "simMPI: send to self";
+    if dst < 0 || dst >= n then invalid_arg "simMPI: destination out of range";
+    let p = Machines.link_params machines rank dst in
+    let g = Noise.apply noise rng (Params.gap p msg_size) in
+    let l = Noise.apply noise rng (Params.latency p) in
+    let now = Engine.now engine in
+    let start = Float.max now nic_free.(rank) in
+    nic_free.(rank) <- start +. g;
+    let m =
+      { src = rank; dst; tag; msg_size; payload; sent_at = start; delivered_at = start +. g +. l }
+    in
+    if (not dead.(dst)) && not (should_drop rank dst) then
+      Engine.schedule engine ~time:m.delivered_at (deliver m);
+    start +. g
+  in
+  let handler rank : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> finish.(rank) <- Engine.now engine);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Send_eff { dst; tag; msg_size; payload } ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  let done_at = inject rank ~dst ~tag ~msg_size ~payload in
+                  Engine.schedule engine ~time:done_at (fun _ ->
+                      Effect.Deep.continue k ()))
+          | Isend_eff { dst; tag; msg_size; payload } ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  let done_at = inject rank ~dst ~tag ~msg_size ~payload in
+                  Effect.Deep.continue k done_at)
+          | Wait_eff done_at ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  if done_at <= Engine.now engine then Effect.Deep.continue k ()
+                  else
+                    Engine.schedule engine ~time:done_at (fun _ ->
+                        Effect.Deep.continue k ()))
+          | Recv_eff filter ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  match take_matching mailboxes.(rank) filter with
+                  | Some m -> Effect.Deep.continue k m
+                  | None ->
+                      if parked.(rank) <> None then
+                        invalid_arg "simMPI: concurrent recv on one rank";
+                      parked.(rank) <- Some (Parked (filter, k)))
+          | Time_eff ->
+              Some (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k (Engine.now engine))
+          | Compute_eff duration ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  if duration < 0. then invalid_arg "simMPI: negative compute time";
+                  Engine.schedule_after engine ~delay:duration (fun _ ->
+                      Effect.Deep.continue k ()))
+          | _ -> None);
+    }
+  in
+  for rank = 0 to n - 1 do
+    if not dead.(rank) then
+      Engine.schedule engine ~time:0. (fun _ ->
+          Effect.Deep.match_with (fun () -> program ~rank ~size:n) () (handler rank))
+  done;
+  Engine.run engine;
+  let deadlocked =
+    List.filter (fun r -> parked.(r) <> None) (List.init n (fun i -> i))
+  in
+  let makespan =
+    Array.fold_left (fun acc t -> if Float.is_nan t then acc else Float.max acc t) 0. finish
+  in
+  { finish; makespan; messages = !delivered; deadlocked }
+
+let run_exn ?noise ?seed ?failures machines program =
+  let r = run ?noise ?seed ?failures machines program in
+  if r.deadlocked <> [] then
+    failwith
+      (Printf.sprintf "simMPI: deadlock, ranks [%s] blocked in recv"
+         (String.concat "; " (List.map string_of_int r.deadlocked)));
+  r

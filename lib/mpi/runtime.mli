@@ -1,0 +1,89 @@
+(** A simulated message-passing runtime (simMPI).
+
+    Each rank of a {!Gridb_topology.Machines.t} runs an OCaml function; the
+    primitives in {!module-Api} are implemented with effect handlers that park and
+    resume the per-rank fibers on the discrete-event engine.  Timing follows
+    the same pLogP semantics as the analytic models: a send seizes the
+    sender's NIC from [start = max(now, nic_free)] until [start + g(m)] (the
+    send call returns at that point, like an eager-buffered [MPI_Send]) and
+    the message is delivered at [start + g(m) + L].  With noise disabled,
+    collectives written on this runtime complete at exactly the times the
+    closed-form models predict — the integration tests assert this.
+
+    Payloads are a single [float] (enough for reductions); simMPI simulates
+    {e time}, not data movement. *)
+
+type message = {
+  src : int;
+  dst : int;
+  tag : int;
+  msg_size : int;  (** bytes *)
+  payload : float;
+  sent_at : float;  (** when injection started *)
+  delivered_at : float;
+}
+
+type request
+(** Handle of a non-blocking send. *)
+
+(** Primitives available inside a rank program.  Calling them outside
+    {!run} raises [Effect.Unhandled]. *)
+module Api : sig
+  val send : ?tag:int -> ?payload:float -> dst:int -> msg_size:int -> unit -> unit
+  (** Blocks (in simulated time) until the message is fully injected. *)
+
+  val isend : ?tag:int -> ?payload:float -> dst:int -> msg_size:int -> unit -> request
+  (** Non-blocking send: reserves the NIC (subsequent sends queue behind it)
+      and returns immediately; complete it with {!wait}. *)
+
+  val wait : request -> unit
+  (** Blocks until the request's injection is finished.  Waiting twice is
+      harmless. *)
+
+  val recv : ?src:int -> ?tag:int -> unit -> message
+  (** Blocks until a message matching the optional filters is available.
+      Matching messages are consumed oldest-delivery first. *)
+
+  val time : unit -> float
+  (** Current simulated time, us. *)
+
+  val compute : float -> unit
+  (** Busy the process for the given duration (us). *)
+end
+
+(** Fault injection for robustness tests. *)
+type failure =
+  | Dead_rank of int
+      (** The rank never starts its program; messages to it vanish. *)
+  | Drop_message of { src : int; dst : int; nth : int }
+      (** Silently lose the [nth] (0-based) message sent on the directed
+          link [src -> dst]; the sender still pays the gap. *)
+
+type result = {
+  finish : float array;  (** per-rank completion time of its program *)
+  makespan : float;  (** max finish *)
+  messages : int;  (** point-to-point messages delivered *)
+  deadlocked : int list;  (** ranks still blocked in [recv] at quiescence *)
+}
+
+val run :
+  ?noise:Gridb_des.Noise.t ->
+  ?seed:int ->
+  ?failures:failure list ->
+  Gridb_topology.Machines.t ->
+  (rank:int -> size:int -> unit) ->
+  result
+(** [run machines program] launches [program ~rank ~size] on every rank at
+    time 0 and drives the simulation to quiescence.  [noise] (default
+    [Exact]) independently scales each transmission's gap and latency;
+    [seed] (default 0) seeds the noise stream; [failures] (default none)
+    injects faults. *)
+
+val run_exn :
+  ?noise:Gridb_des.Noise.t ->
+  ?seed:int ->
+  ?failures:failure list ->
+  Gridb_topology.Machines.t ->
+  (rank:int -> size:int -> unit) ->
+  result
+(** Like {!run} but raises [Failure] when any rank deadlocks. *)

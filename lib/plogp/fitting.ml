@@ -1,0 +1,96 @@
+type sample = { size : int; time : float }
+
+type linear_fit = { intercept : float; slope : float; rmse : float }
+
+let fit_linear samples =
+  if samples = [] then invalid_arg "Fitting.fit_linear: empty input";
+  let n = float_of_int (List.length samples) in
+  let sx = List.fold_left (fun a s -> a +. float_of_int s.size) 0. samples in
+  let sy = List.fold_left (fun a s -> a +. s.time) 0. samples in
+  let sxx =
+    List.fold_left (fun a s -> a +. (float_of_int s.size *. float_of_int s.size)) 0. samples
+  in
+  let sxy =
+    List.fold_left (fun a s -> a +. (float_of_int s.size *. s.time)) 0. samples
+  in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  let slope = if denom = 0. then 0. else ((n *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. n in
+  let sq_res =
+    List.fold_left
+      (fun a s ->
+        let p = intercept +. (slope *. float_of_int s.size) in
+        a +. ((s.time -. p) *. (s.time -. p)))
+      0. samples
+  in
+  { intercept; slope; rmse = sqrt (sq_res /. n) }
+
+let fit_table ?(per_size_reduce = `Min) samples =
+  if samples = [] then invalid_arg "Fitting.fit_table: empty input";
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let prev = try Hashtbl.find tbl s.size with Not_found -> [] in
+      Hashtbl.replace tbl s.size (s.time :: prev))
+    samples;
+  let reduce times =
+    match per_size_reduce with
+    | `Min -> List.fold_left Float.min (List.hd times) (List.tl times)
+    | `Mean ->
+        List.fold_left ( +. ) 0. times /. float_of_int (List.length times)
+  in
+  let pts = Hashtbl.fold (fun size times acc -> (size, reduce times) :: acc) tbl [] in
+  Piecewise.of_points pts
+
+module Measurement = struct
+  type config = {
+    sizes : int list;
+    repetitions : int;
+    train_length : int;
+    noise_sigma : float;
+  }
+
+  let default_config =
+    {
+      sizes = List.init 23 (fun i -> 1 lsl i);
+      repetitions = 10;
+      train_length = 16;
+      noise_sigma = 0.02;
+    }
+
+  let noisy rng sigma x =
+    if sigma <= 0. then x else x *. Gridb_util.Rng.lognormal ~mu:0. ~sigma rng
+
+  let gap_samples ?(seed = 42) config params =
+    let rng = Gridb_util.Rng.create seed in
+    List.concat_map
+      (fun size ->
+        List.init config.repetitions (fun _ ->
+            (* A saturated train of k messages completes after k gaps (the
+               latency of the last message is subtracted by the benchmark's
+               bookkeeping), so time/k estimates g(m). *)
+            let train =
+              let rec loop i acc =
+                if i = config.train_length then acc
+                else loop (i + 1) (acc +. noisy rng config.noise_sigma (Params.gap params size))
+              in
+              loop 0 0.
+            in
+            { size; time = train /. float_of_int config.train_length }))
+      config.sizes
+
+  let latency_sample ?(seed = 43) config params =
+    let rng = Gridb_util.Rng.create seed in
+    let one_rtt () = noisy rng config.noise_sigma (Params.rtt params 0) in
+    let best =
+      let rec loop i acc = if i = config.repetitions then acc else loop (i + 1) (Float.min acc (one_rtt ())) in
+      loop 0 (one_rtt ())
+    in
+    Float.max 0. ((best -. (2. *. Params.gap params 0)) /. 2.)
+
+  let run ?(seed = 42) config params =
+    let samples = gap_samples ~seed config params in
+    let gap = fit_table samples in
+    let latency = latency_sample ~seed:(seed + 1) config params in
+    Params.v ~latency ~gap ()
+end

@@ -1,0 +1,55 @@
+(** Recovery of pLogP parameters from timing samples.
+
+    The paper feeds its models with parameters "obtained with the method
+    described in [Kielmann et al., Fast measurement of LogP parameters]".
+    Without hardware we exercise the same pipeline synthetically:
+    {!Measurement.run} plays the saturation benchmark against a ground-truth
+    parameter set (plus noise), and {!fit_linear}/{!fit_table} recover a
+    model from the resulting samples.  Tests close the loop by checking the
+    recovered model predicts the ground truth within the noise budget. *)
+
+type sample = { size : int; time : float }
+(** One timed transfer: message size in bytes, observed time in us. *)
+
+type linear_fit = {
+  intercept : float;  (** fitted g(0), us *)
+  slope : float;  (** fitted per-byte cost, us/byte *)
+  rmse : float;  (** root mean squared residual, us *)
+}
+
+val fit_linear : sample list -> linear_fit
+(** Ordinary least squares on (size, time).  With a single distinct size the
+    slope is 0 and the intercept is the mean.
+    @raise Invalid_argument on an empty list. *)
+
+val fit_table : ?per_size_reduce:[ `Mean | `Min ] -> sample list -> Piecewise.t
+(** Groups samples by size and reduces each group ([`Min] by default:
+    Kielmann's method takes the minimum over repetitions, which rejects
+    positive-only noise), yielding a measured gap table.
+    @raise Invalid_argument on an empty list. *)
+
+(** Synthetic execution of the measurement benchmark. *)
+module Measurement : sig
+  type config = {
+    sizes : int list;  (** message sizes to probe *)
+    repetitions : int;  (** timed transfers per size *)
+    train_length : int;  (** messages per saturation train *)
+    noise_sigma : float;  (** lognormal sigma of multiplicative noise; 0. = exact *)
+  }
+
+  val default_config : config
+  (** Powers of two from 1 B to 4 MiB, 10 repetitions, trains of 16,
+      [noise_sigma = 0.02]. *)
+
+  val gap_samples : ?seed:int -> config -> Params.t -> sample list
+  (** Saturation phase: per repetition, the time of a [train_length]-message
+      back-to-back train divided by the train length estimates g(m). *)
+
+  val latency_sample : ?seed:int -> config -> Params.t -> float
+  (** RTT phase: estimates L from the minimum of [repetitions] zero-byte
+      round-trips: [(rtt - g(0) - g(0)) / 2]. *)
+
+  val run : ?seed:int -> config -> Params.t -> Params.t
+  (** Full pipeline: measure, fit a table, return the recovered parameter
+      set. *)
+end

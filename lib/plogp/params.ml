@@ -1,0 +1,52 @@
+type t = {
+  latency : float;
+  gap : Piecewise.t;
+  os : Piecewise.t;
+  or_ : Piecewise.t;
+}
+
+let overhead_fraction = 0.05
+
+let v ?os ?or_ ~latency ~gap () =
+  if latency < 0. then invalid_arg "Params.v: negative latency";
+  let default () = Piecewise.scale overhead_fraction gap in
+  {
+    latency;
+    gap;
+    os = (match os with Some x -> x | None -> default ());
+    or_ = (match or_ with Some x -> x | None -> default ());
+  }
+
+let linear ~latency ~g0 ~bandwidth_mb_s =
+  if g0 < 0. then invalid_arg "Params.linear: negative g0";
+  if bandwidth_mb_s <= 0. then invalid_arg "Params.linear: non-positive bandwidth";
+  (* 1 MB/s = 10^6 bytes / 10^6 us = 1 byte per microsecond. *)
+  let slope = 1. /. bandwidth_mb_s in
+  v ~latency ~gap:(Piecewise.linear ~intercept:g0 ~slope) ()
+
+let latency t = t.latency
+let gap t m = Piecewise.eval t.gap m
+let send_overhead t m = Piecewise.eval t.os m
+let recv_overhead t m = Piecewise.eval t.or_ m
+let gap_table t = t.gap
+let send_time t m = gap t m +. t.latency
+let sender_busy t m = gap t m
+let rtt t m = (2. *. t.latency) +. gap t m +. gap t 0
+
+let scale_noise ~factor t =
+  if factor <= 0. then invalid_arg "Params.scale_noise: non-positive factor";
+  {
+    latency = t.latency *. factor;
+    gap = Piecewise.scale factor t.gap;
+    os = Piecewise.scale factor t.os;
+    or_ = Piecewise.scale factor t.or_;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>{L=%.3g us; g=%a}@]" t.latency Piecewise.pp t.gap
+
+let equal a b =
+  Float.equal a.latency b.latency
+  && Piecewise.points a.gap = Piecewise.points b.gap
+  && Piecewise.points a.os = Piecewise.points b.os
+  && Piecewise.points a.or_ = Piecewise.points b.or_

@@ -1,0 +1,54 @@
+(** pLogP parameter sets (Kielmann et al., "Network performance-aware
+    collective communication for clustered wide area systems").
+
+    pLogP extends LogP with message-size-dependent parameters:
+    - [l]      end-to-end latency (microseconds), size independent;
+    - [g m]    gap: minimal interval between consecutive transmissions of
+               messages of size [m] — the reciprocal of effective bandwidth;
+    - [os m]   send overhead: CPU time the sender is busy;
+    - [or_ m]  receive overhead: CPU time the receiver is busy.
+
+    The gap dominates both overheads for the networks the paper studies, so
+    [g] is required while [os]/[or_] default to a fixed fraction of [g]. *)
+
+type t
+
+val v :
+  ?os:Piecewise.t -> ?or_:Piecewise.t -> latency:float -> gap:Piecewise.t -> unit -> t
+(** Builds a parameter set.  When omitted, [os] and [or_] default to
+    [Piecewise.scale overhead_fraction gap] with {!overhead_fraction}.
+    @raise Invalid_argument if [latency < 0.]. *)
+
+val overhead_fraction : float
+(** Fraction of the gap attributed to CPU overhead when no measured overhead
+    is supplied (0.05). *)
+
+val linear : latency:float -> g0:float -> bandwidth_mb_s:float -> t
+(** Closed-form convenience: gap(m) = g0 + m / bandwidth.  [bandwidth_mb_s]
+    is in decimal MB/s (1 MB/s = 1 byte/us exactly in this codebase's units).
+    @raise Invalid_argument if [g0 < 0.] or [bandwidth_mb_s <= 0.]. *)
+
+val latency : t -> float
+val gap : t -> int -> float
+val send_overhead : t -> int -> float
+val recv_overhead : t -> int -> float
+val gap_table : t -> Piecewise.t
+
+val send_time : t -> int -> float
+(** Time for a message of size [m] to be fully received, sender and receiver
+    idle before the transfer: [g m + l] (the paper's [g_ij(m) + L_ij]). *)
+
+val sender_busy : t -> int -> float
+(** Time the sender is unavailable for the next transmission: [g m]. *)
+
+val rtt : t -> int -> float
+(** Round-trip estimate for a size-[m] ping and an empty reply:
+    [2 l + g m + g 0]. *)
+
+val scale_noise : factor:float -> t -> t
+(** Multiplies latency and all tables by [factor] (>0) — used by the DES
+    noise models.  @raise Invalid_argument if [factor <= 0.]. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+(** Structural equality on defining samples (for tests). *)

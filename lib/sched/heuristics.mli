@@ -1,0 +1,60 @@
+(** The seven broadcast scheduling heuristics compared in the paper.
+
+    Classical (Section 4, after Bhat et al. and the ECO/MagPIe flat tree):
+    {!flat_tree}, {!fef}, {!ecef}, {!ecef_la}.
+    Grid-aware (Section 5, the paper's contribution): {!ecef_lat_min}
+    (ECEF-LAt), {!ecef_lat_max} (ECEF-LAT), {!bottom_up}.
+
+    Every heuristic is a selection policy plugged into {!State.run}; ties
+    are broken towards the lexicographically smallest (sender, receiver)
+    pair so schedules are deterministic. *)
+
+type t = {
+  name : string;  (** e.g. "ECEF-LAt" (figure legends) *)
+  select : State.t -> int * int;
+}
+
+val flat_tree : t
+(** Root sends to every other cluster in index order (ECO / MagPIe). *)
+
+val fef : t
+(** Fastest Edge First: smallest [L_ij] over [A x B]; ignores ready times. *)
+
+val ecef : t
+(** Early Completion Edge First: minimises [avail_i + g_ij + L_ij]. *)
+
+val ecef_la : t
+(** ECEF with Bhat's lookahead [F_j = min (g_jk + L_jk)]. *)
+
+val ecef_with : Lookahead.t -> t
+(** ECEF with an arbitrary lookahead (ablations); named
+    ["ECEF-LA<lookahead>"] . *)
+
+val ecef_lat_min : t
+(** ECEF-LAt: lookahead [min (g_jk + L_jk + T_k)]. *)
+
+val ecef_lat_max : t
+(** ECEF-LAT: lookahead [max (g_jk + L_jk + T_k)]. *)
+
+val bottom_up : t
+(** Max-min: picks the receiver whose {e best} reach
+    [min_i (avail_i + g_ij + L_ij) + T_j] is {e largest}, served by that
+    best sender — contact the slowest clusters as early as possible. *)
+
+val all : t list
+(** Paper order: FlatTree, FEF, ECEF, ECEF-LA, ECEF-LAt, ECEF-LAT,
+    BottomUp. *)
+
+val ecef_family : t list
+(** The four curves of Figures 3 and 4: ECEF, ECEF-LA, ECEF-LAt,
+    ECEF-LAT. *)
+
+val by_name : string -> t option
+(** Lookup among {!all}: exact name first, then case-insensitive.  The
+    exact pass matters because "ECEF-LAt" (min) and "ECEF-LAT" (max)
+    differ only by case; an all-lowercase query resolves to ECEF-LAt. *)
+
+val run : t -> Instance.t -> Schedule.t
+
+val makespan : ?model:Schedule.completion_model -> t -> Instance.t -> float
+(** [Schedule.makespan ?model inst (run t inst)]. *)

@@ -1,0 +1,80 @@
+type t = { name : string; eval : State.t -> j:int -> float }
+
+let edge inst j k =
+  inst.Instance.gap.(j).(k) +. inst.Instance.latency.(j).(k)
+
+(* Fold [term] over k in B \ {j}; 0. when j is the last member of B. *)
+let fold_edges ~combine ~init ~term state j =
+  let inst = State.instance state in
+  let acc = ref init and seen = ref false in
+  State.iter_b state (fun k ->
+      if k <> j then begin
+        seen := true;
+        acc := combine !acc (term inst j k)
+      end);
+  if !seen then !acc else 0.
+
+let none = { name = "none"; eval = (fun _ ~j:_ -> 0.) }
+
+let min_edge =
+  {
+    name = "min-edge";
+    eval = (fun state ~j -> fold_edges ~combine:Float.min ~init:infinity ~term:edge state j);
+  }
+
+let edge_plus_t inst j k = edge inst j k +. inst.Instance.intra.(k)
+
+let min_edge_plus_t =
+  {
+    name = "min-edge+T";
+    eval =
+      (fun state ~j ->
+        fold_edges ~combine:Float.min ~init:infinity ~term:edge_plus_t state j);
+  }
+
+let max_edge_plus_t =
+  {
+    name = "max-edge+T";
+    eval =
+      (fun state ~j ->
+        fold_edges ~combine:Float.max ~init:neg_infinity ~term:edge_plus_t state j);
+  }
+
+let avg_latency_to_b =
+  {
+    name = "avg-latency-B";
+    eval =
+      (fun state ~j ->
+        let inst = State.instance state in
+        let sum = ref 0. and count = ref 0 in
+        State.iter_b state (fun k ->
+            if k <> j then begin
+              sum := !sum +. inst.Instance.latency.(j).(k);
+              incr count
+            end);
+        if !count = 0 then 0. else !sum /. float_of_int !count);
+  }
+
+let avg_edge_a_b =
+  {
+    name = "avg-edge-AB";
+    eval =
+      (fun state ~j ->
+        let inst = State.instance state in
+        let sum = ref 0. and count = ref 0 in
+        let accumulate a =
+          State.iter_b state (fun k ->
+              if k <> j then begin
+                sum := !sum +. edge inst a k;
+                incr count
+              end)
+        in
+        State.iter_a state accumulate;
+        accumulate j;
+        if !count = 0 then 0. else !sum /. float_of_int !count);
+  }
+
+let all =
+  [ none; min_edge; min_edge_plus_t; max_edge_plus_t; avg_latency_to_b; avg_edge_a_b ]
+
+let by_name name = List.find_opt (fun t -> t.name = name) all

@@ -1,0 +1,39 @@
+(** Lookahead functions [F_j] for the ECEF-LA family (Sections 4.4-5.2).
+
+    A lookahead scores a candidate receiver [j] by how useful it will be
+    once transferred to set [A].  The ECEF-LA driver minimises
+    [avail_i + g_ij + L_ij + F_j]; the choice of [F] is the only difference
+    between ECEF-LA, ECEF-LAt and ECEF-LAT, so it is factored out here and
+    swept by the ablation bench. *)
+
+type t = {
+  name : string;
+  eval : State.t -> j:int -> float;
+      (** [eval state ~j] with [j] currently in [B]; the "rest of B" used by
+          the formulas is [B \ {j}]. *)
+}
+
+val none : t
+(** [F_j = 0]: degenerates to plain ECEF. *)
+
+val min_edge : t
+(** Bhat's ECEF-LA: [F_j = min over k in B\{j} of (g_jk + L_jk)];
+    0 when [j] is the last member of [B]. *)
+
+val min_edge_plus_t : t
+(** The paper's ECEF-LAt: [F_j = min over k of (g_jk + L_jk + T_k)]. *)
+
+val max_edge_plus_t : t
+(** The paper's ECEF-LAT: [F_j = max over k of (g_jk + L_jk + T_k)]. *)
+
+val avg_latency_to_b : t
+(** Bhat's suggested alternative: average latency from [j] to [B \ {j}]. *)
+
+val avg_edge_a_b : t
+(** Bhat's other alternative: average [g + L] between [A + {j}] and
+    [B \ {j}] after the hypothetical transfer. *)
+
+val all : t list
+(** Every lookahead above, for the ablation sweep. *)
+
+val by_name : string -> t option

@@ -1,0 +1,13 @@
+let default_threshold = 10
+
+let strategy ?(threshold = default_threshold) ?(small = Heuristics.ecef_la)
+    ?(large = Heuristics.ecef_lat_max) () =
+  {
+    Heuristics.name =
+      Printf.sprintf "Mixed<%s|%s@%d>" small.Heuristics.name large.Heuristics.name threshold;
+    select =
+      (fun state ->
+        let n = (State.instance state).Instance.n in
+        if n <= threshold then small.Heuristics.select state
+        else large.Heuristics.select state);
+  }

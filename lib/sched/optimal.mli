@@ -1,0 +1,24 @@
+(** Exhaustive search for the optimal schedule (small instances only).
+
+    The paper notes the search space is exponential and uses a per-iteration
+    "global minimum" over the heuristics as a stand-in.  For validation we
+    additionally provide the true optimum over the paper's schedule space
+    (every cluster receives exactly once; senders are gap-serialised; intra
+    broadcast after the last send), via depth-first branch-and-bound.  The
+    number of schedules is [prod_{k=1}^{n-1} k * (n - k)]; n = 8 is about
+    2.5 x 10^7 leaves and is the default ceiling. *)
+
+val default_max_clusters : int
+(** 8. *)
+
+val makespan : ?max_clusters:int -> Instance.t -> float
+(** Optimal makespan.  @raise Invalid_argument if the instance exceeds
+    [max_clusters]. *)
+
+val schedule : ?max_clusters:int -> Instance.t -> Schedule.t
+(** An optimal schedule (deterministic: first optimum in lexicographic
+    order of choices). *)
+
+val schedule_count : int -> int
+(** [schedule_count n]: number of leaves explored by brute force for [n]
+    clusters, [prod k*(n-k)] — exposed for tests and documentation. *)

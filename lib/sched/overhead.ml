@@ -1,0 +1,29 @@
+let pair_scan_evaluations n =
+  (* sum over rounds r = 1 .. n-1 of |A| * |B| = r * (n - r) *)
+  let total = ref 0 in
+  for r = 1 to n - 1 do
+    total := !total + (r * (n - r))
+  done;
+  float_of_int !total
+
+let lookahead_evaluations n =
+  (* Each round additionally evaluates F_j for every j in B, each O(|B|). *)
+  let total = ref 0 in
+  for r = 1 to n - 1 do
+    let b = n - r in
+    total := !total + (b * b)
+  done;
+  float_of_int !total
+
+let evaluations ~n heuristic =
+  let canon = String.lowercase_ascii heuristic in
+  if canon = "flattree" then float_of_int n
+  else if canon = "fef" || canon = "ecef" || canon = "bottomup" then pair_scan_evaluations n
+  else if String.length canon >= 7 && String.sub canon 0 7 = "ecef-la" then
+    pair_scan_evaluations n +. lookahead_evaluations n
+  else pair_scan_evaluations n
+
+let default_per_evaluation_us = 0.5
+
+let cost_us ?(per_evaluation_us = default_per_evaluation_us) ~n heuristic =
+  evaluations ~n heuristic *. per_evaluation_us

@@ -1,0 +1,24 @@
+(** Model of the scheduling cost a heuristic adds to [MPI_Bcast].
+
+    Section 7 observes that "the algorithm complexity is a factor that must
+    be considered when implementing more elaborate techniques like
+    ECEF-LAT": before the first byte moves, the root runs the heuristic.
+    The cost is modelled as (number of candidate evaluations) x (cost per
+    evaluation); the counts below follow directly from the selection loops:
+
+    - FlatTree: n selections, O(n);
+    - FEF, ECEF, BottomUp: sum over rounds of |A| * |B|, about n^3 / 6;
+    - ECEF-LA family: adds the O(|B|) lookahead per receiver per round,
+      about n^3 / 3 evaluations in total. *)
+
+val evaluations : n:int -> string -> float
+(** Abstract evaluation count for a heuristic given by name
+    ({!Gridb_sched.Heuristics} names, matched case-insensitively; unknown
+    names get the ECEF count). *)
+
+val default_per_evaluation_us : float
+(** 0.5 us per candidate evaluation — a conservative figure for the 2006-era
+    hosts the paper used. *)
+
+val cost_us : ?per_evaluation_us:float -> n:int -> string -> float
+(** Scheduling delay (us) to charge before the root's first transmission. *)

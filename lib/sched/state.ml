@@ -1,0 +1,100 @@
+type t = {
+  inst : Instance.t;
+  in_a : bool array;
+  ready : float array;
+  avail : float array;
+  mutable events : Schedule.event list;  (* reversed *)
+  mutable round : int;
+  mutable remaining_b : int;
+}
+
+let create inst =
+  let n = inst.Instance.n in
+  let in_a = Array.make n false in
+  let ready = Array.make n infinity in
+  let avail = Array.make n infinity in
+  in_a.(inst.Instance.root) <- true;
+  ready.(inst.Instance.root) <- 0.;
+  avail.(inst.Instance.root) <- 0.;
+  { inst; in_a; ready; avail; events = []; round = 0; remaining_b = n - 1 }
+
+let instance t = t.inst
+
+let in_a t i =
+  if i < 0 || i >= t.inst.Instance.n then invalid_arg "State.in_a: out of range";
+  t.in_a.(i)
+
+let members_a t =
+  List.filter (fun i -> t.in_a.(i)) (Instance.cluster_ids t.inst)
+
+let members_b t =
+  List.filter (fun i -> not t.in_a.(i)) (Instance.cluster_ids t.inst)
+
+let iter_a t f =
+  for i = 0 to t.inst.Instance.n - 1 do
+    if t.in_a.(i) then f i
+  done
+
+let iter_b t f =
+  for i = 0 to t.inst.Instance.n - 1 do
+    if not t.in_a.(i) then f i
+  done
+
+let count_b t = t.remaining_b
+
+let finished t = t.remaining_b = 0
+
+let ready t i =
+  if not (in_a t i) then invalid_arg "State.ready: cluster still in B";
+  t.ready.(i)
+
+let avail t i =
+  if not (in_a t i) then invalid_arg "State.avail: cluster still in B";
+  t.avail.(i)
+
+let score_arrival t src dst =
+  t.avail.(src)
+  +. t.inst.Instance.gap.(src).(dst)
+  +. t.inst.Instance.latency.(src).(dst)
+
+let earliest_arrival t ~src ~dst =
+  if not (in_a t src) then invalid_arg "State.earliest_arrival: src in B";
+  if in_a t dst then invalid_arg "State.earliest_arrival: dst in A";
+  score_arrival t src dst
+
+let send t ~src ~dst =
+  if src = dst then invalid_arg "State.send: src = dst";
+  if not (in_a t src) then invalid_arg "State.send: src in B";
+  if in_a t dst then invalid_arg "State.send: dst already in A";
+  let g = t.inst.Instance.gap.(src).(dst) in
+  let l = t.inst.Instance.latency.(src).(dst) in
+  let start = t.avail.(src) in
+  let sender_free = start +. g in
+  let arrival = sender_free +. l in
+  t.events <-
+    { Schedule.round = t.round; src; dst; start; sender_free; arrival } :: t.events;
+  t.round <- t.round + 1;
+  t.avail.(src) <- sender_free;
+  t.in_a.(dst) <- true;
+  t.ready.(dst) <- arrival;
+  t.avail.(dst) <- arrival;
+  t.remaining_b <- t.remaining_b - 1
+
+let to_schedule t =
+  (* avail.(i) is exactly the end of i's last gap (or its arrival time if it
+     never sent): the moment its intra-cluster broadcast may start. *)
+  {
+    Schedule.root = t.inst.Instance.root;
+    n = t.inst.Instance.n;
+    events = List.rev t.events;
+    ready = Array.copy t.ready;
+    busy_until = Array.copy t.avail;
+  }
+
+let run select inst =
+  let t = create inst in
+  while not (finished t) do
+    let src, dst = select t in
+    send t ~src ~dst
+  done;
+  to_schedule t

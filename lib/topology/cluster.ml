@@ -1,0 +1,19 @@
+type t = {
+  id : int;
+  name : string;
+  size : int;
+  intra : Gridb_plogp.Params.t;
+}
+
+let v ~id ~name ~size ~intra =
+  if size < 1 then invalid_arg "Cluster.v: size < 1";
+  if id < 0 then invalid_arg "Cluster.v: negative id";
+  { id; name; size; intra }
+
+let with_id id t = { t with id }
+
+let is_singleton t = t.size = 1
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>cluster %d %S (%d nodes, intra %a)@]" t.id t.name
+    t.size Gridb_plogp.Params.pp t.intra

@@ -1,0 +1,26 @@
+(** A homogeneous cluster: the unit of the paper's hierarchy.
+
+    Following the paper's two-level structure (Lowekamp / MagPIe), processes
+    are grouped into logical clusters whose internal network is homogeneous;
+    one process per cluster acts as the {e coordinator} for inter-cluster
+    traffic.  A cluster therefore carries its size and a single pLogP
+    parameter set describing any intra-cluster link. *)
+
+type t = private {
+  id : int;  (** index inside its grid *)
+  name : string;
+  size : int;  (** number of processes, >= 1 *)
+  intra : Gridb_plogp.Params.t;  (** pLogP parameters of an internal link *)
+}
+
+val v : id:int -> name:string -> size:int -> intra:Gridb_plogp.Params.t -> t
+(** @raise Invalid_argument if [size < 1] or [id < 0]. *)
+
+val with_id : int -> t -> t
+(** Same cluster re-indexed (used when assembling grids). *)
+
+val is_singleton : t -> bool
+(** A single-machine cluster has no intra-cluster broadcast to perform
+    (its [T] is 0); Table 3 has two such clusters. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+let edge_style latency =
+  match Levels.of_latency latency with
+  | Levels.Wan_tcp -> "style=bold, color=red"
+  | Levels.Lan_tcp -> "color=blue"
+  | Levels.Localhost_tcp -> "style=dashed, color=gray40"
+  | Levels.Shared_memory -> "style=dotted, color=gray70"
+
+let to_dot ?(name = "grid") grid =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Buffer.add_string buf "  node [shape=box, fontname=\"sans-serif\"];\n";
+  let n = Grid.size grid in
+  for c = 0 to n - 1 do
+    let cl = Grid.cluster grid c in
+    Buffer.add_string buf
+      (Printf.sprintf "  c%d [label=\"%s\\n%d machines\"];\n" c cl.Cluster.name
+         cl.Cluster.size)
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let latency = Grid.latency grid i j in
+      Buffer.add_string buf
+        (Printf.sprintf "  c%d -- c%d [label=\"%s\", %s];\n" i j
+           (Gridb_util.Units.time_to_string latency)
+           (edge_style latency))
+    done
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save path grid =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot grid))

@@ -1,0 +1,12 @@
+(** Graphviz (DOT) export of grid topologies.
+
+    One node per cluster (label: name and size), one undirected edge per
+    cluster pair, styled by communication level (Table 1): bold short
+    dashes for WAN, plain for LAN, dotted for local links.  Render with
+    [dot -Tsvg topology.dot -o topology.svg]. *)
+
+val to_dot : ?name:string -> Grid.t -> string
+(** [name] is the graph identifier (default ["grid"]). *)
+
+val save : string -> Grid.t -> unit
+(** Write the DOT text to a file.  @raise Sys_error on IO failure. *)

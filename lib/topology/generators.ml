@@ -1,0 +1,122 @@
+module Rng = Gridb_util.Rng
+module Params = Gridb_plogp.Params
+
+type random_spec = {
+  inter_latency_us : float * float;
+  inter_bandwidth_mb_s : float * float;
+  inter_g0_us : float;
+  cluster_size : int * int;
+  intra_latency_us : float * float;
+  intra_bandwidth_mb_s : float * float;
+  intra_g0_us : float;
+}
+
+let default_random_spec =
+  {
+    inter_latency_us = (1_000., 15_000.);
+    (* A 1 MB gap of 100-600 ms corresponds to 10 down to 1.67 MB/s. *)
+    inter_bandwidth_mb_s = (1.67, 10.);
+    inter_g0_us = 100.;
+    cluster_size = (4, 128);
+    intra_latency_us = (20., 80.);
+    intra_bandwidth_mb_s = (50., 1000.);
+    intra_g0_us = 15.;
+  }
+
+let uniform_random ~rng ~n spec =
+  if n < 1 then invalid_arg "Generators.uniform_random: n < 1";
+  let draw (lo, hi) = Rng.float_in rng lo hi in
+  let clusters =
+    List.init n (fun i ->
+        let lo, hi = spec.cluster_size in
+        let size = Rng.int_in rng lo hi in
+        Cluster.v ~id:i
+          ~name:(Printf.sprintf "cluster-%d" i)
+          ~size
+          ~intra:
+            (Params.linear
+               ~latency:(draw spec.intra_latency_us)
+               ~g0:spec.intra_g0_us
+               ~bandwidth_mb_s:(draw spec.intra_bandwidth_mb_s)))
+  in
+  (* Draw the upper triangle, mirror it for symmetry. *)
+  let self = Params.linear ~latency:1. ~g0:1. ~bandwidth_mb_s:1000. in
+  let inter = Array.make_matrix n n self in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let p =
+        Params.linear
+          ~latency:(draw spec.inter_latency_us)
+          ~g0:spec.inter_g0_us
+          ~bandwidth_mb_s:(draw spec.inter_bandwidth_mb_s)
+      in
+      inter.(i).(j) <- p;
+      inter.(j).(i) <- p
+    done
+  done;
+  Grid.v ~clusters ~inter
+
+let homogeneous ~n ~cluster_size ~inter ~intra =
+  let clusters =
+    List.init n (fun i ->
+        Cluster.v ~id:i ~name:(Printf.sprintf "homog-%d" i) ~size:cluster_size ~intra)
+  in
+  let matrix = Array.make_matrix n n inter in
+  Grid.v ~clusters ~inter:matrix
+
+type multilevel_spec = {
+  sites : int;
+  clusters_per_site : int;
+  machines_per_cluster : int * int;
+  wan_latency_us : float * float;
+  lan_latency_us : float * float;
+  wan_bandwidth_mb_s : float;
+  lan_bandwidth_mb_s : float;
+  local_params : Gridb_plogp.Params.t;
+}
+
+let default_multilevel_spec =
+  {
+    sites = 3;
+    clusters_per_site = 3;
+    machines_per_cluster = (8, 64);
+    wan_latency_us = (5_000., 15_000.);
+    lan_latency_us = (100., 500.);
+    wan_bandwidth_mb_s = 2.5;
+    lan_bandwidth_mb_s = 40.;
+    local_params = Params.linear ~latency:50. ~g0:15. ~bandwidth_mb_s:100.;
+  }
+
+let site_of_cluster spec cluster_index = cluster_index / spec.clusters_per_site
+
+let multilevel ~rng spec =
+  if spec.sites < 1 || spec.clusters_per_site < 1 then
+    invalid_arg "Generators.multilevel: dimensions must be >= 1";
+  let n = spec.sites * spec.clusters_per_site in
+  let draw (lo, hi) = Rng.float_in rng lo hi in
+  let clusters =
+    List.init n (fun i ->
+        let lo, hi = spec.machines_per_cluster in
+        Cluster.v ~id:i
+          ~name:(Printf.sprintf "site%d-cluster%d" (site_of_cluster spec i) (i mod spec.clusters_per_site))
+          ~size:(Rng.int_in rng lo hi)
+          ~intra:spec.local_params)
+  in
+  let self = spec.local_params in
+  let inter = Array.make_matrix n n self in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let same_site = site_of_cluster spec i = site_of_cluster spec j in
+      let p =
+        if same_site then
+          Params.linear ~latency:(draw spec.lan_latency_us) ~g0:20.
+            ~bandwidth_mb_s:spec.lan_bandwidth_mb_s
+        else
+          Params.linear ~latency:(draw spec.wan_latency_us) ~g0:100.
+            ~bandwidth_mb_s:spec.wan_bandwidth_mb_s
+      in
+      inter.(i).(j) <- p;
+      inter.(j).(i) <- p
+    done
+  done;
+  Grid.v ~clusters ~inter

@@ -1,0 +1,58 @@
+(** Synthetic grid topologies.
+
+    Three families cover the experiments and tests:
+    - {!uniform_random}: the Table 2 regime — i.i.d. inter-cluster links,
+      random cluster sizes;
+    - {!homogeneous}: identical clusters and links (sanity baselines: every
+      reasonable heuristic should coincide there);
+    - {!multilevel}: a Table 1 style hierarchy — sites connected by WAN,
+      clusters inside a site by LAN, machines inside a cluster by a fast
+      local network. *)
+
+type random_spec = {
+  inter_latency_us : float * float;  (** uniform range for [L_ij] *)
+  inter_bandwidth_mb_s : float * float;  (** uniform range for link bandwidth *)
+  inter_g0_us : float;  (** zero-byte gap of inter links *)
+  cluster_size : int * int;  (** uniform inclusive range for cluster sizes *)
+  intra_latency_us : float * float;
+  intra_bandwidth_mb_s : float * float;
+  intra_g0_us : float;
+}
+
+val default_random_spec : random_spec
+(** Table 2 flavoured: inter latency 1-15 ms, inter bandwidth such that a
+    1 MB gap falls in 100-600 ms (1.67-10 MB/s), clusters of 4-128 machines
+    on 50-1000 MB/s internal networks. *)
+
+val uniform_random : rng:Gridb_util.Rng.t -> n:int -> random_spec -> Grid.t
+(** Symmetric links: the pair [(i, j)] and [(j, i)] share one draw.
+    @raise Invalid_argument if [n < 1]. *)
+
+val homogeneous :
+  n:int ->
+  cluster_size:int ->
+  inter:Gridb_plogp.Params.t ->
+  intra:Gridb_plogp.Params.t ->
+  Grid.t
+(** All clusters identical, all links identical. *)
+
+type multilevel_spec = {
+  sites : int;
+  clusters_per_site : int;
+  machines_per_cluster : int * int;
+  wan_latency_us : float * float;  (** between sites *)
+  lan_latency_us : float * float;  (** between clusters of one site *)
+  wan_bandwidth_mb_s : float;
+  lan_bandwidth_mb_s : float;
+  local_params : Gridb_plogp.Params.t;  (** inside each cluster *)
+}
+
+val default_multilevel_spec : multilevel_spec
+
+val multilevel : rng:Gridb_util.Rng.t -> multilevel_spec -> Grid.t
+(** Grid of [sites * clusters_per_site] clusters where inter-cluster links
+    are LAN-class inside a site and WAN-class across sites.
+    @raise Invalid_argument if any dimension is < 1. *)
+
+val site_of_cluster : multilevel_spec -> int -> int
+(** Which site a cluster index of {!multilevel} belongs to. *)

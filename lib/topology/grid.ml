@@ -1,0 +1,71 @@
+type t = {
+  clusters : Cluster.t array;
+  inter : Gridb_plogp.Params.t array array;
+}
+
+let v ~clusters ~inter =
+  let clusters = Array.of_list clusters in
+  let n = Array.length clusters in
+  if n = 0 then invalid_arg "Grid.v: no clusters";
+  Array.iteri
+    (fun i (c : Cluster.t) ->
+      if c.Cluster.id <> i then invalid_arg "Grid.v: cluster ids must be 0..n-1 in order")
+    clusters;
+  if Array.length inter <> n then invalid_arg "Grid.v: inter matrix height mismatch";
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Grid.v: inter matrix width mismatch")
+    inter;
+  { clusters; inter }
+
+let size t = Array.length t.clusters
+
+let total_processes t =
+  Array.fold_left (fun acc (c : Cluster.t) -> acc + c.Cluster.size) 0 t.clusters
+
+let check_index t i name =
+  if i < 0 || i >= size t then invalid_arg ("Grid." ^ name ^ ": index out of range")
+
+let cluster t i =
+  check_index t i "cluster";
+  t.clusters.(i)
+
+let clusters t = Array.copy t.clusters
+
+let link t i j =
+  check_index t i "link";
+  check_index t j "link";
+  if i = j then invalid_arg "Grid.link: i = j";
+  t.inter.(i).(j)
+
+let latency t i j = Gridb_plogp.Params.latency (link t i j)
+let gap t i j m = Gridb_plogp.Params.gap (link t i j) m
+let send_time t i j m = Gridb_plogp.Params.send_time (link t i j) m
+
+let validate t =
+  let n = size t in
+  let problem = ref None in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && !problem = None then begin
+        let lij = latency t i j and lji = latency t j i in
+        let scale = Float.max (Float.abs lij) (Float.abs lji) in
+        if scale > 0. && Float.abs (lij -. lji) /. scale > 1e-6 then
+          problem :=
+            Some (Printf.sprintf "asymmetric latency between %d and %d (%g vs %g)" i j lij lji)
+      end
+    done
+  done;
+  match !problem with Some reason -> Error reason | None -> Ok ()
+
+let map_links f t =
+  let n = size t in
+  let inter =
+    Array.init n (fun i -> Array.init n (fun j -> if i = j then t.inter.(i).(j) else f i j t.inter.(i).(j)))
+  in
+  { t with inter }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>grid with %d clusters (%d processes)@," (size t)
+    (total_processes t);
+  Array.iter (fun c -> Format.fprintf ppf "  %a@," Cluster.pp c) t.clusters;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,49 @@
+(** A grid: clusters plus the inter-cluster interconnection parameters.
+
+    The inter-cluster network is a complete graph over coordinators; each
+    directed pair [(i, j)], [i <> j], carries a pLogP parameter set
+    ([L_ij], [g_ij(m)]).  The paper's matrices are symmetric, and
+    {!validate} checks symmetry, but the representation is directed so
+    asymmetric routes can be modelled too. *)
+
+type t
+
+val v : clusters:Cluster.t list -> inter:Gridb_plogp.Params.t array array -> t
+(** [inter.(i).(j)] for [i <> j] describes the link from cluster [i]'s
+    coordinator to cluster [j]'s.  Diagonal entries are ignored.
+    @raise Invalid_argument if the matrix is not [n x n] for [n] clusters,
+    if [n = 0], or if cluster ids are not [0 .. n-1] in order. *)
+
+val size : t -> int
+(** Number of clusters. *)
+
+val total_processes : t -> int
+(** Sum of cluster sizes (88 for the Table 3 grid). *)
+
+val cluster : t -> int -> Cluster.t
+(** @raise Invalid_argument on out-of-range index. *)
+
+val clusters : t -> Cluster.t array
+(** A fresh copy of the cluster array. *)
+
+val link : t -> int -> int -> Gridb_plogp.Params.t
+(** [link t i j] for [i <> j].  @raise Invalid_argument if [i = j] or out of
+    range. *)
+
+val latency : t -> int -> int -> float
+(** [latency t i j = Params.latency (link t i j)] in us. *)
+
+val gap : t -> int -> int -> int -> float
+(** [gap t i j m]: inter-cluster gap for an [m]-byte message, us. *)
+
+val send_time : t -> int -> int -> int -> float
+(** [send_time t i j m = gap + latency]: the paper's [g_ij(m) + L_ij]. *)
+
+val validate : t -> (unit, string) result
+(** Checks latency symmetry within 1e-6 relative tolerance and positive
+    sizes; returns a human-readable reason on failure. *)
+
+val map_links : (int -> int -> Gridb_plogp.Params.t -> Gridb_plogp.Params.t) -> t -> t
+(** Rebuild with transformed inter-cluster links (noise injection). *)
+
+val pp : Format.formatter -> t -> unit

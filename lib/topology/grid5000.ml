@@ -1,0 +1,48 @@
+let cluster_names =
+  [| "Orsay-A"; "Orsay-B"; "IDPOT-A"; "IDPOT-B"; "IDPOT-C"; "Toulouse" |]
+
+let cluster_sizes = [| 31; 29; 6; 1; 1; 20 |]
+
+(* Table 3, microseconds.  Diagonal: intra-cluster latency (0 for the two
+   single-machine clusters, which have no internal links). *)
+let latency_matrix =
+  [|
+    [| 47.56; 62.10; 12181.52; 12187.24; 12197.49; 5210.99 |];
+    [| 62.10; 47.92; 12181.52; 12198.03; 12195.22; 5211.47 |];
+    [| 12181.52; 12181.52; 35.52; 60.08; 60.08; 5388.49 |];
+    [| 12187.24; 12198.03; 60.08; 0.; 242.47; 5393.98 |];
+    [| 12197.49; 12195.22; 60.08; 242.47; 0.; 5394.10 |];
+    [| 5210.99; 5211.47; 5388.49; 5393.98; 5394.10; 27.53 |];
+  |]
+
+let inter_bandwidth_mb_s latency_us =
+  if latency_us >= 10_000. then 1.3
+  else if latency_us >= 1_000. then 4.
+  else 50.
+
+let intra_bandwidth_mb_s = 100.
+
+let inter_g0_us = 50.
+let intra_g0_us = 20.
+
+let grid () =
+  let n = Array.length cluster_sizes in
+  let clusters =
+    List.init n (fun i ->
+        let intra_latency = if cluster_sizes.(i) = 1 then 10. else latency_matrix.(i).(i) in
+        Cluster.v ~id:i ~name:cluster_names.(i) ~size:cluster_sizes.(i)
+          ~intra:
+            (Gridb_plogp.Params.linear ~latency:intra_latency ~g0:intra_g0_us
+               ~bandwidth_mb_s:intra_bandwidth_mb_s))
+  in
+  let inter =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            let latency = latency_matrix.(i).(j) in
+            let latency = if i = j then 10. else latency in
+            Gridb_plogp.Params.linear ~latency ~g0:inter_g0_us
+              ~bandwidth_mb_s:(inter_bandwidth_mb_s latency)))
+  in
+  Grid.v ~clusters ~inter
+
+let root_cluster = 0

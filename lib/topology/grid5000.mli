@@ -1,0 +1,32 @@
+(** The 88-machine / 6-cluster GRID5000 testbed of the paper's Section 7.
+
+    Latencies come verbatim from Table 3 (microseconds).  The paper does not
+    publish the per-link gap functions, so bandwidths are synthesised from
+    the link class (same site / Toulouse / far WAN) — see DESIGN.md for why
+    this preserves the comparison: every strategy sees the same substituted
+    parameters, so relative ordering depends only on schedule structure. *)
+
+val cluster_names : string array
+(** ["Orsay-A"; "Orsay-B"; "IDPOT-A"; "IDPOT-B"; "IDPOT-C"; "Toulouse"]. *)
+
+val cluster_sizes : int array
+(** [|31; 29; 6; 1; 1; 20|] — 88 machines in total. *)
+
+val latency_matrix : float array array
+(** Table 3 verbatim; diagonal entries are the intra-cluster latency
+    (machine to machine inside the cluster); singletons use 0. *)
+
+val inter_bandwidth_mb_s : float -> float
+(** Synthesised bandwidth for an inter-cluster link given its latency:
+    far WAN (>= 10 ms) 1.3 MB/s, medium WAN (>= 1 ms) 4 MB/s, same-site
+    50 MB/s.  Chosen so the predicted curves land in the paper's regime
+    (ECEF family < 3 s and Flat Tree ~ 6x slower at a 4 MB broadcast). *)
+
+val intra_bandwidth_mb_s : float
+(** 100 MB/s (gigabit Ethernet class). *)
+
+val grid : unit -> Grid.t
+(** Builds the full 6-cluster grid. *)
+
+val root_cluster : int
+(** Cluster hosting the broadcast root in Section 7 (0 = Orsay-A). *)

@@ -1,0 +1,33 @@
+type t = Wan_tcp | Lan_tcp | Localhost_tcp | Shared_memory
+
+let level_number = function
+  | Wan_tcp -> 0
+  | Lan_tcp -> 1
+  | Localhost_tcp -> 2
+  | Shared_memory -> 3
+
+let of_latency latency_us =
+  if latency_us >= 1000. then Wan_tcp
+  else if latency_us >= 100. then Lan_tcp
+  else if latency_us >= 10. then Localhost_tcp
+  else Shared_memory
+
+let compare_slower_first a b = compare (level_number a) (level_number b)
+
+let to_string = function
+  | Wan_tcp -> "WAN-TCP"
+  | Lan_tcp -> "LAN-TCP"
+  | Localhost_tcp -> "localhost-TCP"
+  | Shared_memory -> "shared memory / vendor MPI"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let all = [ Wan_tcp; Lan_tcp; Localhost_tcp; Shared_memory ]
+
+let table1 =
+  [
+    (Wan_tcp, "WAN-TCP");
+    (Lan_tcp, "LAN-TCP");
+    (Localhost_tcp, "localhost-TCP");
+    (Shared_memory, "Myrinet / Vendor MPI / shared memory");
+  ]

@@ -1,0 +1,28 @@
+(** Communication levels (Table 1 of the paper, after Karonis/MPICH-G2).
+
+    Links are classified by decreasing latency: level 0 (WAN-TCP) > level 1
+    (LAN-TCP) > level 2 (localhost TCP) > level 3+ (shared memory / vendor
+    MPI such as Myrinet).  The multilevel broadcast extension uses this
+    classification to overlap communication between levels. *)
+
+type t = Wan_tcp | Lan_tcp | Localhost_tcp | Shared_memory
+
+val level_number : t -> int
+(** Wan_tcp -> 0, Lan_tcp -> 1, Localhost_tcp -> 2, Shared_memory -> 3. *)
+
+val of_latency : float -> t
+(** Classify a link from its latency in microseconds.  Thresholds (derived
+    from the Table 3 measurements): >= 1000 us WAN, >= 100 us LAN,
+    >= 10 us localhost, below that shared memory. *)
+
+val compare_slower_first : t -> t -> int
+(** Orders levels as in Table 1: level 0 (slowest) first. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** Slowest first. *)
+
+val table1 : (t * string) list
+(** The rendered content of Table 1: level and example technology. *)

@@ -1,0 +1,76 @@
+type series = { label : string; points : (float * float) list }
+
+let glyphs = [| 'a'; 'b'; 'c'; 'd'; 'e'; 'f'; 'g'; 'h'; 'i'; 'j'; 'k' |]
+
+let data_range series =
+  let xs = List.concat_map (fun s -> List.map fst s.points) series in
+  let ys = List.concat_map (fun s -> List.map snd s.points) series in
+  match (xs, ys) with
+  | [], _ | _, [] -> None
+  | x0 :: xrest, y0 :: yrest ->
+      let fold = List.fold_left in
+      let xmin = fold Float.min x0 xrest and xmax = fold Float.max x0 xrest in
+      let ymin = fold Float.min y0 yrest and ymax = fold Float.max y0 yrest in
+      Some (xmin, xmax, ymin, ymax)
+
+let plot ?(width = 72) ?(height = 20) ?(x_label = "") ?(y_label = "") ~title series =
+  let series = List.filter (fun s -> s.points <> []) series in
+  match data_range series with
+  | None -> title ^ "\n(no data)\n"
+  | Some (xmin, xmax, ymin, ymax) ->
+      let xspan = if xmax > xmin then xmax -. xmin else 1. in
+      let yspan = if ymax > ymin then ymax -. ymin else 1. in
+      let grid = Array.make_matrix height width ' ' in
+      let place gi x y =
+        let cx =
+          int_of_float (Float.round ((x -. xmin) /. xspan *. float_of_int (width - 1)))
+        in
+        let cy =
+          int_of_float (Float.round ((y -. ymin) /. yspan *. float_of_int (height - 1)))
+        in
+        let row = height - 1 - cy in
+        if row >= 0 && row < height && cx >= 0 && cx < width then begin
+          let existing = grid.(row).(cx) in
+          (* An overlap of several series is marked '*'. *)
+          grid.(row).(cx) <- (if existing = ' ' || existing = gi then gi else '*')
+        end
+      in
+      List.iteri
+        (fun i s ->
+          let g = glyphs.(i mod Array.length glyphs) in
+          List.iter (fun (x, y) -> place g x y) s.points)
+        series;
+      let buf = Buffer.create ((width + 16) * (height + 6)) in
+      Buffer.add_string buf (title ^ "\n");
+      if y_label <> "" then Buffer.add_string buf (y_label ^ "\n");
+      let ylab_width = 10 in
+      for row = 0 to height - 1 do
+        let yval = ymax -. (float_of_int row /. float_of_int (height - 1) *. yspan) in
+        let lbl =
+          if row = 0 || row = height - 1 || row = height / 2 then
+            Printf.sprintf "%*.4g |" (ylab_width - 2) yval
+          else String.make (ylab_width - 1) ' ' ^ "|"
+        in
+        Buffer.add_string buf lbl;
+        Buffer.add_string buf (String.init width (fun c -> grid.(row).(c)));
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf (String.make (ylab_width - 1) ' ' ^ "+" ^ String.make width '-');
+      Buffer.add_char buf '\n';
+      let xmin_s = Printf.sprintf "%.4g" xmin and xmax_s = Printf.sprintf "%.4g" xmax in
+      let gap = max 1 (width - String.length xmin_s - String.length xmax_s) in
+      Buffer.add_string buf
+        (String.make ylab_width ' ' ^ xmin_s ^ String.make gap ' ' ^ xmax_s ^ "\n");
+      if x_label <> "" then
+        Buffer.add_string buf (String.make ylab_width ' ' ^ x_label ^ "\n");
+      Buffer.add_string buf "legend:";
+      List.iteri
+        (fun i s ->
+          Buffer.add_string buf
+            (Printf.sprintf " %c=%s" glyphs.(i mod Array.length glyphs) s.label))
+        series;
+      Buffer.add_char buf '\n';
+      Buffer.contents buf
+
+let print ?width ?height ?x_label ?y_label ~title series =
+  print_string (plot ?width ?height ?x_label ?y_label ~title series)

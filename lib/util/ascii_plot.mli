@@ -1,0 +1,29 @@
+(** Terminal line plots.
+
+    Each figure of the paper is reproduced as data rows plus an ASCII plot so
+    the curve shapes (crossovers, flatness, linear growth) can be checked
+    directly in the bench output without any plotting dependency. *)
+
+type series = { label : string; points : (float * float) list }
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  series list ->
+  string
+(** Renders all series into one frame.  Each series is drawn with its own
+    glyph (first letters a, b, c, ... mapped in the printed legend).  Axes are
+    linear and auto-scaled to the union of the data ranges.  Series with
+    fewer than one point are skipped. *)
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  series list ->
+  unit

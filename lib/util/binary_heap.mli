@@ -1,0 +1,37 @@
+(** Imperative binary min-heap.
+
+    Backbone of the discrete-event simulator ([Gridb_des.Engine]): events are
+    popped in timestamp order.  Priorities are supplied through an explicit
+    comparison so the same structure also serves the schedulers' candidate
+    queues. *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** Empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** O(log n) insertion. *)
+
+val peek : 'a t -> 'a option
+(** Minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on empty heap. *)
+
+val clear : 'a t -> unit
+
+val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+(** O(n) heapify; does not retain the input array. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains the heap; the heap is empty afterwards. *)
+
+val check_invariant : 'a t -> bool
+(** True iff every parent is <= its children under [cmp] (for tests). *)

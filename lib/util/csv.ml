@@ -1,0 +1,41 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let row_to_string cells = String.concat "," (List.map escape cells)
+
+let rec ensure_directory dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    ensure_directory (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let write path rows =
+  ensure_directory (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun row ->
+          output_string oc (row_to_string row);
+          output_char oc '\n')
+        rows)
+
+let float_rows ~header rows =
+  header
+  :: List.map
+       (fun (label, xs) -> label :: List.map (Printf.sprintf "%.6g") xs)
+       rows

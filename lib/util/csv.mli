@@ -1,0 +1,20 @@
+(** Minimal CSV writing (RFC 4180 quoting) for exporting experiment series.
+
+    The bench harness optionally dumps every figure's data to [results/*.csv]
+    so the curves can be re-plotted with external tools. *)
+
+val escape : string -> string
+(** Quote a field if it contains a comma, quote or newline. *)
+
+val row_to_string : string list -> string
+
+val ensure_directory : string -> unit
+(** Create a directory (and its parents) if missing; no-op otherwise. *)
+
+val write : string -> string list list -> unit
+(** [write path rows] writes all rows (first row typically the header),
+    creating the parent directory if needed. *)
+
+val float_rows :
+  header:string list -> (string * float list) list -> string list list
+(** Convenience: label + float cells per row, floats printed with [%.6g]. *)

@@ -1,0 +1,63 @@
+(** Deterministic pseudo-random number generation.
+
+    The simulations of the paper average 10000 independent draws of grid
+    parameters; reproducibility of a whole experiment therefore hinges on a
+    seedable, splittable generator.  This module implements SplitMix64
+    (Steele, Lea & Flood, OOPSLA 2014): tiny state, excellent statistical
+    quality for simulation purposes, and O(1) splitting so that each
+    iteration of an experiment can derive an independent stream. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed.  Equal seeds yield
+    equal streams. *)
+
+val split : t -> t
+(** [split t] returns a fresh generator statistically independent from the
+    future of [t], advancing [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] is uniform in [\[lo, hi)].
+    @raise Invalid_argument if [hi < lo]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val gaussian : ?mu:float -> ?sigma:float -> t -> float
+(** Normal deviate via Box-Muller.  Defaults: [mu = 0.], [sigma = 1.]. *)
+
+val lognormal : ?mu:float -> ?sigma:float -> t -> float
+(** [exp (gaussian ~mu ~sigma t)]: multiplicative noise as observed on real
+    network round-trips. *)
+
+val exponential : t -> float -> float
+(** [exponential t lambda] draws from Exp(lambda).
+    @raise Invalid_argument if [lambda <= 0.]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element.  @raise Invalid_argument on empty array. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [0..n-1]. *)

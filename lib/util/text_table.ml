@@ -1,0 +1,72 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  align : align list;
+  mutable rows : row list;  (* reversed *)
+  width : int;
+}
+
+let default_align n = Left :: List.init (max 0 (n - 1)) (fun _ -> Right)
+
+let create ?align headers =
+  let width = List.length headers in
+  if width = 0 then invalid_arg "Text_table.create: no columns";
+  let align =
+    match align with
+    | None -> default_align width
+    | Some a ->
+        if List.length a <> width then
+          invalid_arg "Text_table.create: align width mismatch";
+        a
+  in
+  { headers; align; rows = []; width }
+
+let add_row t cells =
+  if List.length cells <> t.width then
+    invalid_arg "Text_table.add_row: row width mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_float_row ?(fmt = Printf.sprintf "%.3f") t label xs =
+  add_row t (label :: List.map fmt xs)
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let col_widths = Array.of_list (List.map String.length t.headers) in
+  let update cells =
+    List.iteri
+      (fun i c -> if String.length c > col_widths.(i) then col_widths.(i) <- String.length c)
+      cells
+  in
+  List.iter (function Cells c -> update c | Separator -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let pad a w s =
+    let fill = w - String.length s in
+    match a with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (List.nth t.align i) col_widths.(i) c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total =
+    Array.fold_left ( + ) 0 col_widths + (2 * (Array.length col_widths - 1))
+  in
+  let rule () = Buffer.add_string buf (String.make total '-' ^ "\n") in
+  emit_cells t.headers;
+  rule ();
+  List.iter (function Cells c -> emit_cells c | Separator -> rule ()) rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,27 @@
+(** Aligned plain-text tables.
+
+    The bench harness prints every reproduced table/figure as rows on stdout;
+    this module handles column sizing and alignment so the output is directly
+    comparable with the paper's tables. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?align:align list -> string list -> t
+(** [create headers] starts a table.  [align] gives per-column alignment and
+    defaults to [Right] for every column except the first ([Left]). *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header width. *)
+
+val add_float_row : ?fmt:(float -> string) -> t -> string -> float list -> unit
+(** First cell is a label, remaining cells formatted floats
+    (default [Printf.sprintf "%.3f"]). *)
+
+val add_separator : t -> unit
+(** Horizontal rule before the next row. *)
+
+val render : t -> string
+val print : t -> unit
+(** [render] followed by [print_string], with a trailing newline. *)

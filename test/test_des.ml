@@ -1,0 +1,390 @@
+(* Tests for gridb_des: the event engine, noise models, broadcast plans,
+   the plan executor and the scheduling-overhead model.  The central
+   integration property: with noise off, the DES reproduces the analytic
+   pLogP predictions exactly. *)
+
+module Engine = Gridb_des.Engine
+module Noise = Gridb_des.Noise
+module Plan = Gridb_des.Plan
+module Exec = Gridb_des.Exec
+module Overhead = Gridb_sched.Overhead
+module Machines = Gridb_topology.Machines
+module Grid5000 = Gridb_topology.Grid5000
+module Generators = Gridb_topology.Generators
+module Instance = Gridb_sched.Instance
+module Schedule = Gridb_sched.Schedule
+module Heuristics = Gridb_sched.Heuristics
+module Params = Gridb_plogp.Params
+module Rng = Gridb_util.Rng
+
+let feq ?(eps = 1e-9) a b =
+  let scale = Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= eps *. scale
+
+let check_feq ?eps name expected actual =
+  Alcotest.(check bool) (Printf.sprintf "%s: %g ~ %g" name expected actual) true
+    (feq ?eps expected actual)
+
+(* --- Engine ------------------------------------------------------------- *)
+
+let test_engine_orders_events () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~time:5. (fun _ -> log := 5 :: !log);
+  Engine.schedule e ~time:1. (fun _ -> log := 1 :: !log);
+  Engine.schedule e ~time:3. (fun _ -> log := 3 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 3; 5 ] (List.rev !log);
+  check_feq "clock at last event" 5. (Engine.now e);
+  Alcotest.(check int) "processed" 3 (Engine.processed e)
+
+let test_engine_fifo_for_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun tag -> Engine.schedule e ~time:2. (fun _ -> log := tag :: !log))
+    [ "a"; "b"; "c" ];
+  Engine.run e;
+  Alcotest.(check (list string)) "insertion order preserved" [ "a"; "b"; "c" ]
+    (List.rev !log)
+
+let test_engine_cascading () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec spawn depth _engine =
+    incr count;
+    if depth > 0 then Engine.schedule_after e ~delay:1. (spawn (depth - 1))
+  in
+  Engine.schedule e ~time:0. (spawn 9);
+  Engine.run e;
+  Alcotest.(check int) "10 events" 10 !count;
+  check_feq "clock advanced" 9. (Engine.now e)
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  Engine.schedule e ~time:4. (fun _ -> ());
+  Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: time in the past")
+    (fun () -> Engine.schedule e ~time:1. (fun _ -> ()));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule_after: negative delay") (fun () ->
+      Engine.schedule_after e ~delay:(-1.) (fun _ -> ()))
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Engine.schedule e ~time:t (fun _ -> fired := t :: !fired))
+    [ 1.; 2.; 3.; 10. ];
+  Engine.run_until e 5.;
+  Alcotest.(check (list (float 0.0))) "only early events" [ 1.; 2.; 3. ] (List.rev !fired);
+  Alcotest.(check int) "one pending" 1 (Engine.pending e);
+  check_feq "clock at horizon" 5. (Engine.now e);
+  Engine.run e;
+  check_feq "late event still fires" 10. (Engine.now e)
+
+(* --- Noise ------------------------------------------------------------- *)
+
+let test_noise_exact () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 10 do
+    check_feq "exact is identity" 123.4 (Noise.apply Noise.Exact rng 123.4)
+  done
+
+let test_noise_positive =
+  QCheck.Test.make ~name:"noise factors are positive" ~count:500 QCheck.(int_bound 1_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      Noise.factor (Noise.Lognormal 0.3) rng > 0.
+      && Noise.factor (Noise.Uniform 0.5) rng > 0.)
+
+let test_noise_uniform_bounds () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 500 do
+    let f = Noise.factor (Noise.Uniform 0.1) rng in
+    Alcotest.(check bool) "within band" true (f >= 0.9 && f <= 1.1)
+  done;
+  Alcotest.check_raises "eps out of range"
+    (Invalid_argument "Noise.factor: Uniform eps outside [0, 1)") (fun () ->
+      ignore (Noise.factor (Noise.Uniform 1.5) rng))
+
+let test_noise_lognormal_centered () =
+  let rng = Rng.create 3 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. log (Noise.factor (Noise.Lognormal 0.1) rng)
+  done;
+  Alcotest.(check bool) "median ~ 1 (mean log ~ 0)" true
+    (Float.abs (!sum /. float_of_int n) < 0.005)
+
+(* --- Plans ------------------------------------------------------------- *)
+
+let machines () = Machines.expand (Grid5000.grid ())
+
+let test_plan_validation () =
+  Alcotest.check_raises "root has parent" (Invalid_argument "Plan.v: root has a parent")
+    (fun () -> ignore (Plan.v ~root:0 ~children:[| [ 1 ]; [ 0 ] |]));
+  Alcotest.check_raises "not spanning" (Invalid_argument "Plan.v: not a spanning tree")
+    (fun () -> ignore (Plan.v ~root:0 ~children:[| []; [] |]));
+  Alcotest.check_raises "duplicate child" (Invalid_argument "Plan.v: not a spanning tree")
+    (fun () -> ignore (Plan.v ~root:0 ~children:[| [ 1; 1 ]; [] |]));
+  let ok = Plan.v ~root:0 ~children:[| [ 1; 2 ]; []; [] |] in
+  Alcotest.(check int) "size" 3 (Plan.size ok);
+  Alcotest.(check int) "depth" 1 (Plan.depth ok)
+
+let test_plan_binomial_ranks () =
+  let m = machines () in
+  let p = Plan.binomial_ranks m ~root:5 in
+  Alcotest.(check int) "spans all ranks" 88 (Plan.size p);
+  Alcotest.(check int) "rooted correctly" 5 p.Plan.root;
+  Alcotest.(check int) "binomial depth for 88 ranks" 6 (Plan.depth p);
+  let parents = Plan.parent_array p in
+  Alcotest.(check int) "root parent is root" 5 parents.(5)
+
+let test_plan_flat_ranks () =
+  let m = machines () in
+  let p = Plan.flat_ranks m ~root:0 in
+  Alcotest.(check int) "depth 1" 1 (Plan.depth p);
+  Alcotest.(check int) "87 children" 87 (List.length p.Plan.children.(0))
+
+let test_plan_of_schedule_structure () =
+  let m = machines () in
+  let inst = Instance.of_grid ~root:0 ~msg:1_000_000 (Grid5000.grid ()) in
+  let sched = Heuristics.run Heuristics.ecef_la inst in
+  let p = Plan.of_cluster_schedule m sched in
+  Alcotest.(check int) "spans ranks" 88 (Plan.size p);
+  Alcotest.(check int) "rooted at coordinator 0" 0 p.Plan.root;
+  (* Every coordinator's inter-cluster children precede its intra children:
+     the first |inter| children of a relaying coordinator are coordinators. *)
+  let coordinators = List.init 6 (Machines.coordinator m) in
+  List.iter
+    (fun e ->
+      let src_coord = Machines.coordinator m e.Schedule.src in
+      let dst_coord = Machines.coordinator m e.Schedule.dst in
+      Alcotest.(check bool)
+        (Printf.sprintf "coordinator %d forwards to coordinator %d" src_coord dst_coord)
+        true
+        (List.mem dst_coord p.Plan.children.(src_coord));
+      Alcotest.(check bool) "dst is a coordinator" true (List.mem dst_coord coordinators))
+    sched.Schedule.events
+
+let test_plan_of_flat_schedule () =
+  let m = machines () in
+  let inst = Gridb_sched.Instance.of_machines ~root:0 ~msg:1_000_000 m in
+  let schedule = Heuristics.run Heuristics.ecef inst in
+  let plan = Plan.of_flat_schedule m schedule in
+  Alcotest.(check int) "spans all machines" 88 (Plan.size plan);
+  (* the DES agrees with the flat schedule's analytic makespan (T = 0) *)
+  let r = Exec.run ~msg:1_000_000 m plan in
+  check_feq "DES = analytic" (Schedule.makespan inst schedule) r.Exec.makespan
+
+let plan_of_schedule_spans_random =
+  QCheck.Test.make ~name:"hierarchical plans span random grids" ~count:40
+    QCheck.(pair (int_range 1 8) (int_bound 1_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let grid = Generators.uniform_random ~rng ~n Generators.default_random_spec in
+      let m = Machines.expand grid in
+      let inst = Instance.of_grid ~root:0 ~msg:500_000 grid in
+      List.for_all
+        (fun h ->
+          let p = Plan.of_cluster_schedule m (Heuristics.run h inst) in
+          Plan.size p = Machines.count m)
+        Heuristics.all)
+
+(* --- Exec: exactness against the analytic models ------------------------ *)
+
+let test_exec_matches_schedule_makespan () =
+  let grid = Grid5000.grid () in
+  let m = Machines.expand grid in
+  List.iter
+    (fun msg ->
+      let inst = Instance.of_grid ~root:0 ~msg grid in
+      List.iter
+        (fun h ->
+          let sched = Heuristics.run h inst in
+          let predicted = Schedule.makespan inst sched in
+          let plan = Plan.of_cluster_schedule m sched in
+          let r = Exec.run ~msg m plan in
+          check_feq ~eps:1e-9
+            (Printf.sprintf "%s at %d B" h.Heuristics.name msg)
+            predicted r.Exec.makespan)
+        Heuristics.all)
+    [ 1_000; 1_000_000; 4_000_000 ]
+
+let test_exec_matches_tree_cost () =
+  (* A single homogeneous cluster: the DES over the binomial plan equals the
+     closed-form Cost.broadcast_time. *)
+  let params = Params.linear ~latency:50. ~g0:20. ~bandwidth_mb_s:100. in
+  let grid = Generators.homogeneous ~n:1 ~cluster_size:24 ~inter:params ~intra:params in
+  let m = Machines.expand grid in
+  let plan = Plan.binomial_ranks m ~root:0 in
+  let msg = 100_000 in
+  let r = Exec.run ~msg m plan in
+  check_feq "matches Cost model"
+    (Gridb_collectives.Cost.broadcast_time ~params ~size:24 ~msg ())
+    r.Exec.makespan
+
+let test_exec_transmissions_count () =
+  let m = machines () in
+  let plan = Plan.binomial_ranks m ~root:0 in
+  let r = Exec.run m plan in
+  Alcotest.(check int) "n-1 transmissions" 87 r.Exec.transmissions;
+  Alcotest.(check bool) "all ranks reached" true
+    (Array.for_all (fun t -> not (Float.is_nan t)) r.Exec.arrival)
+
+let test_exec_start_delay_shifts () =
+  let m = machines () in
+  let plan = Plan.binomial_ranks m ~root:0 in
+  let base = (Exec.run m plan).Exec.makespan in
+  let shifted = (Exec.run ~start_delay:1234. m plan).Exec.makespan in
+  check_feq "uniform shift" (base +. 1234.) shifted
+
+let test_exec_noise_perturbs_but_is_seeded () =
+  let m = machines () in
+  let plan = Plan.binomial_ranks m ~root:0 in
+  let noisy seed =
+    (Exec.run ~noise:(Noise.Lognormal 0.1) ~rng:(Rng.create seed) m plan).Exec.makespan
+  in
+  let a = noisy 5 and b = noisy 5 and c = noisy 6 in
+  check_feq "same seed same result" a b;
+  Alcotest.(check bool) "different seed differs" true (not (feq a c));
+  let exact = (Exec.run m plan).Exec.makespan in
+  Alcotest.(check bool) "noise changes the result" true (not (feq a exact))
+
+let test_exec_mean_makespan_reasonable () =
+  let m = machines () in
+  let plan = Plan.binomial_ranks m ~root:0 in
+  let exact = (Exec.run m plan).Exec.makespan in
+  let mean = Exec.mean_makespan ~noise:(Noise.Lognormal 0.05) ~repetitions:30 ~seed:1 m plan in
+  Alcotest.(check bool) "mean within 10% of exact" true
+    (Float.abs (mean -. exact) /. exact < 0.1)
+
+let exec_arrival_monotone_along_tree =
+  QCheck.Test.make ~name:"children always arrive after parents" ~count:30
+    QCheck.(pair (int_range 1 6) (int_bound 1_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let grid = Generators.uniform_random ~rng ~n Generators.default_random_spec in
+      let m = Machines.expand grid in
+      let plan = Plan.binomial_ranks m ~root:0 in
+      let r = Exec.run ~noise:(Noise.Lognormal 0.2) ~rng m plan in
+      let parents = Plan.parent_array plan in
+      let ok = ref true in
+      Array.iteri
+        (fun rank parent ->
+          if rank <> plan.Plan.root then
+            ok := !ok && r.Exec.arrival.(rank) > r.Exec.arrival.(parent))
+        parents;
+      !ok)
+
+(* --- Trace ------------------------------------------------------------ *)
+
+let test_trace_recorded_on_request () =
+  let m = machines () in
+  let plan = Plan.binomial_ranks m ~root:0 in
+  let quiet = Exec.run m plan in
+  Alcotest.(check int) "no trace by default" 0 (List.length quiet.Exec.trace);
+  let r = Exec.run ~record_trace:true m plan in
+  Alcotest.(check int) "one record per transmission" r.Exec.transmissions
+    (List.length r.Exec.trace);
+  Alcotest.(check int) "87 transmissions" 87 (List.length r.Exec.trace)
+
+let test_trace_flat_root_busiest () =
+  let m = machines () in
+  let plan = Plan.flat_ranks m ~root:0 in
+  let r = Exec.run ~record_trace:true m plan in
+  (match Gridb_des.Trace.busiest_sender r.Exec.trace with
+  | Some (rank, busy) ->
+      Alcotest.(check int) "root carries all traffic" 0 rank;
+      Alcotest.(check bool) "busy the whole run" true (busy > 0.9 *. r.Exec.makespan)
+  | None -> Alcotest.fail "no senders");
+  Alcotest.(check int) "only one sender" 1
+    (List.length (Gridb_des.Trace.sender_busy_time r.Exec.trace))
+
+let test_trace_critical_path () =
+  let m = machines () in
+  let plan = Plan.binomial_ranks m ~root:0 in
+  let r = Exec.run ~record_trace:true m plan in
+  let path = Gridb_des.Trace.critical_path r.Exec.trace in
+  Alcotest.(check bool) "non-empty" true (path <> []);
+  (* path starts at the root and ends at the latest arrival *)
+  let first = List.hd path and last = List.nth path (List.length path - 1) in
+  Alcotest.(check int) "starts at root" 0 first.Gridb_des.Trace.src;
+  check_feq "ends at makespan" r.Exec.makespan last.Gridb_des.Trace.arrival;
+  (* hops chain: receiver of hop i = sender of hop i+1 *)
+  let rec chained = function
+    | a :: (b :: _ as rest) ->
+        a.Gridb_des.Trace.dst = b.Gridb_des.Trace.src && chained rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "chained" true (chained path)
+
+let test_trace_total_bytes () =
+  let m = machines () in
+  let plan = Plan.binomial_ranks m ~root:0 in
+  let r = Exec.run ~record_trace:true ~msg:1_000 m plan in
+  Alcotest.(check int) "87 KB moved" 87_000 (Gridb_des.Trace.total_bytes r.Exec.trace)
+
+(* --- Overhead ------------------------------------------------------------ *)
+
+let test_overhead_shapes () =
+  Alcotest.(check bool) "flat linear" true (Overhead.evaluations ~n:50 "FlatTree" = 50.);
+  let ecef = Overhead.evaluations ~n:20 "ECEF" in
+  let la = Overhead.evaluations ~n:20 "ECEF-LA" in
+  Alcotest.(check bool) "lookahead costs more" true (la > ecef);
+  Alcotest.(check bool) "LAT like LA" true
+    (Overhead.evaluations ~n:20 "ECEF-LAT" = la);
+  (* pair scans: sum r(n-r) for n=4 -> 3+4+3 = 10 *)
+  Alcotest.(check bool) "pair scan n=4" true (Overhead.evaluations ~n:4 "ECEF" = 10.);
+  check_feq "cost scales" (2. *. Overhead.cost_us ~per_evaluation_us:1. ~n:10 "ECEF")
+    (Overhead.cost_us ~per_evaluation_us:2. ~n:10 "ECEF")
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "des"
+    [
+      ( "engine",
+        [
+          quick "orders events" test_engine_orders_events;
+          quick "fifo ties" test_engine_fifo_for_ties;
+          quick "cascading" test_engine_cascading;
+          quick "rejects past" test_engine_rejects_past;
+          quick "run_until" test_engine_run_until;
+        ] );
+      ( "noise",
+        [
+          quick "exact identity" test_noise_exact;
+          QCheck_alcotest.to_alcotest test_noise_positive;
+          quick "uniform bounds" test_noise_uniform_bounds;
+          quick "lognormal centered" test_noise_lognormal_centered;
+        ] );
+      ( "plan",
+        [
+          quick "validation" test_plan_validation;
+          quick "binomial ranks" test_plan_binomial_ranks;
+          quick "flat ranks" test_plan_flat_ranks;
+          quick "of schedule structure" test_plan_of_schedule_structure;
+          quick "of flat schedule" test_plan_of_flat_schedule;
+          QCheck_alcotest.to_alcotest plan_of_schedule_spans_random;
+        ] );
+      ( "exec",
+        [
+          quick "matches schedule makespan" test_exec_matches_schedule_makespan;
+          quick "matches tree cost" test_exec_matches_tree_cost;
+          quick "transmission count" test_exec_transmissions_count;
+          quick "start delay" test_exec_start_delay_shifts;
+          quick "seeded noise" test_exec_noise_perturbs_but_is_seeded;
+          quick "mean makespan" test_exec_mean_makespan_reasonable;
+          QCheck_alcotest.to_alcotest exec_arrival_monotone_along_tree;
+        ] );
+      ( "trace",
+        [
+          quick "recorded on request" test_trace_recorded_on_request;
+          quick "flat root busiest" test_trace_flat_root_busiest;
+          quick "critical path" test_trace_critical_path;
+          quick "total bytes" test_trace_total_bytes;
+        ] );
+      ("overhead", [ quick "shapes" test_overhead_shapes ]);
+    ]

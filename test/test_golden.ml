@@ -1,0 +1,126 @@
+(* Golden regression tests: exact expected values for fixed seeds and the
+   deterministic GRID5000 topology.  These pin down the numerical behaviour
+   of the whole stack — RNG stream, instance generation, heuristic
+   tie-breaking, timing arithmetic — so that any silent change to any layer
+   trips a test.  If a change is *intentional* (e.g. a new tie-breaking
+   rule), regenerate the constants with the printer at the bottom:
+
+     dune exec test/test_golden.exe -- regen *)
+
+module Instance = Gridb_sched.Instance
+module Heuristics = Gridb_sched.Heuristics
+module Schedule = Gridb_sched.Schedule
+module Rng = Gridb_util.Rng
+
+let check_golden name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.6f, got %.6f" name expected actual)
+    true
+    (Float.abs (expected -. actual) < 5e-7 *. Float.max 1. (Float.abs expected))
+
+(* GRID5000 (deterministic topology), 1 MB, root 0: predicted makespans in
+   seconds. *)
+let grid5000_expectations =
+  [
+    ("FlatTree", 2.633363);
+    ("FEF", 0.600981);
+    ("ECEF", 0.600981);
+    ("ECEF-LA", 0.600981);
+    ("ECEF-LAt", 0.600981);
+    ("ECEF-LAT", 0.580931);
+    ("BottomUp", 1.089735);
+  ]
+
+let test_grid5000_golden () =
+  let grid = Gridb_topology.Grid5000.grid () in
+  let inst = Instance.of_grid ~root:0 ~msg:1_000_000 grid in
+  List.iter
+    (fun (name, expected) ->
+      match Heuristics.by_name name with
+      | None -> Alcotest.failf "unknown heuristic %s" name
+      | Some h -> check_golden name expected (Heuristics.makespan h inst /. 1e6))
+    grid5000_expectations
+
+(* Random instance stream: seed 2006, n = 10, first draw. *)
+let random_expectations =
+  [
+    ("FlatTree", 4.607803);
+    ("FEF", 3.758756);
+    ("ECEF", 3.395731);
+    ("ECEF-LA", 3.246838);
+    ("ECEF-LAt", 3.466644);
+    ("ECEF-LAT", 3.566254);
+    ("BottomUp", 3.184820);
+  ]
+
+let golden_instance () =
+  let rng = Rng.create 2006 in
+  Instance.random ~rng ~n:10 Instance.table2_ranges
+
+let test_random_instance_golden () =
+  let inst = golden_instance () in
+  List.iter
+    (fun (name, expected) ->
+      match Heuristics.by_name name with
+      | None -> Alcotest.failf "unknown heuristic %s" name
+      | Some h -> check_golden name expected (Heuristics.makespan h inst /. 1e6))
+    random_expectations
+
+let test_rng_stream_golden () =
+  (* First three raw outputs of the SplitMix64 stream for seed 2006. *)
+  let rng = Rng.create 2006 in
+  let observed = List.init 3 (fun _ -> Rng.bits64 rng) in
+  let as_strings = List.map Int64.to_string observed in
+  Alcotest.(check (list string))
+    "splitmix64 stream"
+    [ "2585961775473798433"; "2846287610197900435"; "5817944072696408171" ]
+    as_strings
+
+let test_grid5000_instance_golden () =
+  let grid = Gridb_topology.Grid5000.grid () in
+  let inst = Instance.of_grid ~root:0 ~msg:1_000_000 grid in
+  (* T of Orsay-A (31 machines, binomial, 100 MB/s, 47.56 us): pinned. *)
+  check_golden "T Orsay-A (ms)" 50.290240 (inst.Instance.intra.(0) /. 1e3);
+  check_golden "gap Orsay->IDPOT 1MB (ms)" 769.280769 (inst.Instance.gap.(0).(2) /. 1e3)
+
+let regen () =
+  let grid = Gridb_topology.Grid5000.grid () in
+  let inst = Instance.of_grid ~root:0 ~msg:1_000_000 grid in
+  Printf.printf "grid5000 expectations:\n";
+  List.iter
+    (fun h ->
+      Printf.printf "    (%S, %.6f);\n" h.Heuristics.name
+        (Heuristics.makespan h inst /. 1e6))
+    Heuristics.all;
+  let inst = golden_instance () in
+  Printf.printf "random expectations (seed 2006, n=10):\n";
+  List.iter
+    (fun h ->
+      Printf.printf "    (%S, %.6f);\n" h.Heuristics.name
+        (Heuristics.makespan h inst /. 1e6))
+    Heuristics.all;
+  let rng = Rng.create 2006 in
+  Printf.printf "rng stream: %s\n"
+    (String.concat "; "
+       (List.init 3 (fun _ -> Int64.to_string (Rng.bits64 rng))));
+  let grid = Gridb_topology.Grid5000.grid () in
+  let inst = Instance.of_grid ~root:0 ~msg:1_000_000 grid in
+  Printf.printf "T Orsay-A: %.6f ms, gap 0->2: %.6f ms\n"
+    (inst.Instance.intra.(0) /. 1e3)
+    (inst.Instance.gap.(0).(2) /. 1e3)
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "regen" then regen ()
+  else begin
+    let quick name f = Alcotest.test_case name `Quick f in
+    Alcotest.run "golden"
+      [
+        ( "golden",
+          [
+            quick "grid5000 makespans" test_grid5000_golden;
+            quick "random instance makespans" test_random_instance_golden;
+            quick "rng stream" test_rng_stream_golden;
+            quick "grid5000 instance values" test_grid5000_instance_golden;
+          ] );
+      ]
+  end

@@ -1,0 +1,344 @@
+(* Tests for gridb_util: RNG, statistics, heap, tables, plots, CSV, units. *)
+
+module Rng = Gridb_util.Rng
+module Stats = Gridb_util.Stats
+module Heap = Gridb_util.Binary_heap
+module Units = Gridb_util.Units
+
+let feq ?(eps = 1e-9) a b =
+  let scale = Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= eps *. scale
+
+let check_feq ?eps name expected actual =
+  Alcotest.(check bool) (Printf.sprintf "%s: %g ~ %g" name expected actual) true
+    (feq ?eps expected actual)
+
+(* --- Rng ------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy preserves state" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split streams differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in_bounds () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-3) 3 in
+    Alcotest.(check bool) "in [-3,3]" true (v >= -3 && v <= 3)
+  done
+
+let test_rng_int_rejects () =
+  let rng = Rng.create 0 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0));
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Rng.int_in: hi < lo") (fun () ->
+      ignore (Rng.int_in rng 2 1))
+
+let test_rng_float_in () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let v = Rng.float_in rng 1.5 2.5 in
+    Alcotest.(check bool) "in [1.5,2.5)" true (v >= 1.5 && v < 2.5)
+  done
+
+let test_rng_uniformity () =
+  (* Chi-square-ish sanity: 10 buckets, 10000 draws, each bucket within
+     3 sigma of the expectation. *)
+  let rng = Rng.create 123 in
+  let buckets = Array.make 10 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  let expected = float_of_int n /. 10. in
+  let sigma = sqrt (expected *. 0.9) in
+  Array.iteri
+    (fun i count ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d count %d within 4 sigma" i count)
+        true
+        (Float.abs (float_of_int count -. expected) < 4. *. sigma))
+    buckets
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 77 in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian ~mu:3. ~sigma:2. rng) in
+  let mean = Stats.mean xs in
+  let sd = Stats.stddev xs in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (mean -. 3.) < 0.06);
+  Alcotest.(check bool) "sd near 2" true (Float.abs (sd -. 2.) < 0.06)
+
+let test_rng_lognormal_positive () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "lognormal > 0" true (Rng.lognormal ~sigma:0.5 rng > 0.)
+  done
+
+let test_rng_exponential () =
+  let rng = Rng.create 3 in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Rng.exponential rng 2.) in
+  Alcotest.(check bool) "all nonneg" true (Array.for_all (fun x -> x >= 0.) xs);
+  Alcotest.(check bool) "mean near 1/2" true (Float.abs (Stats.mean xs -. 0.5) < 0.02);
+  Alcotest.check_raises "lambda <= 0"
+    (Invalid_argument "Rng.exponential: lambda must be positive") (fun () ->
+      ignore (Rng.exponential rng 0.))
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 12 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_permutation () =
+  let rng = Rng.create 13 in
+  let p = Rng.permutation rng 20 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "bijection" (Array.init 20 (fun i -> i)) sorted
+
+let test_rng_pick () =
+  let rng = Rng.create 14 in
+  let a = [| 5; 6; 7 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "pick member" true (Array.mem (Rng.pick rng a) a)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick rng [||]))
+
+(* --- Stats ----------------------------------------------------------- *)
+
+let test_stats_mean () = check_feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
+
+let test_stats_variance () =
+  check_feq "variance" (5. /. 3.) (Stats.variance [| 1.; 2.; 3.; 4. |]);
+  check_feq "singleton" 0. (Stats.variance [| 42. |])
+
+let test_stats_median () =
+  check_feq "odd" 2. (Stats.median [| 3.; 1.; 2. |]);
+  check_feq "even interpolates" 2.5 (Stats.median [| 1.; 2.; 3.; 4. |])
+
+let test_stats_percentile () =
+  let xs = [| 10.; 20.; 30.; 40.; 50. |] in
+  check_feq "p0" 10. (Stats.percentile xs 0.);
+  check_feq "p100" 50. (Stats.percentile xs 1.);
+  check_feq "p25" 20. (Stats.percentile xs 0.25);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p outside [0,1]") (fun () ->
+      ignore (Stats.percentile xs 1.5))
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty input")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 4.; 1.; 3.; 2. |] in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  check_feq "min" 1. s.Stats.min;
+  check_feq "max" 4. s.Stats.max;
+  check_feq "mean" 2.5 s.Stats.mean
+
+let test_stats_online_matches_batch () =
+  let rng = Rng.create 55 in
+  let xs = Array.init 500 (fun _ -> Rng.float_in rng (-10.) 10.) in
+  let online = Stats.Online.create () in
+  Array.iter (Stats.Online.add online) xs;
+  check_feq ~eps:1e-9 "mean" (Stats.mean xs) (Stats.Online.mean online);
+  check_feq ~eps:1e-9 "variance" (Stats.variance xs) (Stats.Online.variance online);
+  check_feq "min" (Array.fold_left Float.min infinity xs) (Stats.Online.min online);
+  check_feq "max" (Array.fold_left Float.max neg_infinity xs) (Stats.Online.max online)
+
+let test_stats_online_merge () =
+  let rng = Rng.create 56 in
+  let xs = Array.init 400 (fun _ -> Rng.float_in rng 0. 1.) in
+  let a = Stats.Online.create () and b = Stats.Online.create () in
+  Array.iteri (fun i x -> Stats.Online.add (if i mod 2 = 0 then a else b) x) xs;
+  let merged = Stats.Online.merge a b in
+  check_feq "merged mean" (Stats.mean xs) (Stats.Online.mean merged);
+  check_feq "merged variance" (Stats.variance xs) (Stats.Online.variance merged);
+  Alcotest.(check int) "merged count" 400 (Stats.Online.count merged)
+
+(* --- Binary heap ------------------------------------------------------ *)
+
+let test_heap_sorts () =
+  let rng = Rng.create 21 in
+  let xs = List.init 200 (fun _ -> Rng.int rng 1000) in
+  let h = Heap.create ~cmp:compare () in
+  List.iter (Heap.add h) xs;
+  Alcotest.(check (list int)) "drains sorted" (List.sort compare xs) (Heap.to_sorted_list h);
+  Alcotest.(check int) "empty after drain" 0 (Heap.length h)
+
+let test_heap_of_array () =
+  let h = Heap.of_array ~cmp:compare [| 5; 1; 4; 2; 3 |] in
+  Alcotest.(check bool) "invariant holds" true (Heap.check_invariant h);
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (Heap.to_sorted_list h)
+
+let test_heap_peek_pop () =
+  let h = Heap.create ~cmp:compare () in
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  Heap.add h 3;
+  Heap.add h 1;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check int) "peek does not remove" 2 (Heap.length h);
+  Alcotest.(check int) "pop_exn" 1 (Heap.pop_exn h);
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let test_heap_invariant_random =
+  QCheck.Test.make ~name:"heap invariant after random ops" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun xs ->
+      let h = Heap.create ~cmp:compare () in
+      List.iteri
+        (fun i x -> if i mod 3 = 2 then ignore (Heap.pop h) else Heap.add h x)
+        xs;
+      Heap.check_invariant h)
+
+let test_heap_stability_order () =
+  (* equal priorities must all come out; count preserved *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) () in
+  List.iter (Heap.add h) [ (1, "a"); (1, "b"); (0, "c"); (1, "d") ];
+  Alcotest.(check int) "4 elements" 4 (Heap.length h);
+  Alcotest.(check string) "min first" "c" (snd (Heap.pop_exn h))
+
+(* --- Units ------------------------------------------------------------ *)
+
+let test_units_conversions () =
+  check_feq "ms" 1_000. (Units.ms 1.);
+  check_feq "s" 1_000_000. (Units.seconds 1.);
+  check_feq "roundtrip" 2.5 (Units.to_seconds (Units.seconds 2.5));
+  Alcotest.(check int) "mb" 4_000_000 (Units.mb 4);
+  Alcotest.(check int) "kib" 2048 (Units.kib 2)
+
+let test_units_pp () =
+  Alcotest.(check string) "seconds" "2.5 s" (Units.time_to_string 2_500_000.);
+  Alcotest.(check string) "ms" "340 ms" (Units.time_to_string 340_000.);
+  Alcotest.(check string) "us" "47.6 us" (Units.time_to_string 47.56);
+  Alcotest.(check string) "MB" "4 MB" (Units.bytes_to_string 4_000_000);
+  Alcotest.(check string) "B" "37 B" (Units.bytes_to_string 37)
+
+(* --- Text table / plot / CSV ------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table_renders () =
+  let t = Gridb_util.Text_table.create [ "name"; "value" ] in
+  Gridb_util.Text_table.add_row t [ "alpha"; "1" ];
+  Gridb_util.Text_table.add_float_row t "beta" [ 2.5 ];
+  let s = Gridb_util.Text_table.render t in
+  Alcotest.(check bool) "has header" true (String.length s > 0);
+  Alcotest.(check bool) "mentions alpha" true (contains s "alpha")
+
+and test_table_rejects_bad_row () =
+  let t = Gridb_util.Text_table.create [ "a"; "b" ] in
+  Alcotest.check_raises "bad width" (Invalid_argument "Text_table.add_row: row width mismatch")
+    (fun () -> Gridb_util.Text_table.add_row t [ "only-one" ])
+
+let test_plot_renders () =
+  let s =
+    Gridb_util.Ascii_plot.plot ~title:"t"
+      [ { Gridb_util.Ascii_plot.label = "x"; points = [ (0., 0.); (1., 1.) ] } ]
+  in
+  Alcotest.(check bool) "non-empty" true (String.length s > 100);
+  let empty = Gridb_util.Ascii_plot.plot ~title:"none" [] in
+  Alcotest.(check bool) "no data marker" true (contains empty "no data")
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Gridb_util.Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Gridb_util.Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Gridb_util.Csv.escape "a\"b");
+  Alcotest.(check string) "row" "a,\"b,c\",d"
+    (Gridb_util.Csv.row_to_string [ "a"; "b,c"; "d" ])
+
+let test_csv_write_read () =
+  let path = Filename.temp_file "gridb" ".csv" in
+  Gridb_util.Csv.write path [ [ "h1"; "h2" ]; [ "1"; "2" ] ];
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header line" "h1,h2" line
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          quick "determinism" test_rng_determinism;
+          quick "seed sensitivity" test_rng_seed_sensitivity;
+          quick "copy" test_rng_copy;
+          quick "split" test_rng_split_independent;
+          quick "int bounds" test_rng_int_bounds;
+          quick "int_in bounds" test_rng_int_in_bounds;
+          quick "int rejects" test_rng_int_rejects;
+          quick "float_in" test_rng_float_in;
+          quick "uniformity" test_rng_uniformity;
+          quick "gaussian moments" test_rng_gaussian_moments;
+          quick "lognormal positive" test_rng_lognormal_positive;
+          quick "exponential" test_rng_exponential;
+          quick "shuffle permutes" test_rng_shuffle_permutes;
+          quick "permutation" test_rng_permutation;
+          quick "pick" test_rng_pick;
+        ] );
+      ( "stats",
+        [
+          quick "mean" test_stats_mean;
+          quick "variance" test_stats_variance;
+          quick "median" test_stats_median;
+          quick "percentile" test_stats_percentile;
+          quick "empty input" test_stats_empty;
+          quick "summary" test_stats_summary;
+          quick "online matches batch" test_stats_online_matches_batch;
+          quick "online merge" test_stats_online_merge;
+        ] );
+      ( "heap",
+        [
+          quick "sorts" test_heap_sorts;
+          quick "of_array" test_heap_of_array;
+          quick "peek/pop" test_heap_peek_pop;
+          QCheck_alcotest.to_alcotest test_heap_invariant_random;
+          quick "ties" test_heap_stability_order;
+        ] );
+      ( "units",
+        [ quick "conversions" test_units_conversions; quick "pretty" test_units_pp ] );
+      ( "render",
+        [
+          quick "table renders" test_table_renders;
+          quick "table rejects bad row" test_table_rejects_bad_row;
+          quick "plot renders" test_plot_renders;
+          quick "csv escape" test_csv_escape;
+          quick "csv write" test_csv_write_read;
+        ] );
+    ]
