@@ -22,6 +22,17 @@ let heuristic_conv =
   in
   Arg.conv (parse, fun ppf h -> Format.pp_print_string ppf h.Heuristics.name)
 
+let engine_arg =
+  let mode = Arg.enum [ ("incremental", `Incremental); ("naive", `Naive) ] in
+  Arg.(
+    value
+    & opt mode `Incremental
+    & info [ "engine" ] ~docv:"MODE"
+        ~doc:
+          "Selection engine: $(b,incremental) (per-receiver caches, the default) or \
+           $(b,naive) (the paper's full A x B scan).  Both produce the identical \
+           schedule; naive is kept as the reference oracle.")
+
 let msg_arg =
   Arg.(value & opt int 1_000_000 & info [ "m"; "message" ] ~docv:"BYTES" ~doc:"Message size in bytes.")
 
@@ -45,14 +56,14 @@ let load_grid = function
 (* --- schedule: run one heuristic on a topology and print the schedule --- *)
 
 let schedule_cmd =
-  let run heuristic topology msg root gantt improve =
+  let run heuristic topology msg root gantt improve mode =
     match load_grid topology with
     | Error e ->
         prerr_endline e;
         1
     | Ok grid ->
         let inst = Instance.of_grid ~root ~msg grid in
-        let schedule = Heuristics.run heuristic inst in
+        let schedule = Heuristics.run ~mode heuristic inst in
         let schedule =
           if improve then begin
             let refined = Gridb_sched.Refine.improve inst schedule in
@@ -85,28 +96,43 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Compute and print one heuristic's broadcast schedule")
-    Term.(const run $ heuristic $ topology_arg $ msg_arg $ root $ gantt $ improve)
+    Term.(const run $ heuristic $ topology_arg $ msg_arg $ root $ gantt $ improve $ engine_arg)
 
 (* --- compare: all heuristics on one topology --- *)
 
 let compare_cmd =
-  let run topology msg root =
+  let run topology msg root mode =
     match load_grid topology with
     | Error e ->
         prerr_endline e;
         1
     | Ok grid ->
         let inst = Instance.of_grid ~root ~msg grid in
-        let table = Gridb_util.Text_table.create [ "heuristic"; "makespan (s)"; "depth" ] in
+        let table =
+          Gridb_util.Text_table.create
+            [ "heuristic"; "makespan (s)"; "depth"; "pair evals" ]
+        in
         List.iter
           (fun h ->
-            let s = Heuristics.run h inst in
-            Gridb_util.Text_table.add_row table
-              [
-                h.Heuristics.name;
-                Printf.sprintf "%.4f" (Schedule.makespan inst s /. 1e6);
-                string_of_int (Schedule.depth s);
-              ])
+            match h.Heuristics.policy with
+            | Some p ->
+                let s, stats = Gridb_sched.Engine.run_stats ~mode p inst in
+                Gridb_util.Text_table.add_row table
+                  [
+                    h.Heuristics.name;
+                    Printf.sprintf "%.4f" (Schedule.makespan inst s /. 1e6);
+                    string_of_int (Schedule.depth s);
+                    string_of_int stats.Gridb_sched.Engine.pair_evaluations;
+                  ]
+            | None ->
+                let s = Heuristics.run h inst in
+                Gridb_util.Text_table.add_row table
+                  [
+                    h.Heuristics.name;
+                    Printf.sprintf "%.4f" (Schedule.makespan inst s /. 1e6);
+                    string_of_int (Schedule.depth s);
+                    "-";
+                  ])
           Heuristics.all;
         Gridb_util.Text_table.print table;
         0
@@ -114,7 +140,7 @@ let compare_cmd =
   let root = Arg.(value & opt int 0 & info [ "root" ] ~docv:"CLUSTER") in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare all heuristics' makespans on one topology")
-    Term.(const run $ topology_arg $ msg_arg $ root)
+    Term.(const run $ topology_arg $ msg_arg $ root $ engine_arg)
 
 (* --- topology: generate and save a random topology --- *)
 

@@ -36,28 +36,13 @@ let lookahead_sweep config =
     ~title:"Ablation: lookahead function plugged into the ECEF driver"
     ~extract:Sweep.mean_seconds ~y_label:"mean completion time (s)" heuristics
 
-(* FEF scoring by transmission time instead of latency. *)
+(* FEF scoring by transmission time instead of latency.  The Transmission
+   pair score reproduces the old ascending-(i, j) first-wins scan, and being
+   a policy it runs on the incremental engine like the named heuristics. *)
 let fef_transmission =
-  {
-    Heuristics.name = "FEF(g+L)";
-    select =
-      (fun state ->
-        let inst = State.instance state in
-        let best = ref None in
-        List.iter
-          (fun i ->
-            List.iter
-              (fun j ->
-                let s = Instance.send_time inst i j in
-                match !best with
-                | Some (_, _, s') when s' <= s -> ()
-                | _ -> best := Some (i, j, s))
-              (State.members_b state))
-          (State.members_a state);
-        match !best with
-        | Some (i, j, _) -> (i, j)
-        | None -> invalid_arg "fef_transmission: finished state");
-  }
+  Heuristics.of_policy
+    (Gridb_sched.Policy.select_min ~name:"FEF(g+L)"
+       ~score:Gridb_sched.Policy.Transmission Lookahead.none)
 
 let fef_edge_weight config =
   sweep_figure config ~id:"abl-fef-edge"

@@ -77,7 +77,14 @@ let scheduling_cost strategy ~n ~fresh =
     match strategy with
     | Binomial_world -> 0.
     | Flat_two_level -> Gridb_sched.Overhead.cost_us ~n "FlatTree"
-    | Scheduled h -> Gridb_sched.Overhead.cost_us ~n h.Heuristics.name
+    | Scheduled h -> (
+        (* Use the policy descriptor when there is one — exact for
+           parameterised names the string model would have to guess at. *)
+        match h.Heuristics.policy with
+        | Some p ->
+            Gridb_sched.Overhead.of_policy ~n p
+            *. Gridb_sched.Overhead.default_per_evaluation_us
+        | None -> Gridb_sched.Overhead.cost_us ~n h.Heuristics.name)
     | Adaptive hs ->
         Gridb_sched.Portfolio.scheduling_evaluations ~heuristics:hs n
         *. Gridb_sched.Overhead.default_per_evaluation_us

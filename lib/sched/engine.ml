@@ -1,0 +1,317 @@
+module Heap = Gridb_util.Score_heap
+
+type mode = [ `Incremental | `Naive ]
+
+type stats = {
+  mutable pair_evaluations : int;
+  mutable lookahead_terms : int;
+  mutable rescored : int;
+}
+
+let create_stats () = { pair_evaluations = 0; lookahead_terms = 0; rescored = 0 }
+
+let finished_msg = "Engine: selection on a finished state"
+
+let eval_score (score : Policy.pair_score) state inst i j =
+  match score with
+  | Policy.Latency -> inst.Instance.latency.(i).(j)
+  | Policy.Transmission -> Instance.send_time inst i j
+  | Policy.Arrival -> State.score_arrival state i j
+
+(* --- reference oracle: the paper's full A x B scan --------------------- *)
+
+(* One naive selection round.  Iteration in ascending (i, j) order with a
+   strict improvement test makes ties deterministic; the incremental path
+   below must (and does) reproduce these picks bit for bit. *)
+let naive_round stats (shape : Policy.shape) state =
+  let inst = State.instance state in
+  match shape with
+  | Policy.Sized _ -> assert false (* resolved before dispatch *)
+  | Policy.Root_first -> (
+      stats.pair_evaluations <- stats.pair_evaluations + 1;
+      match State.first_b state with
+      | Some j -> (inst.Instance.root, j)
+      | None -> invalid_arg finished_msg)
+  | Policy.Select_min { score; lookahead } ->
+      let b = State.count_b state in
+      (* F_j does not depend on the sender: cache it per receiver. *)
+      let f =
+        match lookahead.Lookahead.shape with
+        | Lookahead.Zero -> [||]
+        | Lookahead.Fold _ | Lookahead.Dynamic ->
+            let f = Array.make inst.Instance.n 0. in
+            State.iter_b state (fun j -> f.(j) <- lookahead.Lookahead.eval state ~j);
+            stats.lookahead_terms <- stats.lookahead_terms + (b * (b - 1));
+            f
+      in
+      let has_f = Array.length f > 0 in
+      let best_i = ref (-1) and best_j = ref (-1) and best_s = ref infinity in
+      State.iter_a state (fun i ->
+          State.iter_b state (fun j ->
+              stats.pair_evaluations <- stats.pair_evaluations + 1;
+              let s = eval_score score state inst i j in
+              let s = if has_f then s +. f.(j) else s in
+              if s < !best_s then begin
+                best_s := s;
+                best_i := i;
+                best_j := j
+              end));
+      if !best_i < 0 then invalid_arg finished_msg;
+      (!best_i, !best_j)
+  | Policy.Max_reach ->
+      (* For each receiver j, its best (earliest-arrival) sender; then take
+         the receiver whose best completion including T_j is largest. *)
+      let best_i = ref (-1) and best_j = ref (-1) and best_v = ref neg_infinity in
+      State.iter_b state (fun j ->
+          let sender = ref (-1) and arrival = ref infinity in
+          State.iter_a state (fun i ->
+              stats.pair_evaluations <- stats.pair_evaluations + 1;
+              let a = State.score_arrival state i j in
+              if a < !arrival then begin
+                arrival := a;
+                sender := i
+              end);
+          if !sender >= 0 then begin
+            let value = !arrival +. inst.Instance.intra.(j) in
+            if value > !best_v then begin
+              best_v := value;
+              best_i := !sender;
+              best_j := j
+            end
+          end);
+      if !best_i < 0 then invalid_arg finished_msg;
+      (!best_i, !best_j)
+
+let naive_select policy state =
+  let inst = State.instance state in
+  let resolved = Policy.resolve ~n:inst.Instance.n policy in
+  naive_round (create_stats ()) (Policy.shape resolved) state
+
+(* --- incremental selector ---------------------------------------------- *)
+
+(* The key invariant of State.send: after [send ~src ~dst], among A only
+   [avail src] changed (so only pairs whose sender is [src] are re-scored,
+   lazily, when they surface at a heap top) and only [dst] moved from B to
+   A (so [dst] gains one candidate entry per remaining receiver, and fold
+   lookahead entries naming [dst] die lazily on pop). *)
+
+(* Per-receiver candidate heap over senders, keyed by (pair score, id). *)
+let init_senders stats state pair ~n ~root =
+  let empty = Heap.create ~capacity:1 ~order:Heap.Min () in
+  let senders = Array.make n empty in
+  State.iter_b state (fun j ->
+      let h = Heap.create ~order:Heap.Min () in
+      stats.pair_evaluations <- stats.pair_evaluations + 1;
+      Heap.push h (pair root j) root;
+      senders.(j) <- h);
+  (empty, senders)
+
+let push_new_sender stats state senders pair dst =
+  State.iter_b state (fun j ->
+      stats.pair_evaluations <- stats.pair_evaluations + 1;
+      Heap.push senders.(j) (pair dst j) dst)
+
+let incremental_loop stats (shape : Policy.shape) state =
+  let inst = State.instance state in
+  let n = inst.Instance.n in
+  let root = inst.Instance.root in
+  match shape with
+  | Policy.Sized _ -> assert false
+  | Policy.Root_first ->
+      while not (State.finished state) do
+        stats.pair_evaluations <- stats.pair_evaluations + 1;
+        match State.first_b state with
+        | Some j -> State.send state ~src:root ~dst:j
+        | None -> assert false
+      done
+  | Policy.Select_min { score; lookahead } ->
+      let depends = Policy.score_depends_on_avail score in
+      let pair i j = eval_score score state inst i j in
+      let empty, senders = init_senders stats state pair ~n ~root in
+      let la_folds =
+        match lookahead.Lookahead.shape with
+        | Lookahead.Fold { order; term } ->
+            (* Terms are static; only B-membership invalidates an entry, and
+               B only shrinks, so dead entries are dropped for good when
+               they surface at the top. *)
+            let heaps = Array.make n empty in
+            State.iter_b state (fun j ->
+                let h =
+                  Heap.create
+                    ~order:(match order with `Min -> Heap.Min | `Max -> Heap.Max)
+                    ()
+                in
+                State.iter_b state (fun k ->
+                    if k <> j then begin
+                      stats.lookahead_terms <- stats.lookahead_terms + 1;
+                      Heap.push h (term inst j k) k
+                    end);
+                heaps.(j) <- h);
+            Some heaps
+        | Lookahead.Zero | Lookahead.Dynamic -> None
+      in
+      let is_dynamic =
+        match lookahead.Lookahead.shape with
+        | Lookahead.Dynamic -> true
+        | Lookahead.Zero | Lookahead.Fold _ -> false
+      in
+      let f_of j =
+        match la_folds with
+        | Some heaps ->
+            let h = heaps.(j) in
+            let rec clean () =
+              if Heap.is_empty h then 0.
+              else if State.in_a state (Heap.top_id h) then begin
+                Heap.drop_top h;
+                clean ()
+              end
+              else Heap.top_score h
+            in
+            clean ()
+        | None ->
+            if is_dynamic then begin
+              stats.lookahead_terms <-
+                stats.lookahead_terms + (State.count_b state - 1);
+              lookahead.Lookahead.eval state ~j
+            end
+            else 0.
+      in
+      (* Re-score stale entries until the top is fresh: a stale entry
+         under-estimates its true score (an avail only ever advances), so
+         it surfaces early and sinks once re-scored. *)
+      let rec fresh_top h j =
+        let s = Heap.top_score h and i = Heap.top_id h in
+        if not depends then (s, i)
+        else begin
+          stats.pair_evaluations <- stats.pair_evaluations + 1;
+          let cur = pair i j in
+          if cur = s then (s, i)
+          else begin
+            Heap.drop_top h;
+            Heap.push h cur i;
+            stats.rescored <- stats.rescored + 1;
+            fresh_top h j
+          end
+        end
+      in
+      (* Best (pair + f, sender) for receiver j.  Usually the fresh top
+         decides outright (the runner-up's total is provably worse and the
+         heap is untouched).  But adding f can round two distinct pair
+         scores onto one total, and the naive scan breaks such ties towards
+         the smallest sender id — so when the runner-up could tie, drain
+         the tied prefix (pops ascend in pair score, hence in total;
+         re-score stale entries on the way) and push it back. *)
+      let stash = ref [] in
+      let best_of j f =
+        let h = senders.(j) in
+        let s, i = fresh_top h j in
+        let total = s +. f in
+        if Heap.second_score h +. f > total then (total, i)
+        else begin
+          stash := [];
+          let t_min = ref infinity and i_min = ref (-1) in
+          let continue = ref true in
+          while !continue && not (Heap.is_empty h) do
+            let s = Heap.top_score h and i = Heap.top_id h in
+            let fresh =
+              (not depends)
+              ||
+              begin
+                stats.pair_evaluations <- stats.pair_evaluations + 1;
+                let cur = pair i j in
+                cur = s
+                ||
+                begin
+                  Heap.drop_top h;
+                  Heap.push h cur i;
+                  stats.rescored <- stats.rescored + 1;
+                  false
+                end
+              end
+            in
+            if fresh then begin
+              let total = s +. f in
+              if !i_min < 0 || total = !t_min then begin
+                t_min := total;
+                if !i_min < 0 || i < !i_min then i_min := i;
+                Heap.drop_top h;
+                stash := (s, i) :: !stash
+              end
+              else continue := false
+            end
+          done;
+          List.iter (fun (s, i) -> Heap.push h s i) !stash;
+          (!t_min, !i_min)
+        end
+      in
+      while not (State.finished state) do
+        let best_total = ref infinity and best_i = ref (-1) and best_j = ref (-1) in
+        State.iter_b state (fun j ->
+            let f = f_of j in
+            let total, i = best_of j f in
+            if
+              !best_j < 0 || total < !best_total
+              || (total = !best_total && i < !best_i)
+            then begin
+              best_total := total;
+              best_i := i;
+              best_j := j
+            end);
+        let dst = !best_j in
+        State.send state ~src:!best_i ~dst;
+        senders.(dst) <- empty;
+        (match la_folds with Some heaps -> heaps.(dst) <- empty | None -> ());
+        push_new_sender stats state senders pair dst
+      done
+  | Policy.Max_reach ->
+      let pair i j = State.score_arrival state i j in
+      let empty, senders = init_senders stats state pair ~n ~root in
+      (* Within a receiver the heap already orders by (arrival, id); the
+         receiver's T_j enters only the across-receiver comparison, so no
+         tie drain is needed here. *)
+      let best_of j =
+        let h = senders.(j) in
+        let rec clean () =
+          let s = Heap.top_score h and i = Heap.top_id h in
+          stats.pair_evaluations <- stats.pair_evaluations + 1;
+          let cur = pair i j in
+          if cur = s then (s, i)
+          else begin
+            Heap.drop_top h;
+            Heap.push h cur i;
+            stats.rescored <- stats.rescored + 1;
+            clean ()
+          end
+        in
+        clean ()
+      in
+      while not (State.finished state) do
+        let best_v = ref neg_infinity and best_i = ref (-1) and best_j = ref (-1) in
+        State.iter_b state (fun j ->
+            let s, i = best_of j in
+            let value = s +. inst.Instance.intra.(j) in
+            if !best_j < 0 || value > !best_v then begin
+              best_v := value;
+              best_i := i;
+              best_j := j
+            end);
+        let dst = !best_j in
+        State.send state ~src:!best_i ~dst;
+        senders.(dst) <- empty;
+        push_new_sender stats state senders pair dst
+      done
+
+let run_stats ?(mode = `Incremental) policy inst =
+  let stats = create_stats () in
+  let shape = Policy.shape (Policy.resolve ~n:inst.Instance.n policy) in
+  let state = State.create inst in
+  (match mode with
+  | `Naive ->
+      while not (State.finished state) do
+        let src, dst = naive_round stats shape state in
+        State.send state ~src ~dst
+      done
+  | `Incremental -> incremental_loop stats shape state);
+  (State.to_schedule state, stats)
+
+let run ?mode policy inst = fst (run_stats ?mode policy inst)

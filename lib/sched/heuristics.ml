@@ -1,103 +1,35 @@
-type t = { name : string; select : State.t -> int * int }
+type t = {
+  name : string;
+  select : State.t -> int * int;
+  policy : Policy.t option;
+}
 
-(* Scan A x B keeping the pair with the strictly smallest score; iteration
-   in ascending (i, j) order makes ties deterministic. *)
-let argmin_pair state score =
-  let best_i = ref (-1) and best_j = ref (-1) and best_s = ref infinity in
-  State.iter_a state (fun i ->
-      State.iter_b state (fun j ->
-          let s = score i j in
-          if s < !best_s then begin
-            best_s := s;
-            best_i := i;
-            best_j := j
-          end));
-  if !best_i < 0 then invalid_arg "Heuristics: selection on a finished state";
-  (!best_i, !best_j)
-
-let flat_tree =
+let of_policy p =
   {
-    name = "FlatTree";
-    select =
-      (fun state ->
-        let root = (State.instance state).Instance.root in
-        match State.members_b state with
-        | [] -> invalid_arg "Heuristics.flat_tree: finished state"
-        | j :: _ -> (root, j));
+    name = Policy.name p;
+    select = (fun state -> Engine.naive_select p state);
+    policy = Some p;
   }
 
-let fef =
-  {
-    name = "FEF";
-    select =
-      (fun state ->
-        let inst = State.instance state in
-        argmin_pair state (fun i j -> inst.Instance.latency.(i).(j)));
-  }
+let v ~name select = { name; select; policy = None }
 
-let ecef =
-  { name = "ECEF"; select = (fun state -> argmin_pair state (State.score_arrival state)) }
-
-let ecef_with_named name (lookahead : Lookahead.t) =
-  {
-    name;
-    select =
-      (fun state ->
-        (* F_j does not depend on the sender: cache it per receiver. *)
-        let n = (State.instance state).Instance.n in
-        let f = Array.make n 0. in
-        State.iter_b state (fun j -> f.(j) <- lookahead.Lookahead.eval state ~j);
-        argmin_pair state (fun i j -> State.score_arrival state i j +. f.(j)));
-  }
-
-let ecef_with lookahead =
-  ecef_with_named ("ECEF-LA<" ^ lookahead.Lookahead.name ^ ">") lookahead
-
-let ecef_la = ecef_with_named "ECEF-LA" Lookahead.min_edge
-let ecef_lat_min = ecef_with_named "ECEF-LAt" Lookahead.min_edge_plus_t
-let ecef_lat_max = ecef_with_named "ECEF-LAT" Lookahead.max_edge_plus_t
-
-let bottom_up =
-  {
-    name = "BottomUp";
-    select =
-      (fun state ->
-        let inst = State.instance state in
-        (* For each receiver j, its best (earliest-arrival) sender; then take
-           the receiver whose best completion including T_j is largest. *)
-        let best_i = ref (-1) and best_j = ref (-1) and best_v = ref neg_infinity in
-        State.iter_b state (fun j ->
-            let sender = ref (-1) and arrival = ref infinity in
-            State.iter_a state (fun i ->
-                let a = State.score_arrival state i j in
-                if a < !arrival then begin
-                  arrival := a;
-                  sender := i
-                end);
-            if !sender >= 0 then begin
-              let value = !arrival +. inst.Instance.intra.(j) in
-              if value > !best_v then begin
-                best_v := value;
-                best_i := !sender;
-                best_j := j
-              end
-            end);
-        if !best_i < 0 then invalid_arg "Heuristics.bottom_up: finished state";
-        (!best_i, !best_j));
-  }
+let flat_tree = of_policy Policy.flat_tree
+let fef = of_policy Policy.fef
+let ecef = of_policy Policy.ecef
+let ecef_la = of_policy Policy.ecef_la
+let ecef_with lookahead = of_policy (Policy.ecef_with lookahead)
+let ecef_lat_min = of_policy Policy.ecef_lat_min
+let ecef_lat_max = of_policy Policy.ecef_lat_max
+let bottom_up = of_policy Policy.bottom_up
 
 let all = [ flat_tree; fef; ecef; ecef_la; ecef_lat_min; ecef_lat_max; bottom_up ]
-
 let ecef_family = [ ecef; ecef_la; ecef_lat_min; ecef_lat_max ]
 
-let by_name name =
-  (* Exact match first: "ECEF-LAt" and "ECEF-LAT" differ only by case. *)
-  match List.find_opt (fun t -> t.name = name) all with
-  | Some t -> Some t
-  | None ->
-      let canon s = String.lowercase_ascii s in
-      List.find_opt (fun t -> canon t.name = canon name) all
+let by_name name = Option.map of_policy (Policy.by_name name)
 
-let run t inst = State.run t.select inst
+let run ?mode t inst =
+  match t.policy with
+  | Some p -> Engine.run ?mode p inst
+  | None -> State.run t.select inst
 
-let makespan ?model t inst = Schedule.makespan ?model inst (run t inst)
+let makespan ?model ?mode t inst = Schedule.makespan ?model inst (run ?mode t inst)

@@ -5,14 +5,28 @@
     Grid-aware (Section 5, the paper's contribution): {!ecef_lat_min}
     (ECEF-LAt), {!ecef_lat_max} (ECEF-LAT), {!bottom_up}.
 
-    Every heuristic is a selection policy plugged into {!State.run}; ties
-    are broken towards the lexicographically smallest (sender, receiver)
-    pair so schedules are deterministic. *)
+    This module is a thin compatibility wrapper: each heuristic {e is} a
+    {!Policy.t} score descriptor, and {!run} hands it to {!Engine} (the
+    incremental selector by default, the naive reference scan on request —
+    both produce the identical schedule).  The [select] closure performs
+    one naive selection round, for callers that drive {!State.run}
+    themselves; ties are broken towards the lexicographically smallest
+    (sender, receiver) pair so schedules are deterministic. *)
 
 type t = {
   name : string;  (** e.g. "ECEF-LAt" (figure legends) *)
   select : State.t -> int * int;
+  policy : Policy.t option;
+      (** The descriptor behind the closure; [None] only for ad-hoc
+          heuristics built with {!v}, which {!run} then executes through
+          {!State.run} instead of the engine. *)
 }
+
+val of_policy : Policy.t -> t
+(** Wrap a policy; [select] delegates to {!Engine.naive_select}. *)
+
+val v : name:string -> (State.t -> int * int) -> t
+(** Ad-hoc closure heuristic with no policy descriptor. *)
 
 val flat_tree : t
 (** Root sends to every other cluster in index order (ECO / MagPIe). *)
@@ -50,11 +64,19 @@ val ecef_family : t list
     ECEF-LAT. *)
 
 val by_name : string -> t option
-(** Lookup among {!all}: exact name first, then case-insensitive.  The
-    exact pass matters because "ECEF-LAt" (min) and "ECEF-LAT" (max)
-    differ only by case; an all-lowercase query resolves to ECEF-LAt. *)
+(** {!Policy.by_name} wrapped in {!of_policy}: exact names, the
+    parameterised forms ["ECEF-LA<lookahead>"] and
+    ["Mixed<small|large@threshold>"], then a case-insensitive match only
+    when unambiguous.  "ECEF-LAt" (min) and "ECEF-LAT" (max) differ only
+    by case, so an all-lowercase "ecef-lat" resolves to {e neither} —
+    spell those two exactly. *)
 
-val run : t -> Instance.t -> Schedule.t
+val run : ?mode:Engine.mode -> t -> Instance.t -> Schedule.t
+(** [Engine.run ?mode] on the policy (default [`Incremental]; [`Naive] is
+    the reference scan — same schedule either way).  Ad-hoc {!v}
+    heuristics ignore [mode] and run their closure through
+    {!State.run}. *)
 
-val makespan : ?model:Schedule.completion_model -> t -> Instance.t -> float
-(** [Schedule.makespan ?model inst (run t inst)]. *)
+val makespan :
+  ?model:Schedule.completion_model -> ?mode:Engine.mode -> t -> Instance.t -> float
+(** [Schedule.makespan ?model inst (run ?mode t inst)]. *)

@@ -1,4 +1,9 @@
-type t = { name : string; eval : State.t -> j:int -> float }
+type shape =
+  | Zero
+  | Fold of { order : [ `Min | `Max ]; term : Instance.t -> int -> int -> float }
+  | Dynamic
+
+type t = { name : string; eval : State.t -> j:int -> float; shape : shape }
 
 let edge inst j k =
   inst.Instance.gap.(j).(k) +. inst.Instance.latency.(j).(k)
@@ -14,12 +19,13 @@ let fold_edges ~combine ~init ~term state j =
       end);
   if !seen then !acc else 0.
 
-let none = { name = "none"; eval = (fun _ ~j:_ -> 0.) }
+let none = { name = "none"; eval = (fun _ ~j:_ -> 0.); shape = Zero }
 
 let min_edge =
   {
     name = "min-edge";
     eval = (fun state ~j -> fold_edges ~combine:Float.min ~init:infinity ~term:edge state j);
+    shape = Fold { order = `Min; term = edge };
   }
 
 let edge_plus_t inst j k = edge inst j k +. inst.Instance.intra.(k)
@@ -30,6 +36,7 @@ let min_edge_plus_t =
     eval =
       (fun state ~j ->
         fold_edges ~combine:Float.min ~init:infinity ~term:edge_plus_t state j);
+    shape = Fold { order = `Min; term = edge_plus_t };
   }
 
 let max_edge_plus_t =
@@ -38,6 +45,7 @@ let max_edge_plus_t =
     eval =
       (fun state ~j ->
         fold_edges ~combine:Float.max ~init:neg_infinity ~term:edge_plus_t state j);
+    shape = Fold { order = `Max; term = edge_plus_t };
   }
 
 let avg_latency_to_b =
@@ -53,6 +61,7 @@ let avg_latency_to_b =
               incr count
             end);
         if !count = 0 then 0. else !sum /. float_of_int !count);
+    shape = Dynamic;
   }
 
 let avg_edge_a_b =
@@ -72,6 +81,7 @@ let avg_edge_a_b =
         State.iter_a state accumulate;
         accumulate j;
         if !count = 0 then 0. else !sum /. float_of_int !count);
+    shape = Dynamic;
   }
 
 let all =

@@ -6,11 +6,26 @@
     between ECEF-LA, ECEF-LAt and ECEF-LAT, so it is factored out here and
     swept by the ablation bench. *)
 
+type shape =
+  | Zero  (** identically 0: no lookahead work at all *)
+  | Fold of { order : [ `Min | `Max ]; term : Instance.t -> int -> int -> float }
+      (** [F_j = order over k in B\{j} of (term inst j k)] with a {e static}
+          term: only B-membership changes invalidate it, which is what lets
+          {!Gridb_sched.Engine} cache the fold in a per-receiver heap with
+          lazy deletion instead of rescanning B each round. *)
+  | Dynamic
+      (** No exploitable structure ([F_j] depends on [A], or mixes values
+          non-monotonically): the engine re-evaluates {!t.eval} fresh each
+          round, exactly like the naive driver. *)
+
 type t = {
   name : string;
   eval : State.t -> j:int -> float;
       (** [eval state ~j] with [j] currently in [B]; the "rest of B" used by
           the formulas is [B \ {j}]. *)
+  shape : shape;
+      (** Invalidation contract; must agree with [eval] (for [Fold],
+          [eval] is the reference fold of the same [term]). *)
 }
 
 val none : t

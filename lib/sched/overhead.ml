@@ -7,21 +7,36 @@ let pair_scan_evaluations n =
   float_of_int !total
 
 let lookahead_evaluations n =
-  (* Each round additionally evaluates F_j for every j in B, each O(|B|). *)
+  (* Each round additionally evaluates F_j for every j in B, each folding
+     over the |B| - 1 members of B \ {j}. *)
   let total = ref 0 in
   for r = 1 to n - 1 do
     let b = n - r in
-    total := !total + (b * b)
+    total := !total + (b * (b - 1))
   done;
   float_of_int !total
 
+let rec of_policy ~n policy =
+  match Policy.shape policy with
+  | Policy.Sized _ -> of_policy ~n (Policy.resolve ~n policy)
+  | Policy.Root_first -> float_of_int n
+  | Policy.Max_reach -> pair_scan_evaluations n
+  | Policy.Select_min { lookahead; _ } -> (
+      match lookahead.Lookahead.shape with
+      | Lookahead.Zero -> pair_scan_evaluations n
+      | Lookahead.Fold _ | Lookahead.Dynamic ->
+          pair_scan_evaluations n +. lookahead_evaluations n)
+
 let evaluations ~n heuristic =
-  let canon = String.lowercase_ascii heuristic in
-  if canon = "flattree" then float_of_int n
-  else if canon = "fef" || canon = "ecef" || canon = "bottomup" then pair_scan_evaluations n
-  else if String.length canon >= 7 && String.sub canon 0 7 = "ecef-la" then
-    pair_scan_evaluations n +. lookahead_evaluations n
-  else pair_scan_evaluations n
+  match Policy.by_name heuristic with
+  | Some p -> of_policy ~n p
+  | None ->
+      (* Unknown names: keep the historical string-prefix guess. *)
+      let canon = String.lowercase_ascii heuristic in
+      if canon = "flattree" then float_of_int n
+      else if String.length canon >= 7 && String.sub canon 0 7 = "ecef-la" then
+        pair_scan_evaluations n +. lookahead_evaluations n
+      else pair_scan_evaluations n
 
 let default_per_evaluation_us = 0.5
 

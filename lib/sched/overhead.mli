@@ -4,17 +4,34 @@
     be considered when implementing more elaborate techniques like
     ECEF-LAT": before the first byte moves, the root runs the heuristic.
     The cost is modelled as (number of candidate evaluations) x (cost per
-    evaluation); the counts below follow directly from the selection loops:
+    evaluation); the counts are derived from the {!Policy} descriptor and
+    match {!Engine.run_stats} in [`Naive] mode exactly (up to the first
+    FlatTree round):
 
-    - FlatTree: n selections, O(n);
-    - FEF, ECEF, BottomUp: sum over rounds of |A| * |B|, about n^3 / 6;
-    - ECEF-LA family: adds the O(|B|) lookahead per receiver per round,
-      about n^3 / 3 evaluations in total. *)
+    - [Root_first] (FlatTree): n selections, O(n);
+    - [Select_min] with no lookahead (FEF, ECEF) and [Max_reach]
+      (BottomUp): sum over rounds of |A| * |B|, about n^3 / 6;
+    - [Select_min] with a lookahead (the ECEF-LA family): adds
+      sum over rounds of |B| * (|B| - 1) term evaluations, about n^3 / 3,
+      for roughly n^3 / 2 in total. *)
+
+val pair_scan_evaluations : int -> float
+(** [sum over rounds r of r * (n - r)] — the full A x B scan. *)
+
+val lookahead_evaluations : int -> float
+(** [sum over rounds r of (n - r) * (n - r - 1)] — one [F_j] per receiver
+    per round, each folding over [B \ {j}]. *)
+
+val of_policy : n:int -> Policy.t -> float
+(** Evaluation count for a policy descriptor; [Sized] policies are
+    resolved against [n] first, so [Mixed<...>] is charged for the branch
+    it actually runs. *)
 
 val evaluations : n:int -> string -> float
-(** Abstract evaluation count for a heuristic given by name
-    ({!Gridb_sched.Heuristics} names, matched case-insensitively; unknown
-    names get the ECEF count). *)
+(** Count for a heuristic given by name: {!Policy.by_name} first (which
+    understands the parameterised ["ECEF-LA<...>"] and ["Mixed<...>"]
+    names), then a string-prefix guess for unknown names (which get the
+    ECEF count). *)
 
 val default_per_evaluation_us : float
 (** 0.5 us per candidate evaluation — a conservative figure for the 2006-era

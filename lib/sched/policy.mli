@@ -1,0 +1,82 @@
+(** Selection policies: what a heuristic {e is}, separated from how a
+    schedule is computed.
+
+    A policy is a declarative score descriptor — a per-pair score, an
+    optional per-receiver lookahead term, and (through {!pair_score} and
+    {!Lookahead.shape}) an invalidation contract saying which parts of the
+    score a {!State.send} can change.  {!Engine} consumes the descriptor
+    and runs it either as the paper's naive full A×B scan or as an
+    incremental selector with per-receiver caches; both produce the exact
+    schedule the reference scan defines, including ascending-(i, j)
+    tie-breaking.
+
+    {!Heuristics} keeps the historical closure-based record as a thin
+    wrapper over this module. *)
+
+type pair_score =
+  | Latency  (** [L_ij] — FEF.  Static: no {!State.send} invalidates it. *)
+  | Transmission
+      (** [g_ij + L_ij] — the FEF ablation edge weight.  Static. *)
+  | Arrival
+      (** [avail_i + g_ij + L_ij] — the ECEF family.  A send from [i]
+          advances [avail_i] and so invalidates exactly the pairs whose
+          sender is [i]; everything else is untouched. *)
+
+val score_depends_on_avail : pair_score -> bool
+
+type t
+
+and shape =
+  | Root_first
+      (** The root serves the smallest-id member of [B] each round
+          (FlatTree / ECO / MagPIe). *)
+  | Select_min of { score : pair_score; lookahead : Lookahead.t }
+      (** Minimise [score(i, j) + F_j] over A×B; ties towards the
+          lexicographically smallest [(i, j)]. *)
+  | Max_reach
+      (** BottomUp: serve the receiver whose best
+          [min_i score_arrival(i, j) + T_j] is largest (ties towards the
+          smallest [j]), using that best sender (ties towards the smallest
+          [i]). *)
+  | Sized of { threshold : int; small : t; large : t }
+      (** Section 6 mixed strategy: dispatch on the instance size. *)
+
+val name : t -> string
+val shape : t -> shape
+
+val v : name:string -> shape -> t
+(** Custom policy. *)
+
+val flat_tree : t
+val fef : t
+val ecef : t
+val ecef_la : t
+val ecef_lat_min : t
+val ecef_lat_max : t
+val bottom_up : t
+
+val all : t list
+(** The seven paper heuristics, in paper order (same order and names as
+    {!Heuristics.all}). *)
+
+val select_min : ?name:string -> score:pair_score -> Lookahead.t -> t
+(** General minimising policy; default name ["ECEF-LA<lookahead>"]. *)
+
+val ecef_with : ?name:string -> Lookahead.t -> t
+(** [select_min ~score:Arrival]. *)
+
+val sized : threshold:int -> small:t -> large:t -> t
+(** Named ["Mixed<small|large@threshold>"].
+    @raise Invalid_argument if [threshold < 1]. *)
+
+val resolve : n:int -> t -> t
+(** Unwrap {!Sized} dispatch for an [n]-cluster instance; the result's
+    shape is never [Sized]. *)
+
+val by_name : string -> t option
+(** Lookup: exact name first among {!all}; then the parameterised forms
+    ["ECEF-LA<lookahead>"] and ["Mixed<small|large@threshold>"]
+    (components may themselves be parameterised); finally a
+    case-insensitive match {e only when unambiguous} — "ecef-lat" matches
+    both ECEF-LAt and ECEF-LAT, so it resolves to [None]; spell those two
+    exactly. *)

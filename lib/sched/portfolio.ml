@@ -23,6 +23,13 @@ let run ?model ?(heuristics = Heuristics.all) inst =
   { heuristic = name; schedule; makespan; evaluated = List.length heuristics }
 
 let scheduling_evaluations ?(heuristics = Heuristics.all) n =
+  (* Charge by descriptor when the heuristic carries one (exact for the
+     parameterised ECEF-LA<...> and Mixed<...> names); by name otherwise. *)
   List.fold_left
-    (fun acc h -> acc +. Overhead.evaluations ~n h.Heuristics.name)
+    (fun acc h ->
+      acc
+      +.
+      match h.Heuristics.policy with
+      | Some p -> Overhead.of_policy ~n p
+      | None -> Overhead.evaluations ~n h.Heuristics.name)
     0. heuristics

@@ -6,6 +6,7 @@ type t = {
   mutable events : Schedule.event list;  (* reversed *)
   mutable round : int;
   mutable remaining_b : int;
+  mutable first_b_hint : int;  (* lower bound on the smallest member of B *)
 }
 
 let create inst =
@@ -16,7 +17,16 @@ let create inst =
   in_a.(inst.Instance.root) <- true;
   ready.(inst.Instance.root) <- 0.;
   avail.(inst.Instance.root) <- 0.;
-  { inst; in_a; ready; avail; events = []; round = 0; remaining_b = n - 1 }
+  {
+    inst;
+    in_a;
+    ready;
+    avail;
+    events = [];
+    round = 0;
+    remaining_b = n - 1;
+    first_b_hint = 0;
+  }
 
 let instance t = t.inst
 
@@ -44,6 +54,22 @@ let count_b t = t.remaining_b
 
 let finished t = t.remaining_b = 0
 
+(* B only ever shrinks, so the smallest member of B is non-decreasing over
+   the run: resume the scan where the previous call stopped instead of
+   walking the whole prefix (or allocating members_b) every round. *)
+let first_b t =
+  let n = t.inst.Instance.n in
+  let rec scan i =
+    if i >= n then None
+    else if not t.in_a.(i) then begin
+      t.first_b_hint <- i;
+      Some i
+    end
+    else scan (i + 1)
+  in
+  scan t.first_b_hint
+
+
 let ready t i =
   if not (in_a t i) then invalid_arg "State.ready: cluster still in B";
   t.ready.(i)
@@ -56,6 +82,17 @@ let score_arrival t src dst =
   t.avail.(src)
   +. t.inst.Instance.gap.(src).(dst)
   +. t.inst.Instance.latency.(src).(dst)
+
+let best_arrival_sender t ~dst =
+  if in_a t dst then invalid_arg "State.best_arrival_sender: dst in A";
+  let best = ref (-1) and best_a = ref infinity in
+  iter_a t (fun i ->
+      let a = score_arrival t i dst in
+      if a < !best_a then begin
+        best_a := a;
+        best := i
+      end);
+  if !best < 0 then None else Some !best
 
 let earliest_arrival t ~src ~dst =
   if not (in_a t src) then invalid_arg "State.earliest_arrival: src in B";

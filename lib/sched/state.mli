@@ -26,6 +26,11 @@ val iter_b : t -> (int -> unit) -> unit
 
 val count_b : t -> int
 
+val first_b : t -> int option
+(** Smallest cluster id still in [B], without building {!members_b}.
+    Amortised O(1) over a run: [B] only shrinks, so the scan resumes from
+    the previous answer. *)
+
 val finished : t -> bool
 (** True when [B] is empty. *)
 
@@ -46,6 +51,12 @@ val earliest_arrival : t -> src:int -> dst:int -> float
 val score_arrival : t -> int -> int -> float
 (** Unchecked {!earliest_arrival} for the selection hot paths: meaningful
     only when the first cluster is in [A] (no membership validation). *)
+
+val best_arrival_sender : t -> dst:int -> int option
+(** Sender in [A] minimising {!score_arrival} towards [dst] (ties towards
+    the smallest id) — the per-receiver selection ECEF and BottomUp share.
+    [None] only on a state with an empty [A] (impossible via {!create}).
+    @raise Invalid_argument if [dst] is in [A]. *)
 
 val send : t -> src:int -> dst:int -> unit
 (** Applies the transmission.  @raise Invalid_argument if [src] is in [B],

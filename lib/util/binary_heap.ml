@@ -1,12 +1,13 @@
 type 'a t = {
   cmp : 'a -> 'a -> int;
+  capacity : int;  (* requested initial allocation, honoured lazily *)
   mutable data : 'a array;  (* slots [0, size) are live *)
   mutable size : int;
 }
 
 let create ?(capacity = 16) ~cmp () =
   if capacity < 1 then invalid_arg "Binary_heap.create: capacity < 1";
-  { cmp; data = [||]; size = 0 }
+  { cmp; capacity; data = [||]; size = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0
@@ -16,7 +17,7 @@ let grow t x =
      cannot be pre-filled; [x] seeds the new slots. *)
   let cap = Array.length t.data in
   if t.size = cap then begin
-    let ncap = if cap = 0 then 16 else 2 * cap in
+    let ncap = if cap = 0 then t.capacity else 2 * cap in
     let ndata = Array.make ncap x in
     Array.blit t.data 0 ndata 0 t.size;
     t.data <- ndata
@@ -73,7 +74,9 @@ let pop_exn t =
 let clear t = t.size <- 0
 
 let of_array ~cmp a =
-  let t = { cmp; data = Array.copy a; size = Array.length a } in
+  let t =
+    { cmp; capacity = max 1 (Array.length a); data = Array.copy a; size = Array.length a }
+  in
   for i = (t.size / 2) - 1 downto 0 do
     sift_down t i
   done;

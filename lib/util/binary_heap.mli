@@ -8,7 +8,9 @@
 type 'a t
 
 val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
-(** Empty heap ordered by [cmp] (minimum first). *)
+(** Empty heap ordered by [cmp] (minimum first).  [capacity] sizes the
+    first allocation (default 16), performed lazily on the first {!add}.
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool

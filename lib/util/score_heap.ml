@@ -1,0 +1,117 @@
+type order = Min | Max
+
+type t = {
+  order : order;
+  mutable scores : float array;  (* slots [0, size) are live *)
+  mutable ids : int array;
+  mutable size : int;
+}
+
+let create ?(capacity = 16) ~order () =
+  if capacity < 1 then invalid_arg "Score_heap.create: capacity < 1";
+  {
+    order;
+    scores = Array.make capacity 0.;
+    ids = Array.make capacity 0;
+    size = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+let clear t = t.size <- 0
+
+(* Strict "a sorts before b" under the heap order; equal scores break
+   towards the smaller id in both orders so drain sequences are fully
+   deterministic. *)
+let before t sa ia sb ib =
+  match t.order with
+  | Min -> sa < sb || (sa = sb && ia < ib)
+  | Max -> sa > sb || (sa = sb && ia < ib)
+
+let grow t =
+  let cap = Array.length t.scores in
+  if t.size = cap then begin
+    let ncap = 2 * cap in
+    let nscores = Array.make ncap 0. and nids = Array.make ncap 0 in
+    Array.blit t.scores 0 nscores 0 t.size;
+    Array.blit t.ids 0 nids 0 t.size;
+    t.scores <- nscores;
+    t.ids <- nids
+  end
+
+let swap t i j =
+  let s = t.scores.(i) and d = t.ids.(i) in
+  t.scores.(i) <- t.scores.(j);
+  t.ids.(i) <- t.ids.(j);
+  t.scores.(j) <- s;
+  t.ids.(j) <- d
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t t.scores.(i) t.ids.(i) t.scores.(parent) t.ids.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let first = ref i in
+  if l < t.size && before t t.scores.(l) t.ids.(l) t.scores.(!first) t.ids.(!first)
+  then first := l;
+  if r < t.size && before t t.scores.(r) t.ids.(r) t.scores.(!first) t.ids.(!first)
+  then first := r;
+  if !first <> i then begin
+    swap t i !first;
+    sift_down t !first
+  end
+
+let push t score id =
+  grow t;
+  t.scores.(t.size) <- score;
+  t.ids.(t.size) <- id;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let top_score t =
+  if t.size = 0 then invalid_arg "Score_heap.top_score: empty heap";
+  t.scores.(0)
+
+let top_id t =
+  if t.size = 0 then invalid_arg "Score_heap.top_id: empty heap";
+  t.ids.(0)
+
+let second_score t =
+  if t.size <= 1 then
+    match t.order with Min -> infinity | Max -> neg_infinity
+  else if t.size = 2 then t.scores.(1)
+  else
+    match t.order with
+    | Min -> Float.min t.scores.(1) t.scores.(2)
+    | Max -> Float.max t.scores.(1) t.scores.(2)
+
+let drop_top t =
+  if t.size = 0 then invalid_arg "Score_heap.drop_top: empty heap";
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.scores.(0) <- t.scores.(t.size);
+    t.ids.(0) <- t.ids.(t.size);
+    sift_down t 0
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let s = t.scores.(0) and id = t.ids.(0) in
+    drop_top t;
+    Some (s, id)
+  end
+
+let check_invariant t =
+  let ok = ref true in
+  for i = 1 to t.size - 1 do
+    let p = (i - 1) / 2 in
+    if before t t.scores.(i) t.ids.(i) t.scores.(p) t.ids.(p) then ok := false
+  done;
+  !ok

@@ -1,0 +1,50 @@
+(** Monomorphic binary heap of (score, id) pairs in parallel unboxed
+    arrays.
+
+    The scheduling engine ([Gridb_sched.Engine]) keeps one candidate heap
+    per receiver on its hot path; a polymorphic heap would box every float
+    and call a comparison closure per sift step.  This variant stores
+    scores in a [float array] (flat, unboxed) and compares inline.
+
+    Equal scores always break towards the smaller id, in both orders, so
+    heap tops are deterministic — the engine relies on this to reproduce
+    the naive scan's ascending-(i, j) tie-breaking exactly. *)
+
+type order =
+  | Min  (** smallest score first *)
+  | Max  (** largest score first *)
+
+type t
+
+val create : ?capacity:int -> order:order -> unit -> t
+(** Empty heap.  [capacity] pre-sizes the arrays (default 16).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val length : t -> int
+val is_empty : t -> bool
+val clear : t -> unit
+
+val push : t -> float -> int -> unit
+(** [push t score id]: O(log n). *)
+
+val top_score : t -> float
+(** @raise Invalid_argument on an empty heap. *)
+
+val top_id : t -> int
+(** @raise Invalid_argument on an empty heap. *)
+
+val second_score : t -> float
+(** Score of the second-best element — the better child of the root — or
+    the order's identity ([infinity] for [Min], [neg_infinity] for [Max])
+    when fewer than two elements remain.  O(1); the engine uses it to skip
+    the tie-drain when the runner-up provably cannot tie the top. *)
+
+val drop_top : t -> unit
+(** Remove the top element.  @raise Invalid_argument on an empty heap. *)
+
+val pop : t -> (float * int) option
+(** Remove and return the top element (allocates the pair; the engine uses
+    [top_score]/[top_id]/[drop_top] instead). *)
+
+val check_invariant : t -> bool
+(** True iff every parent sorts before-or-equal its children (for tests). *)

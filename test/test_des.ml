@@ -338,6 +338,17 @@ let test_overhead_shapes () =
     (Overhead.evaluations ~n:20 "ECEF-LAT" = la);
   (* pair scans: sum r(n-r) for n=4 -> 3+4+3 = 10 *)
   Alcotest.(check bool) "pair scan n=4" true (Overhead.evaluations ~n:4 "ECEF" = 10.);
+  (* lookahead: sum b(b-1) for n=4 -> 3*2 + 2*1 + 1*0 = 8 on top of the scan *)
+  Alcotest.(check bool) "lookahead n=4" true (Overhead.evaluations ~n:4 "ECEF-LA" = 18.);
+  (* parameterised names resolve through the policy descriptor instead of
+     falling into the bare-scan bucket *)
+  Alcotest.(check bool) "ECEF-LA<...> charged for lookahead" true
+    (Overhead.evaluations ~n:20 "ECEF-LA<min-edge+T>" = la);
+  let mixed = "Mixed<ECEF-LA|ECEF-LAT@10>" in
+  Alcotest.(check bool) "mixed small branch" true
+    (Overhead.evaluations ~n:8 mixed = Overhead.evaluations ~n:8 "ECEF-LA");
+  Alcotest.(check bool) "mixed large branch" true
+    (Overhead.evaluations ~n:20 mixed = Overhead.evaluations ~n:20 "ECEF-LAT");
   check_feq "cost scales" (2. *. Overhead.cost_us ~per_evaluation_us:1. ~n:10 "ECEF")
     (Overhead.cost_us ~per_evaluation_us:2. ~n:10 "ECEF")
 

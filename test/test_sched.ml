@@ -360,8 +360,27 @@ let test_bottom_up_targets_slowest () =
   | [] -> Alcotest.fail "no events"
 
 let test_by_name () =
-  Alcotest.(check bool) "finds ECEF-LAt" true (Heuristics.by_name "ecef-lat" <> None);
+  let name n = Option.map (fun h -> h.Heuristics.name) (Heuristics.by_name n) in
+  (* "ecef-lat" matches both ECEF-LAt (min) and ECEF-LAT (max) up to case:
+     it must resolve to neither rather than silently picking one. *)
+  Alcotest.(check (option string)) "ecef-lat is ambiguous" None (name "ecef-lat");
+  Alcotest.(check (option string)) "ECEF-LAt exact" (Some "ECEF-LAt") (name "ECEF-LAt");
+  Alcotest.(check (option string)) "ECEF-LAT exact" (Some "ECEF-LAT") (name "ECEF-LAT");
+  Alcotest.(check (option string))
+    "unambiguous case-insensitive still works" (Some "BottomUp") (name "bottomup");
+  (* Parameterised names round-trip through by_name. *)
+  Alcotest.(check (option string))
+    "ECEF-LA<lookahead>" (Some "ECEF-LA<min-edge+T>") (name "ECEF-LA<min-edge+T>");
+  Alcotest.(check (option string))
+    "mixed round-trips"
+    (Some "Mixed<ECEF-LA|ECEF-LAT@10>")
+    (name (Mixed.strategy ()).Heuristics.name);
+  Alcotest.(check (option string))
+    "mixed with parameterised component"
+    (Some "Mixed<ECEF-LA<min-edge>|ECEF-LAT@7>")
+    (name "Mixed<ECEF-LA<min-edge>|ECEF-LAT@7>");
   Alcotest.(check bool) "unknown" true (Heuristics.by_name "nope" = None);
+  Alcotest.(check bool) "ECEF-LA<nope>" true (Heuristics.by_name "ECEF-LA<nope>" = None);
   Alcotest.(check int) "all has 7" 7 (List.length Heuristics.all);
   Alcotest.(check int) "family has 4" 4 (List.length Heuristics.ecef_family)
 

@@ -229,6 +229,67 @@ let test_heap_stability_order () =
   Alcotest.(check int) "4 elements" 4 (Heap.length h);
   Alcotest.(check string) "min first" "c" (snd (Heap.pop_exn h))
 
+(* --- Score heap ------------------------------------------------------- *)
+
+module Score_heap = Gridb_util.Score_heap
+
+let drain h =
+  let rec go acc =
+    match Score_heap.pop h with None -> List.rev acc | Some e -> go (e :: acc)
+  in
+  go []
+
+let test_score_heap_orders () =
+  let h = Score_heap.create ~order:Score_heap.Min () in
+  List.iter (fun (s, id) -> Score_heap.push h s id) [ (3., 1); (1., 2); (2., 0) ];
+  Alcotest.(check (list (pair (float 0.) int)))
+    "min drains ascending"
+    [ (1., 2); (2., 0); (3., 1) ]
+    (drain h);
+  let h = Score_heap.create ~order:Score_heap.Max () in
+  List.iter (fun (s, id) -> Score_heap.push h s id) [ (3., 1); (1., 2); (2., 0) ];
+  Alcotest.(check (list (pair (float 0.) int)))
+    "max drains descending"
+    [ (3., 1); (2., 0); (1., 2) ]
+    (drain h)
+
+let test_score_heap_ties_to_smaller_id () =
+  (* Both orders break score ties towards the smaller id — the engine
+     depends on this to reproduce the naive scan's ascending-i choice. *)
+  List.iter
+    (fun order ->
+      let h = Score_heap.create ~order () in
+      List.iter (fun id -> Score_heap.push h 5. id) [ 9; 3; 7; 1; 8 ];
+      Alcotest.(check (list int)) "tied ids ascend" [ 1; 3; 7; 8; 9 ]
+        (List.map snd (drain h)))
+    [ Score_heap.Min; Score_heap.Max ]
+
+let test_score_heap_top_and_drop () =
+  let h = Score_heap.create ~capacity:2 ~order:Score_heap.Min () in
+  Alcotest.(check bool) "starts empty" true (Score_heap.is_empty h);
+  for id = 0 to 9 do
+    Score_heap.push h (float_of_int (10 - id)) id
+  done;
+  Alcotest.(check int) "grows past capacity" 10 (Score_heap.length h);
+  Alcotest.(check (float 0.)) "top score" 1. (Score_heap.top_score h);
+  Alcotest.(check int) "top id" 9 (Score_heap.top_id h);
+  Score_heap.drop_top h;
+  Alcotest.(check int) "next top id" 8 (Score_heap.top_id h);
+  Score_heap.clear h;
+  Alcotest.(check bool) "cleared" true (Score_heap.is_empty h)
+
+let test_score_heap_invariant_random =
+  QCheck.Test.make ~name:"score heap invariant after random ops" ~count:200
+    QCheck.(list (pair (int_bound 100) (int_bound 50)))
+    (fun ops ->
+      let h = Score_heap.create ~order:Score_heap.Min () in
+      List.iteri
+        (fun i (s, id) ->
+          if i mod 3 = 2 then ignore (Score_heap.pop h)
+          else Score_heap.push h (float_of_int s) id)
+        ops;
+      Score_heap.check_invariant h)
+
 (* --- Units ------------------------------------------------------------ *)
 
 let test_units_conversions () =
@@ -330,6 +391,13 @@ let () =
           quick "peek/pop" test_heap_peek_pop;
           QCheck_alcotest.to_alcotest test_heap_invariant_random;
           quick "ties" test_heap_stability_order;
+        ] );
+      ( "score-heap",
+        [
+          quick "orders" test_score_heap_orders;
+          quick "ties to smaller id" test_score_heap_ties_to_smaller_id;
+          quick "top/drop/grow" test_score_heap_top_and_drop;
+          QCheck_alcotest.to_alcotest test_score_heap_invariant_random;
         ] );
       ( "units",
         [ quick "conversions" test_units_conversions; quick "pretty" test_units_pp ] );
