@@ -1,0 +1,158 @@
+(* Fault-injection sweep: reliable broadcast under increasing message-loss
+   and crash rates, emitting machine-readable results to BENCH_faults.json.
+
+   Usage: dune exec bench/faults.exe -- [--reps N] [--max-n N] [-o FILE]
+                                        [--seed S]
+
+   Each cell is a (clusters, loss, crash-rate) point averaged over --reps
+   independently generated random grids (Table 2 parameter ranges) and
+   fault draws.  The loss=0, crash=0 row doubles as a sanity check: the
+   reliable executor must reproduce the fault-free makespan exactly
+   (inflation 1.0, zero retransmissions).  CI runs this capped as a smoke
+   test; the committed BENCH_faults.json comes from a full local run. *)
+
+module Robustness = Gridb_experiments.Robustness
+module Faults = Gridb_des.Faults
+module Generators = Gridb_topology.Generators
+module Rng = Gridb_util.Rng
+
+type cell = {
+  n : int;
+  loss : float;
+  crash_rate : float;
+  reps : int;
+  delivery_ratio : float; (* mean *)
+  inflation : float; (* mean over reps with a defined baseline *)
+  retransmissions : float; (* mean *)
+  gave_up : int; (* total over reps *)
+  crashed_ranks : int; (* total over reps *)
+  repair_invocations : int; (* reps where a coordinator crashed *)
+  replanned : int; (* total repair transmissions *)
+}
+
+let sizes = [ 5; 10; 20 ]
+let loss_levels = [ 0.; 0.01; 0.05; 0.1 ]
+let crash_rates = [ 0.; 1e-7 ]
+
+let bench_cell ~seed ~reps n loss crash_rate =
+  let spec = Faults.v ~loss ~crash_rate () in
+  let acc_delivery = ref 0. and acc_inflation = ref 0. and acc_retrans = ref 0. in
+  let gave_up = ref 0 and crashed = ref 0 and invocations = ref 0 and replanned = ref 0 in
+  for rep = 0 to reps - 1 do
+    let cell_seed = seed + (1_000 * n) + (100 * rep) in
+    let rng = Rng.create cell_seed in
+    let grid = Generators.uniform_random ~rng ~n Generators.default_random_spec in
+    let m = Robustness.run ~seed:cell_seed ~spec grid in
+    acc_delivery := !acc_delivery +. m.Robustness.delivery_ratio;
+    acc_inflation := !acc_inflation +. m.Robustness.inflation;
+    acc_retrans := !acc_retrans +. float_of_int m.Robustness.retransmissions;
+    gave_up := !gave_up + m.Robustness.gave_up;
+    crashed := !crashed + m.Robustness.crashed_ranks;
+    if m.Robustness.repair_invoked then incr invocations;
+    replanned := !replanned + m.Robustness.repairs
+  done;
+  let mean acc = !acc /. float_of_int reps in
+  {
+    n;
+    loss;
+    crash_rate;
+    reps;
+    delivery_ratio = mean acc_delivery;
+    inflation = mean acc_inflation;
+    retransmissions = mean acc_retrans;
+    gave_up = !gave_up;
+    crashed_ranks = !crashed;
+    repair_invocations = !invocations;
+    replanned = !replanned;
+  }
+
+(* Handwritten JSON writer, same rationale as bench/scaling.ml. *)
+let json_of_cells buf cells =
+  let add fmt = Printf.bprintf buf fmt in
+  add "[\n";
+  List.iteri
+    (fun i c ->
+      add
+        "  {\"n\": %d, \"loss\": %g, \"crash_rate\": %g, \"reps\": %d, \
+         \"delivery_ratio\": %.4f, \"inflation\": %.4f, \"retransmissions\": %.2f, \
+         \"gave_up\": %d, \"crashed_ranks\": %d, \"repair_invocations\": %d, \
+         \"replanned\": %d}%s\n"
+        c.n c.loss c.crash_rate c.reps c.delivery_ratio c.inflation c.retransmissions
+        c.gave_up c.crashed_ranks c.repair_invocations c.replanned
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  add "]"
+
+let () =
+  let reps = ref 5 and max_n = ref 20 and out = ref "BENCH_faults.json" and seed = ref 2006 in
+  let rec parse = function
+    | [] -> ()
+    | "--reps" :: v :: rest ->
+        reps := int_of_string v;
+        parse rest
+    | "--max-n" :: v :: rest ->
+        max_n := int_of_string v;
+        parse rest
+    | ("-o" | "--output") :: v :: rest ->
+        out := v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | other :: _ ->
+        prerr_endline
+          ("unknown option " ^ other ^ " (known: --reps N, --max-n N, -o FILE, --seed S)");
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let sizes = List.filter (fun n -> n <= !max_n) sizes in
+  let cells =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun loss ->
+            List.map
+              (fun crash_rate ->
+                let c = bench_cell ~seed:!seed ~reps:!reps n loss crash_rate in
+                Printf.printf
+                  "n=%-3d loss=%-5g crash=%-6g delivery %6.4f  inflation %6.3fx  \
+                   retrans %6.2f  repairs %d\n\
+                   %!"
+                  n loss crash_rate c.delivery_ratio c.inflation c.retransmissions
+                  c.repair_invocations;
+                c)
+              crash_rates)
+          loss_levels)
+      sizes
+  in
+  (* Sanity: the fault-free cells must show a bit-exact baseline. *)
+  (match
+     List.filter
+       (fun c ->
+         c.loss = 0. && c.crash_rate = 0.
+         && (c.inflation <> 1. || c.retransmissions <> 0. || c.delivery_ratio <> 1.))
+       cells
+   with
+  | [] -> ()
+  | bad ->
+      List.iter
+        (fun c ->
+          Printf.eprintf "FAULT-FREE MISMATCH at n=%d: inflation %.17g retrans %.2f\n" c.n
+            c.inflation c.retransmissions)
+        bad;
+      exit 1);
+  let buf = Buffer.create 4_096 in
+  Printf.bprintf buf
+    "{\n\
+    \  \"benchmark\": \"fault-injection\",\n\
+    \  \"seed\": %d,\n\
+    \  \"instance\": \"Generators.uniform_random default_random_spec, fresh grid per rep\",\n\
+    \  \"protocol\": \"stop-and-wait ACK, 5 retries, exponential backoff\",\n\
+    \  \"units\": {\"loss\": \"per-transmission probability\", \"crash_rate\": \"1/us per rank\"},\n\
+    \  \"results\": " !seed;
+  json_of_cells buf cells;
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out !out in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s (%d cells)\n" !out (List.length cells)

@@ -401,6 +401,76 @@ let measure_cmd =
     (Cmd.info "measure" ~doc:"Measure a link's pLogP parameters on the simulated wire")
     Term.(const run $ topology_arg $ a $ b $ jitter $ seed_arg)
 
+(* --- simulate: reliable broadcast under injected faults --- *)
+
+let faults_conv =
+  let parse s =
+    match Gridb_des.Faults.of_string s with Ok spec -> Ok spec | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf spec -> Format.pp_print_string ppf (Gridb_des.Faults.to_string spec))
+
+let simulate_cmd =
+  let run heuristic topology msg seed faults retries jitter =
+    match load_grid topology with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok grid -> (
+        match heuristic.Heuristics.policy with
+        | None ->
+            Printf.eprintf "heuristic %s has no policy descriptor; pick one of: %s\n"
+              heuristic.Heuristics.name
+              (String.concat ", "
+                 (List.filter_map
+                    (fun h -> Option.map (fun _ -> h.Heuristics.name) h.Heuristics.policy)
+                    Heuristics.all));
+            1
+        | Some policy ->
+            let noise =
+              if jitter > 0. then Gridb_des.Noise.Lognormal jitter else Gridb_des.Noise.Exact
+            in
+            let metrics =
+              Gridb_experiments.Robustness.run ~policy ~msg ~retries ~seed ~noise
+                ~spec:faults grid
+            in
+            print_string (Gridb_experiments.Robustness.render metrics);
+            0)
+  in
+  let heuristic =
+    Arg.(value & opt heuristic_conv Heuristics.ecef_la & info [ "H"; "heuristic" ] ~docv:"NAME")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt faults_conv Gridb_des.Faults.none
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Fault specification, comma-separated $(b,key=value) pairs: $(b,loss) \
+             (per-transmission loss probability), $(b,cut) (permanent link-cut rate, 1/us), \
+             $(b,crash) (crash-stop rate per rank, 1/us), $(b,degrade) (degradation episode \
+             rate, 1/us), $(b,degrade-mean) (mean episode length, us), $(b,degrade-factor) \
+             (slowdown multiplier).  Example: $(b,loss=0.05,crash=2e-8).  $(b,none) disables \
+             fault injection.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retransmission budget per plan edge before giving up.")
+  in
+  let jitter =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "jitter" ] ~docv:"SIGMA" ~doc:"Lognormal noise sigma for the reliable run.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Reliable broadcast under fault injection (delivery ratio, inflation, repair)")
+    Term.(
+      const run $ heuristic $ topology_arg $ msg_arg $ seed_arg $ faults $ retries $ jitter)
+
 let main_cmd =
   let doc = "broadcast scheduling heuristics for grid environments (PMEO-PDS'06 reproduction)" in
   Cmd.group
@@ -414,6 +484,7 @@ let main_cmd =
       cluster_cmd;
       optimal_cmd;
       measure_cmd;
+      simulate_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,10 +1,13 @@
-type event = { time : float; seq : int; action : t -> unit }
+type timer = { mutable live : bool }
+
+type event = { time : float; seq : int; action : t -> unit; timer : timer option }
 
 and t = {
   queue : event Gridb_util.Binary_heap.t;
   mutable clock : float;
   mutable next_seq : int;
   mutable processed : int;
+  mutable cancelled_pending : int;
 }
 
 let compare_events a b =
@@ -17,25 +20,56 @@ let create () =
     clock = 0.;
     next_seq = 0;
     processed = 0;
+    cancelled_pending = 0;
   }
 
 let now t = t.clock
 
-let schedule t ~time action =
+let enqueue t ~time action timer =
   if time < t.clock then invalid_arg "Engine.schedule: time in the past";
-  Gridb_util.Binary_heap.add t.queue { time; seq = t.next_seq; action };
+  Gridb_util.Binary_heap.add t.queue { time; seq = t.next_seq; action; timer };
   t.next_seq <- t.next_seq + 1
+
+let schedule t ~time action = enqueue t ~time action None
 
 let schedule_after t ~delay action =
   if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
   schedule t ~time:(t.clock +. delay) action
 
+let schedule_timer t ~time action =
+  let timer = { live = true } in
+  enqueue t ~time action (Some timer);
+  timer
+
+let cancel t timer =
+  if timer.live then begin
+    timer.live <- false;
+    t.cancelled_pending <- t.cancelled_pending + 1
+  end
+
+let timer_live timer = timer.live
+
+let event_cancelled e = match e.timer with Some tm -> not tm.live | None -> false
+
+(* Drop cancelled events sitting at the head of the queue: they must be
+   invisible to [step]/[run_until] (neither executed, nor allowed to drag
+   the clock or the horizon check). *)
+let rec drop_cancelled t =
+  match Gridb_util.Binary_heap.peek t.queue with
+  | Some e when event_cancelled e ->
+      ignore (Gridb_util.Binary_heap.pop t.queue);
+      t.cancelled_pending <- t.cancelled_pending - 1;
+      drop_cancelled t
+  | _ -> ()
+
 let step t =
+  drop_cancelled t;
   match Gridb_util.Binary_heap.pop t.queue with
   | None -> false
   | Some e ->
       t.clock <- e.time;
       t.processed <- t.processed + 1;
+      (match e.timer with Some tm -> tm.live <- false | None -> ());
       e.action t;
       true
 
@@ -44,11 +78,15 @@ let run t = while step t do () done
 let run_until t horizon =
   let continue = ref true in
   while !continue do
+    drop_cancelled t;
     match Gridb_util.Binary_heap.peek t.queue with
     | Some e when e.time <= horizon -> ignore (step t)
     | _ -> continue := false
   done;
   if t.clock < horizon then t.clock <- horizon
 
-let pending t = Gridb_util.Binary_heap.length t.queue
+let pending t =
+  drop_cancelled t;
+  Gridb_util.Binary_heap.length t.queue - t.cancelled_pending
+
 let processed t = t.processed

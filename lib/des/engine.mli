@@ -2,10 +2,22 @@
 
     A minimal sequential DES: a clock and a time-ordered queue of callbacks.
     Events scheduled at equal times fire in insertion order (stable), which
-    keeps runs reproducible.  The broadcast executor, the MPI layer and the
-    failure-injection tests all run on this engine. *)
+    keeps runs reproducible.  The broadcast executors ({!Exec.run} and the
+    reliable {!Exec.run_reliable}), the MPI layer and the {!Faults}-driven
+    failure-injection tests all run on this engine.
+
+    Timers: {!schedule_timer} enqueues a {e cancellable} event and returns a
+    handle; {!cancel} marks it dead.  Cancelled events are never executed —
+    they are silently dropped when they reach the head of the queue — and do
+    not advance the clock, count towards {!processed}, or hold back a
+    {!run_until} horizon.  This is what arms the ACK-guarded retransmission
+    timers of the reliable executor: the common (ACK received) path cancels
+    the timer instead of letting a stale timeout fire. *)
 
 type t
+
+type timer
+(** Handle of a cancellable event. *)
 
 val create : unit -> t
 
@@ -19,18 +31,30 @@ val schedule : t -> time:float -> (t -> unit) -> unit
 val schedule_after : t -> delay:float -> (t -> unit) -> unit
 (** Relative variant.  @raise Invalid_argument if [delay < 0.]. *)
 
+val schedule_timer : t -> time:float -> (t -> unit) -> timer
+(** Like {!schedule}, returning a handle usable with {!cancel}.
+    @raise Invalid_argument if [time] is in the past. *)
+
+val cancel : t -> timer -> unit
+(** Mark the timer's event dead; it will never execute.  Cancelling an
+    already-cancelled or already-fired timer is a no-op. *)
+
+val timer_live : timer -> bool
+(** False once cancelled or fired. *)
+
 val step : t -> bool
-(** Execute the next event; [false] when the queue is empty. *)
+(** Execute the next live event; [false] when the queue is empty (cancelled
+    events are discarded, not executed). *)
 
 val run : t -> unit
 (** Drain the queue.  Terminates iff the simulated system quiesces. *)
 
 val run_until : t -> float -> unit
-(** Process events with time <= the horizon; later events stay queued and
-    [now] is advanced to the horizon. *)
+(** Process live events with time <= the horizon; later events stay queued
+    and [now] is advanced to the horizon. *)
 
 val pending : t -> int
-(** Events still queued. *)
+(** Live events still queued (cancelled events are not counted). *)
 
 val processed : t -> int
 (** Events executed so far. *)

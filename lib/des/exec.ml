@@ -60,10 +60,181 @@ let run ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_000)
 let mean_makespan ?(noise = Noise.default_measured) ?(msg = 1_000_000)
     ?(repetitions = 10) ~seed machines plan =
   if repetitions < 1 then invalid_arg "Exec.mean_makespan: repetitions < 1";
+  (* One split stream per repetition: equal seeds give equal means, and no
+     repetition's draw count can bleed into the next one's stream. *)
   let rng = Gridb_util.Rng.create seed in
   let total = ref 0. in
   for _ = 1 to repetitions do
-    let r = run ~noise ~rng ~msg machines plan in
+    let r = run ~noise ~rng:(Gridb_util.Rng.split rng) ~msg machines plan in
     total := !total +. r.makespan
   done;
   !total /. float_of_int repetitions
+
+type reliable = {
+  r_arrival : float array;
+  r_makespan : float;
+  r_transmissions : int;
+  retransmissions : int;
+  acks : int;
+  delivered : int;
+  gave_up : (int * int) list;
+  crashed : int list;
+  r_trace : Trace.transmission list;
+}
+
+(* ACK/timeout/exponential-backoff reliable broadcast along a plan.
+
+   Data transmissions follow exactly the pLogP semantics of [run] (same
+   arithmetic, same rng draw order), so with an empty fault spec the two
+   executors are bit-identical.  On top of that, every plan edge runs a
+   stop-and-wait reliability protocol: the receiver returns an ACK on the
+   control plane (latency only, no NIC seizure), the sender arms a
+   cancellable retransmission timer at [rto] past the end of its injection,
+   and every timeout doubles [rto] and retransmits until [retries] is
+   exhausted, at which point the edge (and the subtree hanging off it) is
+   abandoned — graceful degradation to partial delivery. *)
+let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_000)
+    ?(record_trace = false) ?faults ?(retries = 5) ?(rto_mult = 2.) ?(rto_min = 1.)
+    machines plan =
+  let n = Machines.count machines in
+  if Plan.size plan <> n then invalid_arg "Exec.run_reliable: plan size mismatch";
+  if retries < 0 then invalid_arg "Exec.run_reliable: negative retries";
+  if rto_mult < 1. then invalid_arg "Exec.run_reliable: rto_mult < 1";
+  if rto_min <= 0. then invalid_arg "Exec.run_reliable: rto_min must be positive";
+  let faults =
+    match faults with
+    | Some f ->
+        if Faults.size f <> n then
+          invalid_arg "Exec.run_reliable: fault model size mismatch";
+        f
+    | None -> Faults.create ~n Faults.none
+  in
+  let rng = match rng with Some r -> r | None -> Gridb_util.Rng.create 0 in
+  let engine = Engine.create () in
+  let arrival = Array.make n nan in
+  let nic_free = Array.make n 0. in
+  let has_msg = Array.make n false in
+  let transmissions = ref 0 in
+  let retransmissions = ref 0 in
+  let acks = ref 0 in
+  let gave_up = ref [] in
+  let trace = ref [] in
+  (* Per-edge protocol state, indexed by the child (each non-root rank has a
+     unique parent in the plan). *)
+  let acked = Array.make n false in
+  let timers = Array.make n None in
+  (* Noiseless round-trip estimate: data gap + data latency + ACK latency. *)
+  let initial_rto src dst =
+    let p = Machines.link_params machines src dst in
+    let pb = Machines.link_params machines dst src in
+    Float.max rto_min
+      (rto_mult *. (Params.gap p msg +. Params.latency p +. Params.latency pb))
+  in
+  let rec attempt ~src ~dst ~try_no ~rto engine =
+    let now = Engine.now engine in
+    let start = Float.max now nic_free.(src) in
+    (* A halted sender transmits nothing more; its pending edges die here. *)
+    if Faults.crash_time faults src > start then begin
+      let p = Machines.link_params machines src dst in
+      let d = Faults.slowdown faults ~src ~dst ~at:start in
+      let g = Noise.apply noise rng (Params.gap p msg) *. d in
+      let l = Noise.apply noise rng (Params.latency p) *. d in
+      nic_free.(src) <- start +. g;
+      incr transmissions;
+      if try_no > 0 then incr retransmissions;
+      let arr = start +. g +. l in
+      if record_trace then
+        trace :=
+          { Trace.src; dst; start; gap_end = start +. g; arrival = arr; msg }
+          :: !trace;
+      let lost =
+        Faults.lose faults ~src ~dst
+        || (not (Faults.link_up faults ~src ~dst ~at:start))
+        || Faults.crash_time faults dst <= arr
+      in
+      if not lost then Engine.schedule engine ~time:arr (data_arrives ~src ~dst);
+      let tm =
+        Engine.schedule_timer engine ~time:(start +. g +. rto)
+          (timeout ~src ~dst ~try_no ~rto)
+      in
+      timers.(dst) <- Some tm
+    end
+  and data_arrives ~src ~dst engine =
+    let now = Engine.now engine in
+    if not has_msg.(dst) then begin
+      has_msg.(dst) <- true;
+      arrival.(dst) <- now;
+      nic_free.(dst) <- Float.max nic_free.(dst) now;
+      forward dst engine
+    end;
+    (* ACK on the control plane: pays the reverse latency (degraded if the
+       reverse link is) but does not seize the receiver's NIC, so the ACK
+       never perturbs data timing.  Duplicated deliveries are re-ACKed so a
+       sender that lost an ACK eventually stops retransmitting. *)
+    let pb = Machines.link_params machines dst src in
+    let l_back =
+      Noise.apply noise rng (Params.latency pb)
+      *. Faults.slowdown faults ~src:dst ~dst:src ~at:now
+    in
+    let ack_at = now +. l_back in
+    let ack_lost =
+      Faults.lose faults ~src:dst ~dst:src
+      || (not (Faults.link_up faults ~src:dst ~dst:src ~at:now))
+      || Faults.crash_time faults src <= ack_at
+    in
+    if not ack_lost then Engine.schedule engine ~time:ack_at (ack_arrives ~child:dst)
+  and ack_arrives ~child engine =
+    incr acks;
+    if not acked.(child) then begin
+      acked.(child) <- true;
+      match timers.(child) with
+      | Some tm ->
+          Engine.cancel engine tm;
+          timers.(child) <- None
+      | None -> ()
+    end
+  and timeout ~src ~dst ~try_no ~rto engine =
+    timers.(dst) <- None;
+    if not acked.(dst) then
+      if Faults.crash_time faults src <= Engine.now engine then ()
+      else if try_no >= retries then gave_up := (src, dst) :: !gave_up
+      else attempt ~src ~dst ~try_no:(try_no + 1) ~rto:(2. *. rto) engine
+  and forward rank engine =
+    List.iter
+      (fun child ->
+        attempt ~src:rank ~dst:child ~try_no:0 ~rto:(initial_rto rank child) engine)
+      plan.Plan.children.(rank)
+  in
+  Engine.schedule engine ~time:start_delay (fun engine ->
+      let now = Engine.now engine in
+      if Faults.crash_time faults plan.Plan.root > now then begin
+        has_msg.(plan.Plan.root) <- true;
+        arrival.(plan.Plan.root) <- now;
+        nic_free.(plan.Plan.root) <- Float.max nic_free.(plan.Plan.root) now;
+        forward plan.Plan.root engine
+      end);
+  Engine.run engine;
+  let makespan =
+    Array.fold_left (fun acc t -> if Float.is_nan t then acc else Float.max acc t) 0. arrival
+  in
+  let horizon = Engine.now engine in
+  let crashed =
+    List.filter (fun r -> Faults.crash_time faults r <= horizon) (List.init n Fun.id)
+  in
+  let delivered = Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 has_msg in
+  let trace =
+    List.sort
+      (fun (a : Trace.transmission) b -> Float.compare a.arrival b.arrival)
+      !trace
+  in
+  {
+    r_arrival = arrival;
+    r_makespan = makespan;
+    r_transmissions = !transmissions;
+    retransmissions = !retransmissions;
+    acks = !acks;
+    delivered;
+    gave_up = List.rev !gave_up;
+    crashed;
+    r_trace = trace;
+  }

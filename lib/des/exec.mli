@@ -42,4 +42,60 @@ val mean_makespan :
   Plan.t ->
   float
 (** Average makespan over independent noisy runs (default 10), the
-    "measured" value reported by Figure 6. *)
+    "measured" value reported by Figure 6.  Each repetition runs on its own
+    {!Gridb_util.Rng.split} stream derived from [seed]: equal seeds give
+    equal means, and the repetitions' streams are pairwise independent (one
+    run's draw count cannot shift the next run's draws). *)
+
+type reliable = {
+  r_arrival : float array;
+      (** per-rank {e first} delivery time; [nan] for ranks never reached *)
+  r_makespan : float;  (** max arrival over delivered ranks *)
+  r_transmissions : int;
+      (** data transmissions injected, including retransmissions (ACKs are
+          control-plane and not counted) *)
+  retransmissions : int;  (** timeout-triggered re-sends *)
+  acks : int;  (** ACK messages delivered *)
+  delivered : int;  (** ranks holding the message at quiescence *)
+  gave_up : (int * int) list;
+      (** [(parent, child)] plan edges whose retry budget was exhausted *)
+  crashed : int list;  (** ranks that halted within the simulated horizon *)
+  r_trace : Trace.transmission list;
+      (** data transmissions, arrival-ordered; [] unless recorded *)
+}
+
+val run_reliable :
+  ?noise:Noise.t ->
+  ?rng:Gridb_util.Rng.t ->
+  ?start_delay:float ->
+  ?msg:int ->
+  ?record_trace:bool ->
+  ?faults:Faults.t ->
+  ?retries:int ->
+  ?rto_mult:float ->
+  ?rto_min:float ->
+  Gridb_topology.Machines.t ->
+  Plan.t ->
+  reliable
+(** Reliable broadcast along [plan] under a {!Faults} model (default: no
+    faults).  Each plan edge runs stop-and-wait ACK/timeout/retransmission:
+    the receiver ACKs every delivery on the control plane (reverse-link
+    latency, no NIC seizure), the sender arms a cancellable timer [rto]
+    after its injection ends and retransmits with doubled [rto] on every
+    timeout, up to [retries] retransmissions (default 5) before abandoning
+    the edge — partial delivery, reported via [gave_up].  The initial [rto]
+    is [rto_mult] (default 2.) times the link's noiseless round trip
+    [g + L + L_back], floored at [rto_min] us (default 1.).
+
+    Fault semantics: losses and permanent cuts are evaluated at injection
+    start; a transmission to a rank that halts before its arrival vanishes;
+    a halted sender stops (re)transmitting and forwarding.  Degradation
+    episodes multiply both gap and latency of transmissions injected while
+    they are active.
+
+    With an empty fault spec ({!Faults.is_none}) and the same [noise],
+    [rng] and [start_delay], the data path is {e bit-identical} to {!run}:
+    same arrivals, same makespan, same transmission count — the zero-fault
+    identity the property tests pin down.
+    @raise Invalid_argument on plan/machine/fault-model size mismatch,
+    [retries < 0], [rto_mult < 1.] or [rto_min <= 0.]. *)

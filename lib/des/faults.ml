@@ -1,0 +1,190 @@
+module Rng = Gridb_util.Rng
+
+type spec = {
+  loss : float;
+  cut_rate : float;
+  degrade_rate : float;
+  degrade_mean : float;
+  degrade_factor : float;
+  crash_rate : float;
+}
+
+let none =
+  {
+    loss = 0.;
+    cut_rate = 0.;
+    degrade_rate = 0.;
+    degrade_mean = 1e6;
+    degrade_factor = 3.;
+    crash_rate = 0.;
+  }
+
+let v ?(loss = 0.) ?(cut_rate = 0.) ?(degrade_rate = 0.) ?(degrade_mean = 1e6)
+    ?(degrade_factor = 3.) ?(crash_rate = 0.) () =
+  if not (loss >= 0. && loss < 1.) then invalid_arg "Faults.v: loss outside [0, 1)";
+  if cut_rate < 0. then invalid_arg "Faults.v: negative cut_rate";
+  if degrade_rate < 0. then invalid_arg "Faults.v: negative degrade_rate";
+  if degrade_mean <= 0. then invalid_arg "Faults.v: degrade_mean must be positive";
+  if degrade_factor < 1. then invalid_arg "Faults.v: degrade_factor < 1";
+  if crash_rate < 0. then invalid_arg "Faults.v: negative crash_rate";
+  { loss; cut_rate; degrade_rate; degrade_mean; degrade_factor; crash_rate }
+
+let is_none s =
+  s.loss = 0. && s.cut_rate = 0. && s.degrade_rate = 0. && s.crash_rate = 0.
+
+let of_string str =
+  let str = String.trim str in
+  if str = "" || String.lowercase_ascii str = "none" then Ok none
+  else
+    let parse_pair acc pair =
+      match acc with
+      | Error _ as e -> e
+      | Ok s -> (
+          match String.index_opt pair '=' with
+          | None -> Error (Printf.sprintf "malformed %S (want key=value)" pair)
+          | Some i -> (
+              let key = String.trim (String.sub pair 0 i) in
+              let value = String.trim (String.sub pair (i + 1) (String.length pair - i - 1)) in
+              match float_of_string_opt value with
+              | None -> Error (Printf.sprintf "%s: not a number (%S)" key value)
+              | Some f -> (
+                  match key with
+                  | "loss" -> Ok { s with loss = f }
+                  | "cut" -> Ok { s with cut_rate = f }
+                  | "crash" -> Ok { s with crash_rate = f }
+                  | "degrade" -> Ok { s with degrade_rate = f }
+                  | "degrade-mean" -> Ok { s with degrade_mean = f }
+                  | "degrade-factor" -> Ok { s with degrade_factor = f }
+                  | other ->
+                      Error
+                        (Printf.sprintf
+                           "unknown key %S (known: loss, cut, crash, degrade, \
+                            degrade-mean, degrade-factor)"
+                           other))))
+    in
+    match List.fold_left parse_pair (Ok none) (String.split_on_char ',' str) with
+    | Error _ as e -> e
+    | Ok s -> (
+        match
+          v ~loss:s.loss ~cut_rate:s.cut_rate ~degrade_rate:s.degrade_rate
+            ~degrade_mean:s.degrade_mean ~degrade_factor:s.degrade_factor
+            ~crash_rate:s.crash_rate ()
+        with
+        | s -> Ok s
+        | exception Invalid_argument m -> Error m)
+
+let to_string s =
+  if is_none s then "none"
+  else
+    let fields = ref [] in
+    let add key value default = if value <> default then fields := Printf.sprintf "%s=%g" key value :: !fields in
+    add "crash" s.crash_rate 0.;
+    add "degrade-factor" s.degrade_factor none.degrade_factor;
+    add "degrade-mean" s.degrade_mean none.degrade_mean;
+    add "degrade" s.degrade_rate 0.;
+    add "cut" s.cut_rate 0.;
+    add "loss" s.loss 0.;
+    String.concat "," !fields
+
+(* Degradation episodes are generated lazily per link, in start order, from
+   the link's private stream: [next_start] is the first episode not yet
+   materialised, so a query at time [at] only forces episodes with
+   [start <= at] and later queries (at any time) see the same draws. *)
+type degrade_stream = {
+  drng : Rng.t;
+  mutable next_start : float;
+  mutable episodes : (float * float) list;  (* (start, stop), ascending *)
+}
+
+type t = {
+  spec : spec;
+  n : int;
+  crash : float array;  (* per rank; infinity = never *)
+  cut : float array;  (* directed link src * n + dst; infinity = never *)
+  loss_streams : Rng.t array;  (* per directed link; [||] when loss = 0 *)
+  degrade_streams : degrade_stream array;  (* [||] when degrade_rate = 0 *)
+}
+
+let create ?(seed = 0) ~n spec =
+  if n < 1 then invalid_arg "Faults.create: n < 1";
+  (* Field validity: re-run the smart constructor so hand-built records
+     cannot smuggle invalid parameters in. *)
+  let spec =
+    v ~loss:spec.loss ~cut_rate:spec.cut_rate ~degrade_rate:spec.degrade_rate
+      ~degrade_mean:spec.degrade_mean ~degrade_factor:spec.degrade_factor
+      ~crash_rate:spec.crash_rate ()
+  in
+  let master = Rng.create seed in
+  let links = n * n in
+  let crash =
+    if spec.crash_rate > 0. then
+      Array.init n (fun _ -> Rng.exponential master spec.crash_rate)
+    else Array.make n infinity
+  in
+  let cut =
+    if spec.cut_rate > 0. then
+      Array.init links (fun idx ->
+          if idx / n = idx mod n then infinity
+          else Rng.exponential master spec.cut_rate)
+    else Array.make 0 0.
+  in
+  let sub_rng () = Rng.create (Int64.to_int (Rng.bits64 master)) in
+  let loss_streams =
+    if spec.loss > 0. then Array.init links (fun _ -> sub_rng ()) else [||]
+  in
+  let degrade_streams =
+    if spec.degrade_rate > 0. then
+      Array.init links (fun _ ->
+          let drng = sub_rng () in
+          {
+            drng;
+            next_start = Rng.exponential drng spec.degrade_rate;
+            episodes = [];
+          })
+    else [||]
+  in
+  { spec; n; crash; cut; loss_streams; degrade_streams }
+
+let spec t = t.spec
+let size t = t.n
+
+let check_rank t i name =
+  if i < 0 || i >= t.n then invalid_arg ("Faults." ^ name ^ ": rank out of range")
+
+let crash_time t i =
+  check_rank t i "crash_time";
+  t.crash.(i)
+
+let crashed t i ~at = crash_time t i <= at
+
+let link_index t ~src ~dst name =
+  check_rank t src name;
+  check_rank t dst name;
+  (src * t.n) + dst
+
+let cut_time t ~src ~dst =
+  let idx = link_index t ~src ~dst "cut_time" in
+  if Array.length t.cut = 0 then infinity else t.cut.(idx)
+
+let link_up t ~src ~dst ~at = cut_time t ~src ~dst > at
+
+let lose t ~src ~dst =
+  let idx = link_index t ~src ~dst "lose" in
+  if Array.length t.loss_streams = 0 then false
+  else Rng.bernoulli t.loss_streams.(idx) t.spec.loss
+
+let slowdown t ~src ~dst ~at =
+  let idx = link_index t ~src ~dst "slowdown" in
+  if Array.length t.degrade_streams = 0 then 1.
+  else begin
+    let s = t.degrade_streams.(idx) in
+    while s.next_start <= at do
+      let start = s.next_start in
+      let stop = start +. Rng.exponential s.drng (1. /. t.spec.degrade_mean) in
+      s.episodes <- s.episodes @ [ (start, stop) ];
+      s.next_start <- start +. Rng.exponential s.drng t.spec.degrade_rate
+    done;
+    if List.exists (fun (start, stop) -> start <= at && at < stop) s.episodes then
+      t.spec.degrade_factor
+    else 1.
+  end

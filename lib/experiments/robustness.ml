@@ -1,0 +1,110 @@
+module Policy = Gridb_sched.Policy
+module Sched_engine = Gridb_sched.Engine
+module Instance = Gridb_sched.Instance
+module Repair = Gridb_sched.Repair
+module Machines = Gridb_topology.Machines
+module Faults = Gridb_des.Faults
+module Plan = Gridb_des.Plan
+module Exec = Gridb_des.Exec
+module Noise = Gridb_des.Noise
+
+type metrics = {
+  policy : string;
+  spec : Faults.spec;
+  retries : int;
+  seed : int;
+  total_ranks : int;
+  delivered : int;
+  delivery_ratio : float;
+  crashed_ranks : int;
+  baseline_makespan : float;
+  makespan : float;
+  inflation : float;
+  transmissions : int;
+  retransmissions : int;
+  acks : int;
+  gave_up : int;
+  repair_invoked : bool;
+  repairs : int;
+  repaired_makespan : float option;
+}
+
+let run ?(policy = Policy.ecef_la) ?(msg = 1_000_000) ?(retries = 5) ?(seed = 0)
+    ?(noise = Noise.Exact) ~spec grid =
+  let inst = Instance.of_grid ~root:0 ~msg grid in
+  let schedule = Sched_engine.run policy inst in
+  let machines = Machines.expand grid in
+  let plan = Plan.of_cluster_schedule machines schedule in
+  let baseline = Exec.run ~msg machines plan in
+  let n = Machines.count machines in
+  let faults = Faults.create ~seed ~n spec in
+  let rng = Gridb_util.Rng.create seed in
+  let rel = Exec.run_reliable ~noise ~rng ~msg ~faults ~retries machines plan in
+  (* Cluster-level crash vector: a cluster halts (as a schedule node) when
+     its coordinator does.  Only crashes inside the simulated horizon count
+     ([rel.crashed]); a draw beyond it is a future fault, not this run's. *)
+  let crash =
+    Array.init (Gridb_topology.Grid.size grid) (fun c ->
+        let coord = Machines.coordinator machines c in
+        if List.mem coord rel.Exec.crashed then Faults.crash_time faults coord
+        else infinity)
+  in
+  let repair_invoked = Array.exists Float.is_finite crash in
+  let repairs, repaired_makespan =
+    if repair_invoked then begin
+      let o = Repair.repair ~policy inst schedule ~crash in
+      (List.length o.Repair.replanned, Some o.Repair.makespan)
+    end
+    else (0, None)
+  in
+  {
+    policy = Policy.name policy;
+    spec;
+    retries;
+    seed;
+    total_ranks = n;
+    delivered = rel.Exec.delivered;
+    delivery_ratio = float_of_int rel.Exec.delivered /. float_of_int n;
+    crashed_ranks = List.length rel.Exec.crashed;
+    baseline_makespan = baseline.Exec.makespan;
+    makespan = rel.Exec.r_makespan;
+    inflation =
+      (if baseline.Exec.makespan > 0. then rel.Exec.r_makespan /. baseline.Exec.makespan
+       else nan);
+    transmissions = rel.Exec.r_transmissions;
+    retransmissions = rel.Exec.retransmissions;
+    acks = rel.Exec.acks;
+    gave_up = List.length rel.Exec.gave_up;
+    repair_invoked;
+    repairs;
+    repaired_makespan;
+  }
+
+let render m =
+  let table = Gridb_util.Text_table.create ~align:Gridb_util.Text_table.[ Left; Right ] [ "metric"; "value" ] in
+  let add label value = Gridb_util.Text_table.add_row table [ label; value ] in
+  add "policy" m.policy;
+  add "fault spec" (Faults.to_string m.spec);
+  add "retry budget" (string_of_int m.retries);
+  add "seed" (string_of_int m.seed);
+  Gridb_util.Text_table.add_separator table;
+  add "ranks" (string_of_int m.total_ranks);
+  add "delivered" (string_of_int m.delivered);
+  add "delivery ratio" (Printf.sprintf "%.4f" m.delivery_ratio);
+  add "crashed ranks" (string_of_int m.crashed_ranks);
+  add "edges given up" (string_of_int m.gave_up);
+  Gridb_util.Text_table.add_separator table;
+  add "fault-free makespan (s)" (Printf.sprintf "%.4f" (m.baseline_makespan /. 1e6));
+  add "reliable makespan (s)" (Printf.sprintf "%.4f" (m.makespan /. 1e6));
+  add "makespan inflation" (Printf.sprintf "%.3fx" m.inflation);
+  add "data transmissions" (string_of_int m.transmissions);
+  add "retransmissions" (string_of_int m.retransmissions);
+  add "acks delivered" (string_of_int m.acks);
+  Gridb_util.Text_table.add_separator table;
+  add "repair invoked" (if m.repair_invoked then "yes" else "no");
+  add "replanned transmissions" (string_of_int m.repairs);
+  add "repaired cluster makespan (s)"
+    (match m.repaired_makespan with
+    | None -> "-"
+    | Some t -> Printf.sprintf "%.4f" (t /. 1e6));
+  Gridb_util.Text_table.render table

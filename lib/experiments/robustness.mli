@@ -1,0 +1,52 @@
+(** Robustness scorecard: broadcast quality under injected faults.
+
+    Makespan is the paper's only axis; this module adds degradation under a
+    {!Gridb_des.Faults} model as a second, measured one.  One evaluation
+    schedules a grid with a policy, executes the plan twice on the DES —
+    fault-free ({!Gridb_des.Exec.run}, the baseline) and reliably under
+    faults ({!Gridb_des.Exec.run_reliable}) — and, when a coordinator
+    crashed, additionally invokes {!Gridb_sched.Repair} on the
+    cluster-level schedule.  The resulting metrics (delivery ratio,
+    makespan inflation, retransmission counts, repair work) feed
+    [gridsched simulate --faults] and the [bench/faults] sweep. *)
+
+type metrics = {
+  policy : string;
+  spec : Gridb_des.Faults.spec;
+  retries : int;
+  seed : int;
+  total_ranks : int;
+  delivered : int;  (** ranks holding the message at quiescence *)
+  delivery_ratio : float;  (** delivered / total_ranks *)
+  crashed_ranks : int;
+  baseline_makespan : float;  (** fault-free DES makespan, us *)
+  makespan : float;  (** reliable-run makespan over delivered ranks, us *)
+  inflation : float;  (** makespan / baseline_makespan *)
+  transmissions : int;  (** data transmissions incl. retransmissions *)
+  retransmissions : int;
+  acks : int;
+  gave_up : int;  (** plan edges whose retry budget was exhausted *)
+  repair_invoked : bool;  (** a cluster coordinator crashed *)
+  repairs : int;  (** replanned inter-cluster transmissions *)
+  repaired_makespan : float option;
+      (** analytic completion of the {!Gridb_sched.Repair}-patched
+          cluster schedule, us; [None] when repair was not invoked *)
+}
+
+val run :
+  ?policy:Gridb_sched.Policy.t ->
+  ?msg:int ->
+  ?retries:int ->
+  ?seed:int ->
+  ?noise:Gridb_des.Noise.t ->
+  spec:Gridb_des.Faults.spec ->
+  Gridb_topology.Grid.t ->
+  metrics
+(** One robustness evaluation on [grid] (root cluster 0).  Defaults:
+    {!Gridb_sched.Policy.ecef_la}, 1 MB, 5 retries, seed 0, [Exact] noise.
+    [seed] seeds both the fault model and (when [noise] is not [Exact])
+    the jitter stream of the reliable run; the baseline is always
+    noise-free. *)
+
+val render : metrics -> string
+(** Two-column text table of the scorecard. *)

@@ -31,6 +31,7 @@ type _ Effect.t +=
       -> request Effect.t
   | Wait_eff : request -> unit Effect.t
   | Recv_eff : filter -> message Effect.t
+  | Recv_timeout_eff : filter * float -> message option Effect.t
   | Time_eff : float Effect.t
   | Compute_eff : float -> unit Effect.t
 
@@ -43,6 +44,9 @@ module Api = struct
 
   let wait request = Effect.perform (Wait_eff request)
   let recv ?src ?tag () = Effect.perform (Recv_eff { want_src = src; want_tag = tag })
+
+  let recv_timeout ?src ?tag ~timeout () =
+    Effect.perform (Recv_timeout_eff ({ want_src = src; want_tag = tag }, timeout))
   let time () = Effect.perform Time_eff
   let compute duration = Effect.perform (Compute_eff duration)
 end
@@ -74,7 +78,14 @@ let take_matching mailbox filter =
          mailbox := rest;
          m)
 
-type parked = Parked : filter * (message, unit) Effect.Deep.continuation -> parked
+type parked =
+  | Parked : filter * (message, unit) Effect.Deep.continuation -> parked
+  | Parked_deadline :
+      filter * (message option, unit) Effect.Deep.continuation * Engine.timer
+      -> parked
+(* A [Parked_deadline]'s timer is cancelled by whichever path unparks the
+   rank first (matching delivery or timer expiry), so at most one live
+   deadline timer exists per rank. *)
 
 let run ?(noise = Noise.Exact) ?(seed = 0) ?(failures = []) machines program =
   let n = Machines.count machines in
@@ -104,12 +115,16 @@ let run ?(noise = Noise.Exact) ?(seed = 0) ?(failures = []) machines program =
     | Some nths -> List.mem count nths
     | None -> false
   in
-  let deliver m _engine =
+  let deliver m engine =
     incr delivered;
     match parked.(m.dst) with
     | Some (Parked (filter, k)) when matches filter m ->
         parked.(m.dst) <- None;
         Effect.Deep.continue k m
+    | Some (Parked_deadline (filter, k, tm)) when matches filter m ->
+        parked.(m.dst) <- None;
+        Engine.cancel engine tm;
+        Effect.Deep.continue k (Some m)
     | _ -> mailboxes.(m.dst) := !(mailboxes.(m.dst)) @ [ m ]
   in
   (* Reserve the sender's NIC and schedule delivery (unless dropped or the
@@ -164,6 +179,28 @@ let run ?(noise = Noise.Exact) ?(seed = 0) ?(failures = []) machines program =
                       if parked.(rank) <> None then
                         invalid_arg "simMPI: concurrent recv on one rank";
                       parked.(rank) <- Some (Parked (filter, k)))
+          | Recv_timeout_eff (filter, timeout) ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  if timeout < 0. then invalid_arg "simMPI: negative recv timeout";
+                  match take_matching mailboxes.(rank) filter with
+                  | Some m -> Effect.Deep.continue k (Some m)
+                  | None ->
+                      if parked.(rank) <> None then
+                        invalid_arg "simMPI: concurrent recv on one rank";
+                      let tm =
+                        Engine.schedule_timer engine
+                          ~time:(Engine.now engine +. timeout)
+                          (fun _ ->
+                            (* Still parked on this deadline (a matching
+                               delivery would have cancelled us). *)
+                            match parked.(rank) with
+                            | Some (Parked_deadline (_, k, _)) ->
+                                parked.(rank) <- None;
+                                Effect.Deep.continue k None
+                            | _ -> ())
+                      in
+                      parked.(rank) <- Some (Parked_deadline (filter, k, tm)))
           | Time_eff ->
               Some (fun (k : (a, unit) Effect.Deep.continuation) ->
                   Effect.Deep.continue k (Engine.now engine))

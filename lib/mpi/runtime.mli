@@ -44,6 +44,15 @@ module Api : sig
   (** Blocks until a message matching the optional filters is available.
       Matching messages are consumed oldest-delivery first. *)
 
+  val recv_timeout : ?src:int -> ?tag:int -> timeout:float -> unit -> message option
+  (** Like {!recv} but bounded: returns [None] if no matching message
+      arrived within [timeout] us of simulated time.  The deadline is a
+      cancellable {!Gridb_des.Engine} timer, cancelled as soon as a
+      matching message unparks the rank — this is the building block for
+      user-level timeout/retry protocols over simMPI, mirroring the
+      reliable executor's ACK timers.
+      @raise Invalid_argument if [timeout < 0.]. *)
+
   val time : unit -> float
   (** Current simulated time, us. *)
 

@@ -1,0 +1,59 @@
+(** Heuristic-driven schedule repair after coordinator crashes.
+
+    A crash-stop failure of a coordinator mid-broadcast breaks the relay
+    tree: every cluster that was to receive the message through the dead
+    coordinator is orphaned.  [repair] rebuilds the residual problem — the
+    surviving holders of the message as the sources (a pre-seeded [A] set
+    with the interrupted run's clock carried over), the orphaned clusters
+    as the receivers ([B]) — and re-runs a {!Policy.t} heuristic on it,
+    splicing the new transmissions onto the surviving prefix of the
+    original schedule.
+
+    The replay model: a scheduled transmission executes iff its sender
+    holds the message and is alive at the transmission's start (the sender
+    still pays the gap when the {e receiver} is dead — it cannot know);
+    a delivery lands iff the receiver is alive at the arrival.  Surviving
+    coordinators complete their originally scheduled sends; repair serves
+    only the orphans, starting no earlier than the detection time [at].
+
+    Under zero faults (no finite crash time) repair is the identity: the
+    patched schedule equals the input event for event, including the
+    [ready]/[busy_until] arrays — a property the tests pin down. *)
+
+type outcome = {
+  schedule : Schedule.t;
+      (** patched schedule: surviving original events then replanned ones,
+          rounds renumbered consecutively.  Not {!Schedule.validate}-clean
+          when clusters died — dead or unreachable clusters never receive
+          (their [ready] is [infinity]). *)
+  executed : int;  (** original events that actually executed *)
+  replanned : Schedule.event list;  (** repair transmissions, original ids *)
+  delivered : bool array;  (** per cluster, after repair *)
+  sources : int list;  (** alive holders used as the residual [A], ascending *)
+  orphans : int list;  (** alive non-holders the repair (re)serves, ascending *)
+  abandoned : int list;
+      (** alive non-holders that could not be served (no surviving source) *)
+  dead : int list;  (** clusters whose coordinator crashed by [at] *)
+  makespan : float;
+      (** After_sends completion over delivered clusters ([busy + T]);
+          0. when only the root holds the message *)
+}
+
+val repair :
+  ?policy:Policy.t ->
+  ?at:float ->
+  Instance.t ->
+  Schedule.t ->
+  crash:float array ->
+  outcome
+(** [repair inst schedule ~crash] patches [schedule] around the crash-stop
+    failures given as per-cluster halt times ([infinity] = never, the
+    convention of {!Gridb_des.Faults.crash_time}).  [policy] (default
+    {!Policy.ecef_la}) replans the residual instance through the reference
+    naive selector.  [at] is the detection instant — no repair transmission
+    is injected before it; default: the latest finite crash time (0. when
+    none).  Clusters whose coordinator is dead by [at] are excluded from
+    the residual instance entirely.  Repair is single-round: crashes after
+    [at] are future faults, handled by calling [repair] again on the
+    outcome.  @raise Invalid_argument if [crash] length differs from
+    [inst.n]. *)

@@ -28,6 +28,35 @@ let create inst =
     first_b_hint = 0;
   }
 
+let create_seeded inst ~sources =
+  if sources = [] then invalid_arg "State.create_seeded: no sources";
+  let n = inst.Instance.n in
+  let in_a = Array.make n false in
+  let ready = Array.make n infinity in
+  let avail = Array.make n infinity in
+  List.iter
+    (fun (i, r, a) ->
+      if i < 0 || i >= n then invalid_arg "State.create_seeded: cluster out of range";
+      if in_a.(i) then invalid_arg "State.create_seeded: duplicate source";
+      if not (0. <= r && r <= a) then
+        invalid_arg "State.create_seeded: need 0 <= ready <= avail";
+      in_a.(i) <- true;
+      ready.(i) <- r;
+      avail.(i) <- a)
+    sources;
+  if not in_a.(inst.Instance.root) then
+    invalid_arg "State.create_seeded: the instance root must be a source";
+  {
+    inst;
+    in_a;
+    ready;
+    avail;
+    events = [];
+    round = 0;
+    remaining_b = n - List.length sources;
+    first_b_hint = 0;
+  }
+
 let instance t = t.inst
 
 let in_a t i =

@@ -12,6 +12,14 @@ type t
 val create : Instance.t -> t
 (** Fresh state: [A = {root}] at time 0. *)
 
+val create_seeded : Instance.t -> sources:(int * float * float) list -> t
+(** Mid-broadcast state for {!Repair}: [A] holds every [(cluster, ready,
+    avail)] triple of [sources] — coordinators that already hold the
+    message, with the clock carried over from an interrupted run — and [B]
+    holds the rest.  The instance root must be one of the sources.
+    @raise Invalid_argument on an empty list, duplicate or out-of-range
+    clusters, [ready < 0.], [avail < ready], or a root not in [sources]. *)
+
 val instance : t -> Instance.t
 val in_a : t -> int -> bool
 val members_a : t -> int list

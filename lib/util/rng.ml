@@ -49,6 +49,13 @@ let float_in t lo hi =
 
 let bool t = Int64.logand (bits64 t) 1L = 1L
 
+let bernoulli t p =
+  if not (p >= 0. && p <= 1.) then invalid_arg "Rng.bernoulli: p outside [0, 1]";
+  (* p = 0. never succeeds and p = 1. always does, but both still consume
+     one draw so that branching on the probability cannot desynchronise a
+     stream shared with other draw sites. *)
+  unit_float t < p
+
 let gaussian ?(mu = 0.) ?(sigma = 1.) t =
   (* Box-Muller; u1 must be nonzero for the logarithm. *)
   let rec nonzero () =

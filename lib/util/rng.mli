@@ -42,6 +42,12 @@ val float_in : t -> float -> float -> float
 val bool : t -> bool
 (** Fair coin. *)
 
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p].  Always consumes exactly
+    one draw, even for [p = 0.] or [p = 1.], so seeded streams stay aligned
+    across fault-draw sites.  @raise Invalid_argument if [p] is outside
+    [\[0, 1\]]. *)
+
 val gaussian : ?mu:float -> ?sigma:float -> t -> float
 (** Normal deviate via Box-Muller.  Defaults: [mu = 0.], [sigma = 1.]. *)
 

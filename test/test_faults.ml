@@ -1,0 +1,554 @@
+(* Tests for the robustness layer: fault processes, the cancellable engine
+   timers, the reliable executor, schedule repair and the simMPI receive
+   timeout.  The central invariant: with an empty fault spec the reliable
+   executor and the repair pass are both bit-exact identities. *)
+
+module Engine = Gridb_des.Engine
+module Noise = Gridb_des.Noise
+module Faults = Gridb_des.Faults
+module Plan = Gridb_des.Plan
+module Exec = Gridb_des.Exec
+module Machines = Gridb_topology.Machines
+module Grid5000 = Gridb_topology.Grid5000
+module Generators = Gridb_topology.Generators
+module Instance = Gridb_sched.Instance
+module Schedule = Gridb_sched.Schedule
+module Policy = Gridb_sched.Policy
+module Sched_engine = Gridb_sched.Engine
+module Repair = Gridb_sched.Repair
+module Runtime = Gridb_mpi.Runtime
+module Rng = Gridb_util.Rng
+
+let feq ?(eps = 1e-9) a b =
+  let scale = Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= eps *. scale
+
+let check_feq ?eps name expected actual =
+  Alcotest.(check bool) (Printf.sprintf "%s: %g ~ %g" name expected actual) true
+    (feq ?eps expected actual)
+
+(* Either topology generator, selected by the seed's parity, so the
+   property tests cover both regimes. *)
+let random_grid ~rng ~n seed =
+  if seed mod 2 = 0 then Generators.uniform_random ~rng ~n Generators.default_random_spec
+  else
+    Generators.multilevel ~rng
+      { Generators.default_multilevel_spec with Generators.sites = max 1 (n / 3) }
+
+let plan_of_grid ?(policy = Policy.ecef_la) ~msg grid =
+  let inst = Instance.of_grid ~root:0 ~msg grid in
+  let schedule = Sched_engine.run policy inst in
+  let machines = Machines.expand grid in
+  (machines, Plan.of_cluster_schedule machines schedule)
+
+(* --- Rng.bernoulli ------------------------------------------------------ *)
+
+let test_bernoulli_validation () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "p < 0" (Invalid_argument "Rng.bernoulli: p outside [0, 1]")
+    (fun () -> ignore (Rng.bernoulli rng (-0.1)));
+  Alcotest.check_raises "p > 1" (Invalid_argument "Rng.bernoulli: p outside [0, 1]")
+    (fun () -> ignore (Rng.bernoulli rng 1.5));
+  Alcotest.check_raises "nan" (Invalid_argument "Rng.bernoulli: p outside [0, 1]")
+    (fun () -> ignore (Rng.bernoulli rng nan))
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "p = 0 never fires" false (Rng.bernoulli rng 0.);
+    Alcotest.(check bool) "p = 1 always fires" true (Rng.bernoulli rng 1.)
+  done
+
+let test_bernoulli_frequency () =
+  let rng = Rng.create 42 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "frequency %.3f near 0.3" freq)
+    true
+    (freq > 0.27 && freq < 0.33)
+
+(* --- Engine timers ------------------------------------------------------ *)
+
+let test_timer_fires () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let tm = Engine.schedule_timer e ~time:3. (fun _ -> fired := true) in
+  Alcotest.(check bool) "live before run" true (Engine.timer_live tm);
+  Engine.run e;
+  Alcotest.(check bool) "fired" true !fired;
+  Alcotest.(check bool) "dead after firing" false (Engine.timer_live tm);
+  check_feq "clock" 3. (Engine.now e);
+  (* Cancelling after the fact is a harmless no-op. *)
+  Engine.cancel e tm
+
+let test_cancelled_timer_never_fires () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let tm = Engine.schedule_timer e ~time:10. (fun _ -> fired := true) in
+  Engine.schedule e ~time:2. (fun _ -> ());
+  Engine.cancel e tm;
+  Alcotest.(check bool) "dead after cancel" false (Engine.timer_live tm);
+  Engine.run e;
+  Alcotest.(check bool) "never fired" false !fired;
+  check_feq "clock stops at the real event" 2. (Engine.now e);
+  Alcotest.(check int) "cancelled event not processed" 1 (Engine.processed e)
+
+let test_cancelled_timer_does_not_block () =
+  (* A cancelled event at the head of the queue must not hold run_until's
+     horizon hostage nor count as pending work. *)
+  let e = Engine.create () in
+  let tm = Engine.schedule_timer e ~time:1. (fun _ -> ()) in
+  let fired = ref false in
+  Engine.schedule e ~time:5. (fun _ -> fired := true);
+  Engine.cancel e tm;
+  Alcotest.(check int) "pending excludes cancelled" 1 (Engine.pending e);
+  Engine.run_until e 3.;
+  Alcotest.(check bool) "late event untouched" false !fired;
+  Engine.run e;
+  Alcotest.(check bool) "late event ran" true !fired
+
+let test_timer_rearm () =
+  (* Cancel-and-rearm, the retransmission idiom. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  let tm = ref (Engine.schedule_timer e ~time:4. (fun _ -> log := "old" :: !log)) in
+  Engine.schedule e ~time:1. (fun _ ->
+      Engine.cancel e !tm;
+      tm := Engine.schedule_timer e ~time:2. (fun _ -> log := "new" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "only the rearmed timer fired" [ "new" ] !log;
+  check_feq "clock" 2. (Engine.now e)
+
+(* --- Fault specs -------------------------------------------------------- *)
+
+let test_spec_validation () =
+  Alcotest.check_raises "loss >= 1"
+    (Invalid_argument "Faults.v: loss outside [0, 1)") (fun () ->
+      ignore (Faults.v ~loss:1. ()));
+  Alcotest.check_raises "negative rate"
+    (Invalid_argument "Faults.v: negative crash_rate") (fun () ->
+      ignore (Faults.v ~crash_rate:(-1e-6) ()));
+  Alcotest.check_raises "degrade factor < 1"
+    (Invalid_argument "Faults.v: degrade_factor < 1") (fun () ->
+      ignore (Faults.v ~degrade_factor:0.5 ()))
+
+let test_spec_of_string () =
+  (match Faults.of_string "loss=0.05,crash=2e-8" with
+  | Error e -> Alcotest.fail e
+  | Ok spec ->
+      check_feq "loss parsed" 0.05 spec.Faults.loss;
+      check_feq "crash parsed" 2e-8 spec.Faults.crash_rate);
+  (match Faults.of_string "none" with
+  | Ok spec -> Alcotest.(check bool) "none is none" true (Faults.is_none spec)
+  | Error e -> Alcotest.fail e);
+  (match Faults.of_string "" with
+  | Ok spec -> Alcotest.(check bool) "empty is none" true (Faults.is_none spec)
+  | Error e -> Alcotest.fail e);
+  (match Faults.of_string "bogus=1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown key accepted")
+
+let test_spec_roundtrip () =
+  let spec = Faults.v ~loss:0.1 ~crash_rate:1e-7 ~degrade_rate:1e-6 ~degrade_factor:4. () in
+  match Faults.of_string (Faults.to_string spec) with
+  | Error e -> Alcotest.fail e
+  | Ok spec' ->
+      check_feq "loss" spec.Faults.loss spec'.Faults.loss;
+      check_feq "crash" spec.Faults.crash_rate spec'.Faults.crash_rate;
+      check_feq "degrade" spec.Faults.degrade_rate spec'.Faults.degrade_rate;
+      check_feq "factor" spec.Faults.degrade_factor spec'.Faults.degrade_factor
+
+let test_faults_deterministic () =
+  let spec = Faults.v ~loss:0.2 ~crash_rate:1e-6 ~cut_rate:1e-7 ()
+  and n = 12 in
+  let a = Faults.create ~seed:5 ~n spec and b = Faults.create ~seed:5 ~n spec in
+  for r = 0 to n - 1 do
+    check_feq "crash times equal" (Faults.crash_time a r) (Faults.crash_time b r)
+  done;
+  (* Per-link streams are pre-seeded: querying b's links in reverse order
+     must not change any answer. *)
+  let qa = ref [] and qb = ref [] in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then qa := Faults.lose a ~src ~dst :: !qa
+    done
+  done;
+  for src = n - 1 downto 0 do
+    for dst = n - 1 downto 0 do
+      if src <> dst then qb := Faults.lose b ~src ~dst :: !qb
+    done
+  done;
+  Alcotest.(check (list bool)) "loss draws query-order independent" !qa (List.rev !qb)
+
+(* --- Reliable executor -------------------------------------------------- *)
+
+let reliable_zero_fault_identity =
+  QCheck.Test.make ~name:"run_reliable with no faults is bit-identical to run" ~count:25
+    QCheck.(pair (int_range 2 9) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let grid = random_grid ~rng ~n seed in
+      let msg = 1 + (seed mod 4_000_000) in
+      let machines, plan = plan_of_grid ~msg grid in
+      let base = Exec.run ~msg machines plan in
+      let rel = Exec.run_reliable ~msg machines plan in
+      rel.Exec.r_makespan = base.Exec.makespan
+      && rel.Exec.r_arrival = base.Exec.arrival
+      && rel.Exec.r_transmissions = base.Exec.transmissions
+      && rel.Exec.retransmissions = 0
+      && rel.Exec.gave_up = []
+      && rel.Exec.crashed = []
+      && rel.Exec.delivered = Machines.count machines)
+
+let test_reliable_seeded_reproducible () =
+  let grid = Grid5000.grid () in
+  let msg = 1_000_000 in
+  let machines, plan = plan_of_grid ~msg grid in
+  let spec = Faults.v ~loss:0.1 ~crash_rate:1e-6 () in
+  let once () =
+    let faults = Faults.create ~seed:3 ~n:(Machines.count machines) spec in
+    Exec.run_reliable ~msg ~faults machines plan
+  in
+  let a = once () and b = once () in
+  (* Polymorphic compare, not (=): undelivered ranks hold nan. *)
+  Alcotest.(check bool) "arrivals identical" true
+    (compare a.Exec.r_arrival b.Exec.r_arrival = 0);
+  Alcotest.(check int) "transmissions identical" a.Exec.r_transmissions b.Exec.r_transmissions;
+  Alcotest.(check int) "retransmissions identical" a.Exec.retransmissions b.Exec.retransmissions;
+  Alcotest.(check (list (pair int int))) "gave_up identical" a.Exec.gave_up b.Exec.gave_up;
+  Alcotest.(check (list int)) "crashed identical" a.Exec.crashed b.Exec.crashed
+
+let test_reliable_recovers_from_loss () =
+  let grid = Grid5000.grid () in
+  let msg = 1_000_000 in
+  let machines, plan = plan_of_grid ~msg grid in
+  let n = Machines.count machines in
+  let base = Exec.run ~msg machines plan in
+  let faults = Faults.create ~seed:11 ~n (Faults.v ~loss:0.3 ()) in
+  let rel = Exec.run_reliable ~msg ~faults ~retries:25 machines plan in
+  Alcotest.(check int) "full delivery despite 30% loss" n rel.Exec.delivered;
+  Alcotest.(check bool) "losses caused retransmissions" true (rel.Exec.retransmissions > 0);
+  Alcotest.(check bool) "retransmissions cost time" true
+    (rel.Exec.r_makespan >= base.Exec.makespan);
+  Alcotest.(check bool) "every rank acked once" true (rel.Exec.acks >= n - 1)
+
+let test_reliable_retry_budget_exhaustion () =
+  let rng = Rng.create 2 in
+  let grid = Generators.uniform_random ~rng ~n:6 Generators.default_random_spec in
+  let msg = 1_000_000 in
+  let machines, plan = plan_of_grid ~msg grid in
+  let n = Machines.count machines in
+  let faults = Faults.create ~seed:4 ~n (Faults.v ~loss:0.9 ()) in
+  let rel = Exec.run_reliable ~msg ~faults ~retries:1 machines plan in
+  Alcotest.(check bool) "some edges gave up" true (rel.Exec.gave_up <> []);
+  Alcotest.(check bool) "partial delivery" true (rel.Exec.delivered < n);
+  (* Undelivered ranks must be marked, delivered ones timed. *)
+  Array.iteri
+    (fun r t ->
+      if Float.is_nan t then
+        Alcotest.(check bool)
+          (Printf.sprintf "rank %d unreached and not root" r)
+          true (r <> plan.Plan.root))
+    rel.Exec.r_arrival
+
+let test_reliable_crash_partitions () =
+  let grid = Grid5000.grid () in
+  let msg = 1_000_000 in
+  let machines, plan = plan_of_grid ~msg grid in
+  let n = Machines.count machines in
+  (* Aggressive crash rate: mean time to failure well under the makespan. *)
+  let faults = Faults.create ~seed:1 ~n (Faults.v ~crash_rate:5e-6 ()) in
+  let rel = Exec.run_reliable ~msg ~faults machines plan in
+  Alcotest.(check bool) "some ranks crashed" true (rel.Exec.crashed <> []);
+  Alcotest.(check bool) "partial delivery" true (rel.Exec.delivered < n);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "crashed rank %d halted within horizon" r)
+        true
+        (Float.is_finite (Faults.crash_time faults r)))
+    rel.Exec.crashed
+
+(* --- Exec.mean_makespan stream discipline ------------------------------- *)
+
+let test_mean_makespan_seed_determinism () =
+  let grid = Grid5000.grid () in
+  let machines, plan = plan_of_grid ~msg:1_000_000 grid in
+  let mean seed =
+    Exec.mean_makespan ~noise:(Noise.Lognormal 0.08) ~repetitions:5 ~seed machines plan
+  in
+  check_feq ~eps:0. "equal seeds, equal means" (mean 9) (mean 9);
+  Alcotest.(check bool) "different seeds differ" true (mean 9 <> mean 10)
+
+let test_mean_makespan_split_streams () =
+  (* Repetition 0 runs on Rng.split of the seed stream, so a single-rep
+     mean must equal a direct run on that split — and stay put no matter
+     how many further repetitions follow it. *)
+  let grid = Grid5000.grid () in
+  let machines, plan = plan_of_grid ~msg:1_000_000 grid in
+  let noise = Noise.Lognormal 0.08 in
+  let rng = Rng.create 21 in
+  let direct = Exec.run ~noise ~rng:(Rng.split rng) machines plan in
+  let m1 = Exec.mean_makespan ~noise ~repetitions:1 ~seed:21 machines plan in
+  check_feq ~eps:0. "rep 0 is the first split stream" direct.Exec.makespan m1;
+  let m2 = Exec.mean_makespan ~noise ~repetitions:2 ~seed:21 machines plan in
+  let m3 = Exec.mean_makespan ~noise ~repetitions:3 ~seed:21 machines plan in
+  (* Prefix property: rep 1's value recovered from the 2- and 3-rep means
+     must agree, which fails if one rep's draw count shifted the next. *)
+  check_feq "rep 1 independent of later reps" ((2. *. m2) -. m1) ((2. *. m2) -. m1);
+  let rep2_from_3 = (3. *. m3) -. (2. *. m2) in
+  Alcotest.(check bool) "rep 2 is a plausible makespan" true (rep2_from_3 > 0.)
+
+let test_noise_uniform_rejects_bad_eps () =
+  let rng = Rng.create 0 in
+  Alcotest.check_raises "eps = 1"
+    (Invalid_argument "Noise.factor: Uniform eps outside [0, 1)") (fun () ->
+      ignore (Noise.factor (Noise.Uniform 1.) rng));
+  Alcotest.check_raises "eps < 0"
+    (Invalid_argument "Noise.factor: Uniform eps outside [0, 1)") (fun () ->
+      ignore (Noise.factor (Noise.Uniform (-0.1)) rng))
+
+(* --- Schedule repair ----------------------------------------------------- *)
+
+let repair_zero_fault_identity =
+  QCheck.Test.make ~name:"repair under zero faults is the identity" ~count:30
+    QCheck.(pair (int_range 2 12) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let grid = random_grid ~rng ~n seed in
+      let inst = Instance.of_grid ~root:0 ~msg:1_000_000 grid in
+      let schedule = Sched_engine.run Policy.ecef_la inst in
+      let crash = Array.make inst.Instance.n infinity in
+      let o = Repair.repair inst schedule ~crash in
+      o.Repair.schedule.Schedule.events = schedule.Schedule.events
+      && o.Repair.schedule.Schedule.ready = schedule.Schedule.ready
+      && o.Repair.schedule.Schedule.busy_until = schedule.Schedule.busy_until
+      && o.Repair.replanned = [] && o.Repair.dead = [] && o.Repair.abandoned = []
+      && Array.for_all Fun.id o.Repair.delivered)
+
+(* A deterministic mid-broadcast coordinator crash: kill the first relay
+   (non-root sender) at the very instant its copy would have arrived, so
+   it never holds the message and every cluster it was to serve is
+   orphaned. *)
+let crash_first_relay inst schedule =
+  let relay =
+    match
+      List.find_opt
+        (fun (e : Schedule.event) -> e.Schedule.src <> schedule.Schedule.root)
+        schedule.Schedule.events
+    with
+    | Some e -> e.Schedule.src
+    | None -> Alcotest.fail "schedule has no relay sender"
+  in
+  let crash = Array.make inst.Instance.n infinity in
+  crash.(relay) <- schedule.Schedule.ready.(relay);
+  (relay, crash)
+
+let test_repair_reroutes_orphans () =
+  let grid = Grid5000.grid () in
+  let inst = Instance.of_grid ~root:0 ~msg:1_000_000 grid in
+  let schedule = Sched_engine.run Policy.ecef_la inst in
+  let relay, crash = crash_first_relay inst schedule in
+  let o = Repair.repair inst schedule ~crash in
+  Alcotest.(check (list int)) "exactly the relay died" [ relay ] o.Repair.dead;
+  Alcotest.(check bool) "orphans were replanned" true (o.Repair.replanned <> []);
+  Alcotest.(check (list int)) "nobody abandoned" [] o.Repair.abandoned;
+  Array.iteri
+    (fun c delivered ->
+      if c <> relay then
+        Alcotest.(check bool) (Printf.sprintf "cluster %d served" c) true delivered)
+    o.Repair.delivered;
+  let at = crash.(relay) in
+  List.iter
+    (fun (e : Schedule.event) ->
+      Alcotest.(check bool) "repair sends start at detection or later" true
+        (e.Schedule.start >= at);
+      Alcotest.(check bool) "no dead participants" true
+        (e.Schedule.src <> relay && e.Schedule.dst <> relay))
+    o.Repair.replanned;
+  Alcotest.(check bool) "patched makespan is finite and positive" true
+    (Float.is_finite o.Repair.makespan && o.Repair.makespan > 0.);
+  (* Rounds are renumbered consecutively from 0. *)
+  List.iteri
+    (fun i (e : Schedule.event) -> Alcotest.(check int) "round" i e.Schedule.round)
+    o.Repair.schedule.Schedule.events
+
+let test_repair_abandons_without_sources () =
+  (* Root crashes before sending anything: every other cluster is orphaned
+     with no surviving holder. *)
+  let grid = Grid5000.grid () in
+  let inst = Instance.of_grid ~root:0 ~msg:1_000_000 grid in
+  let schedule = Sched_engine.run Policy.ecef_la inst in
+  let n = inst.Instance.n in
+  let crash = Array.make n infinity in
+  crash.(0) <- 0.;
+  let o = Repair.repair ~at:0. inst schedule ~crash in
+  Alcotest.(check (list int)) "root dead" [ 0 ] o.Repair.dead;
+  Alcotest.(check (list int)) "everyone abandoned"
+    (List.init (n - 1) (fun i -> i + 1))
+    o.Repair.abandoned;
+  Alcotest.(check bool) "nothing replanned" true (o.Repair.replanned = [])
+
+let test_repair_respects_policy () =
+  (* The residual replan is driven by the requested policy: on a fresh
+     crash the flat-tree repair must fan out from sources only, while the
+     default may relay.  Weak but policy-sensitive check: both deliver. *)
+  let grid = Grid5000.grid () in
+  let inst = Instance.of_grid ~root:0 ~msg:1_000_000 grid in
+  let schedule = Sched_engine.run Policy.ecef_la inst in
+  let relay, crash = crash_first_relay inst schedule in
+  List.iter
+    (fun policy ->
+      let o = Repair.repair ~policy inst schedule ~crash in
+      Array.iteri
+        (fun c d ->
+          if c <> relay then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s serves cluster %d" (Policy.name policy) c)
+              true d)
+        o.Repair.delivered)
+    [ Policy.flat_tree; Policy.fef; Policy.ecef; Policy.bottom_up ]
+
+(* --- Robustness scorecard ------------------------------------------------ *)
+
+let test_robustness_zero_faults () =
+  let grid = Grid5000.grid () in
+  let m = Gridb_experiments.Robustness.run ~spec:Faults.none grid in
+  check_feq ~eps:0. "delivery ratio 1" 1. m.Gridb_experiments.Robustness.delivery_ratio;
+  check_feq ~eps:0. "inflation exactly 1" 1. m.Gridb_experiments.Robustness.inflation;
+  Alcotest.(check int) "no retransmissions" 0 m.Gridb_experiments.Robustness.retransmissions;
+  Alcotest.(check bool) "no repair" false m.Gridb_experiments.Robustness.repair_invoked
+
+let test_robustness_under_loss () =
+  let grid = Grid5000.grid () in
+  let spec = Faults.v ~loss:0.1 () in
+  let m = Gridb_experiments.Robustness.run ~seed:6 ~spec grid in
+  Alcotest.(check bool) "still delivers" true
+    (m.Gridb_experiments.Robustness.delivery_ratio > 0.9);
+  Alcotest.(check bool) "loss costs time" true
+    (m.Gridb_experiments.Robustness.inflation >= 1.);
+  Alcotest.(check bool) "retransmitted" true
+    (m.Gridb_experiments.Robustness.retransmissions > 0);
+  let rendered = Gridb_experiments.Robustness.render m in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "render mentions delivery ratio" true
+    (contains rendered "delivery ratio")
+
+(* --- simMPI recv_timeout ------------------------------------------------- *)
+
+let test_recv_timeout_expires () =
+  let rng = Rng.create 13 in
+  let grid = Generators.uniform_random ~rng ~n:2 Generators.default_random_spec in
+  let machines = Machines.expand grid in
+  let expired_at = ref nan and late = ref false in
+  let result =
+    Runtime.run_exn machines (fun ~rank ~size:_ ->
+        if rank = 1 then begin
+          (match Runtime.Api.recv_timeout ~timeout:50. () with
+          | None -> expired_at := Runtime.Api.time ()
+          | Some _ -> Alcotest.fail "nothing was sent yet");
+          (* The sender transmits at t = 100; a generous second deadline
+             must now see the message (and the first, cancelled deadline
+             must not have corrupted the parked state). *)
+          match Runtime.Api.recv_timeout ~timeout:1e9 () with
+          | Some m -> late := m.Runtime.src = 0
+          | None -> Alcotest.fail "message never arrived"
+        end
+        else if rank = 0 then begin
+          Runtime.Api.compute 100.;
+          Runtime.Api.send ~dst:1 ~msg_size:1_000 ()
+        end)
+  in
+  check_feq "deadline fired exactly at 50" 50. !expired_at;
+  Alcotest.(check bool) "second wait caught the real message" true !late;
+  Alcotest.(check (list int)) "no deadlocks" [] result.Runtime.deadlocked
+
+let test_recv_timeout_cancelled_by_delivery () =
+  let rng = Rng.create 14 in
+  let grid = Generators.uniform_random ~rng ~n:2 Generators.default_random_spec in
+  let machines = Machines.expand grid in
+  let got = ref false and second_expired = ref nan in
+  let result =
+    Runtime.run_exn machines (fun ~rank ~size:_ ->
+        if rank = 1 then begin
+          (match Runtime.Api.recv_timeout ~timeout:1e9 () with
+          | Some _ -> got := true
+          | None -> Alcotest.fail "message lost");
+          (* If the first deadline timer survived its cancellation it would
+             fire during this second, short wait and resume us twice. *)
+          match Runtime.Api.recv_timeout ~timeout:10. () with
+          | None -> second_expired := Runtime.Api.time ()
+          | Some _ -> Alcotest.fail "no second message exists"
+        end
+        else if rank = 0 then Runtime.Api.send ~dst:1 ~msg_size:1_000 ())
+  in
+  Alcotest.(check bool) "message received before deadline" true !got;
+  Alcotest.(check bool) "second deadline fired 10us after the delivery" true
+    (Float.is_finite !second_expired);
+  Alcotest.(check (list int)) "no deadlocks" [] result.Runtime.deadlocked
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "faults"
+    [
+      ( "bernoulli",
+        [
+          quick "validation" test_bernoulli_validation;
+          quick "extremes" test_bernoulli_extremes;
+          quick "frequency" test_bernoulli_frequency;
+        ] );
+      ( "timers",
+        [
+          quick "fires" test_timer_fires;
+          quick "cancelled never fires" test_cancelled_timer_never_fires;
+          quick "cancelled does not block" test_cancelled_timer_does_not_block;
+          quick "rearm" test_timer_rearm;
+        ] );
+      ( "spec",
+        [
+          quick "validation" test_spec_validation;
+          quick "of_string" test_spec_of_string;
+          quick "roundtrip" test_spec_roundtrip;
+          quick "deterministic" test_faults_deterministic;
+        ] );
+      ( "reliable",
+        [
+          QCheck_alcotest.to_alcotest reliable_zero_fault_identity;
+          quick "seeded reproducible" test_reliable_seeded_reproducible;
+          quick "recovers from loss" test_reliable_recovers_from_loss;
+          quick "retry budget exhaustion" test_reliable_retry_budget_exhaustion;
+          quick "crash partitions" test_reliable_crash_partitions;
+        ] );
+      ( "mean makespan",
+        [
+          quick "seed determinism" test_mean_makespan_seed_determinism;
+          quick "split streams" test_mean_makespan_split_streams;
+          quick "uniform eps validation" test_noise_uniform_rejects_bad_eps;
+        ] );
+      ( "repair",
+        [
+          QCheck_alcotest.to_alcotest repair_zero_fault_identity;
+          quick "reroutes orphans" test_repair_reroutes_orphans;
+          quick "abandons without sources" test_repair_abandons_without_sources;
+          quick "respects policy" test_repair_respects_policy;
+        ] );
+      ( "robustness",
+        [
+          quick "zero faults" test_robustness_zero_faults;
+          quick "under loss" test_robustness_under_loss;
+        ] );
+      ( "recv_timeout",
+        [
+          quick "expires" test_recv_timeout_expires;
+          quick "cancelled by delivery" test_recv_timeout_cancelled_by_delivery;
+        ] );
+    ]
