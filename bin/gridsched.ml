@@ -409,8 +409,17 @@ let faults_conv =
   in
   Arg.conv (parse, fun ppf spec -> Format.pp_print_string ppf (Gridb_des.Faults.to_string spec))
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Stream the run's observability events to $(docv) as JSON Lines (one event per \
+           line; read back with $(b,Gridb_obs.Sink.read)).")
+
 let simulate_cmd =
-  let run heuristic topology msg seed faults retries jitter =
+  let run heuristic topology msg seed faults retries jitter trace =
     match load_grid topology with
     | Error e ->
         prerr_endline e;
@@ -429,11 +438,22 @@ let simulate_cmd =
             let noise =
               if jitter > 0. then Gridb_des.Noise.Lognormal jitter else Gridb_des.Noise.Exact
             in
-            let metrics =
-              Gridb_experiments.Robustness.run ~policy ~msg ~retries ~seed ~noise
+            let robustness obs =
+              Gridb_experiments.Robustness.run ~policy ~msg ~retries ~seed ~noise ?obs
                 ~spec:faults grid
             in
+            let metrics, traced =
+              match trace with
+              | Some path ->
+                  Gridb_obs.Sink.with_jsonl path (fun obs ->
+                      let m = robustness (Some obs) in
+                      (m, Some (path, Gridb_obs.Sink.count obs)))
+              | None -> (robustness None, None)
+            in
             print_string (Gridb_experiments.Robustness.render metrics);
+            (match traced with
+            | Some (path, count) -> Printf.printf "trace: %d events -> %s\n" count path
+            | None -> ());
             0)
   in
   let heuristic =
@@ -469,7 +489,64 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Reliable broadcast under fault injection (delivery ratio, inflation, repair)")
     Term.(
-      const run $ heuristic $ topology_arg $ msg_arg $ seed_arg $ faults $ retries $ jitter)
+      const run $ heuristic $ topology_arg $ msg_arg $ seed_arg $ faults $ retries $ jitter
+      $ trace_arg)
+
+(* --- profile: per-phase rollup of one schedule-and-execute pipeline --- *)
+
+let profile_cmd =
+  let run heuristic topology msg root gantt trace =
+    match load_grid topology with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok grid -> (
+        match heuristic.Heuristics.policy with
+        | None ->
+            Printf.eprintf "heuristic %s has no policy descriptor; pick one of: %s\n"
+              heuristic.Heuristics.name
+              (String.concat ", "
+                 (List.filter_map
+                    (fun h -> Option.map (fun _ -> h.Heuristics.name) h.Heuristics.policy)
+                    Heuristics.all));
+            1
+        | Some policy ->
+            (* One Memory sink observes the whole pipeline: a host-time span
+               around scheduling, then the rank-level DES execution. *)
+            let mem = Gridb_obs.Sink.memory () in
+            let inst = Instance.of_grid ~root ~msg grid in
+            let schedule =
+              Gridb_obs.Span.wrap mem "schedule" (fun () ->
+                  Gridb_sched.Engine.run ~obs:mem policy inst)
+            in
+            let machines = Topology.Machines.expand grid in
+            let plan = Gridb_des.Plan.of_cluster_schedule machines schedule in
+            ignore (Gridb_des.Exec.run ~msg ~obs:mem machines plan);
+            let events = Gridb_obs.Sink.events mem in
+            Printf.printf "profile: %s, %s, %s\n" heuristic.Heuristics.name
+              (match topology with None -> "GRID5000" | Some path -> path)
+              (Gridb_util.Units.bytes_to_string msg);
+            print_string (Gridb_obs.Profile.render (Gridb_obs.Profile.of_events events));
+            if gantt then print_string (Gridb_sched.Gantt.render_events events);
+            (match trace with
+            | Some path ->
+                Gridb_obs.Sink.with_jsonl path (fun js ->
+                    List.iter (Gridb_obs.Sink.emit js) events);
+                Printf.printf "trace: %d events -> %s\n" (List.length events) path
+            | None -> ());
+            0)
+  in
+  let heuristic =
+    Arg.(value & opt heuristic_conv Heuristics.ecef_la & info [ "H"; "heuristic" ] ~docv:"NAME")
+  in
+  let root = Arg.(value & opt int 0 & info [ "root" ] ~docv:"CLUSTER") in
+  let gantt =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Also render the executed-run event Gantt chart.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Per-phase profile (schedule vs transmit vs intra-cluster) of one broadcast")
+    Term.(const run $ heuristic $ topology_arg $ msg_arg $ root $ gantt $ trace_arg)
 
 let main_cmd =
   let doc = "broadcast scheduling heuristics for grid environments (PMEO-PDS'06 reproduction)" in
@@ -485,6 +562,7 @@ let main_cmd =
       optimal_cmd;
       measure_cmd;
       simulate_cmd;
+      profile_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,24 +1,27 @@
-type timer = { mutable live : bool }
+module Sink = Gridb_obs.Sink
+module Event = Gridb_obs.Event
 
-type event = { time : float; seq : int; action : t -> unit; timer : timer option }
+type timer = { mutable live : bool; id : int }
+
+type event = { time : float; action : t -> unit; timer : timer option }
 
 and t = {
   queue : event Gridb_util.Binary_heap.t;
+  obs : Sink.t;
   mutable clock : float;
-  mutable next_seq : int;
+  mutable next_timer : int;
   mutable processed : int;
   mutable cancelled_pending : int;
 }
 
-let compare_events a b =
-  let c = Float.compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
-
-let create () =
+let create ?(obs = Sink.null) () =
   {
-    queue = Gridb_util.Binary_heap.create ~cmp:compare_events ();
+    (* Equal times fire in insertion order: the keyed heap breaks ties by
+       insertion sequence, so no explicit [seq] field is needed. *)
+    queue = Gridb_util.Binary_heap.create ~key:(fun e -> e.time) ();
+    obs;
     clock = 0.;
-    next_seq = 0;
+    next_timer = 0;
     processed = 0;
     cancelled_pending = 0;
   }
@@ -27,8 +30,7 @@ let now t = t.clock
 
 let enqueue t ~time action timer =
   if time < t.clock then invalid_arg "Engine.schedule: time in the past";
-  Gridb_util.Binary_heap.add t.queue { time; seq = t.next_seq; action; timer };
-  t.next_seq <- t.next_seq + 1
+  Gridb_util.Binary_heap.add t.queue { time; action; timer }
 
 let schedule t ~time action = enqueue t ~time action None
 
@@ -37,14 +39,19 @@ let schedule_after t ~delay action =
   schedule t ~time:(t.clock +. delay) action
 
 let schedule_timer t ~time action =
-  let timer = { live = true } in
+  let timer = { live = true; id = t.next_timer } in
+  t.next_timer <- t.next_timer + 1;
   enqueue t ~time action (Some timer);
+  if Sink.enabled t.obs then
+    Sink.emit t.obs (Event.Timer_set { id = timer.id; time = t.clock; fire_at = time });
   timer
 
 let cancel t timer =
   if timer.live then begin
     timer.live <- false;
-    t.cancelled_pending <- t.cancelled_pending + 1
+    t.cancelled_pending <- t.cancelled_pending + 1;
+    if Sink.enabled t.obs then
+      Sink.emit t.obs (Event.Timer_cancel { id = timer.id; time = t.clock })
   end
 
 let timer_live timer = timer.live
@@ -69,7 +76,12 @@ let step t =
   | Some e ->
       t.clock <- e.time;
       t.processed <- t.processed + 1;
-      (match e.timer with Some tm -> tm.live <- false | None -> ());
+      (match e.timer with
+      | Some tm ->
+          tm.live <- false;
+          if Sink.enabled t.obs then
+            Sink.emit t.obs (Event.Timer_fire { id = tm.id; time = t.clock })
+      | None -> ());
       e.action t;
       true
 

@@ -12,14 +12,20 @@
     not advance the clock, count towards {!processed}, or hold back a
     {!run_until} horizon.  This is what arms the ACK-guarded retransmission
     timers of the reliable executor: the common (ACK received) path cancels
-    the timer instead of letting a stale timeout fire. *)
+    the timer instead of letting a stale timeout fire.
+
+    Observability: pass a {!Gridb_obs.Sink.t} at creation to receive
+    [Timer_set]/[Timer_fire]/[Timer_cancel] events.  With the default
+    {!Gridb_obs.Sink.null} sink the emission sites reduce to a single
+    always-false branch — the hot path is unchanged. *)
 
 type t
 
 type timer
 (** Handle of a cancellable event. *)
 
-val create : unit -> t
+val create : ?obs:Gridb_obs.Sink.t -> unit -> t
+(** [obs] defaults to {!Gridb_obs.Sink.null} (no instrumentation). *)
 
 val now : t -> float
 (** Current simulation time (us).  0. before the first event. *)

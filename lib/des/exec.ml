@@ -1,5 +1,7 @@
 module Machines = Gridb_topology.Machines
 module Params = Gridb_plogp.Params
+module Sink = Gridb_obs.Sink
+module Event = Gridb_obs.Event
 
 type result = {
   arrival : float array;
@@ -8,25 +10,45 @@ type result = {
   trace : Trace.transmission list;
 }
 
+(* The legacy [record_trace] path is a Memory-sink view over the same event
+   stream: the executor emits [Send_start]/[Send_end] pairs to an internal
+   Memory sink and the [trace] field is rebuilt from it.  Reversing the
+   chronological stream before the (stable) arrival sort reproduces the
+   historical reverse-prepend order bit for bit, equal arrivals included. *)
+let trace_of_mem mem =
+  Trace.of_events (Sink.events mem)
+  |> List.rev
+  |> List.sort (fun (a : Trace.transmission) b -> Float.compare a.arrival b.arrival)
+
+let intra machines src dst =
+  (Machines.machine machines src).Machines.cluster
+  = (Machines.machine machines dst).Machines.cluster
+
 let run ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_000)
-    ?(record_trace = false) machines plan =
+    ?(record_trace = false) ?(obs = Sink.null) machines plan =
   let n = Machines.count machines in
   if Plan.size plan <> n then invalid_arg "Exec.run: plan size mismatch";
   let rng =
     match rng with Some r -> r | None -> Gridb_util.Rng.create 0
   in
-  let engine = Engine.create () in
+  let engine = Engine.create ~obs () in
   let arrival = Array.make n nan in
   let nic_free = Array.make n 0. in
   let transmissions = ref 0 in
-  let trace = ref [] in
+  let mem = if record_trace then Sink.memory () else Sink.null in
+  let tracing = Sink.enabled mem || Sink.enabled obs in
+  let emit e =
+    if Sink.enabled mem then Sink.emit mem e;
+    if Sink.enabled obs then Sink.emit obs e
+  in
   (* On delivery, a rank enqueues its forwarding list: each send seizes the
      NIC for one (noisy) gap; the child receives a (noisy) latency after the
      send starts injecting. *)
-  let rec deliver rank engine =
+  let rec deliver ~src rank engine =
     let time = Engine.now engine in
     arrival.(rank) <- time;
     nic_free.(rank) <- Float.max nic_free.(rank) time;
+    if tracing then emit (Event.Arrival { src; dst = rank; time });
     List.iter
       (fun child ->
         let p = Machines.link_params machines rank child in
@@ -35,26 +57,28 @@ let run ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_000)
         let start = nic_free.(rank) in
         nic_free.(rank) <- start +. g;
         incr transmissions;
-        if record_trace then
-          trace :=
-            {
-              Trace.src = rank;
-              dst = child;
-              start;
-              gap_end = start +. g;
-              arrival = start +. g +. l;
-              msg;
-            }
-            :: !trace;
-        Engine.schedule engine ~time:(start +. g +. l) (deliver child))
+        if tracing then begin
+          emit
+            (Event.Send_start
+               {
+                 src = rank;
+                 dst = child;
+                 time = start;
+                 msg;
+                 intra = intra machines rank child;
+                 try_no = 0;
+               });
+          emit
+            (Event.Send_end
+               { src = rank; dst = child; time = start +. g; arrival = start +. g +. l })
+        end;
+        Engine.schedule engine ~time:(start +. g +. l) (deliver ~src:rank child))
       plan.Plan.children.(rank)
   in
-  Engine.schedule engine ~time:start_delay (deliver plan.Plan.root);
+  Engine.schedule engine ~time:start_delay (deliver ~src:plan.Plan.root plan.Plan.root);
   Engine.run engine;
   let makespan = Array.fold_left Float.max 0. arrival in
-  let trace =
-    List.sort (fun (a : Trace.transmission) b -> Float.compare a.arrival b.arrival) !trace
-  in
+  let trace = if record_trace then trace_of_mem mem else [] in
   { arrival; makespan; transmissions = !transmissions; trace }
 
 let mean_makespan ?(noise = Noise.default_measured) ?(msg = 1_000_000)
@@ -94,8 +118,8 @@ type reliable = {
    exhausted, at which point the edge (and the subtree hanging off it) is
    abandoned — graceful degradation to partial delivery. *)
 let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_000)
-    ?(record_trace = false) ?faults ?(retries = 5) ?(rto_mult = 2.) ?(rto_min = 1.)
-    machines plan =
+    ?(record_trace = false) ?(obs = Sink.null) ?faults ?(retries = 5) ?(rto_mult = 2.)
+    ?(rto_min = 1.) machines plan =
   let n = Machines.count machines in
   if Plan.size plan <> n then invalid_arg "Exec.run_reliable: plan size mismatch";
   if retries < 0 then invalid_arg "Exec.run_reliable: negative retries";
@@ -110,7 +134,7 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
     | None -> Faults.create ~n Faults.none
   in
   let rng = match rng with Some r -> r | None -> Gridb_util.Rng.create 0 in
-  let engine = Engine.create () in
+  let engine = Engine.create ~obs () in
   let arrival = Array.make n nan in
   let nic_free = Array.make n 0. in
   let has_msg = Array.make n false in
@@ -118,7 +142,12 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
   let retransmissions = ref 0 in
   let acks = ref 0 in
   let gave_up = ref [] in
-  let trace = ref [] in
+  let mem = if record_trace then Sink.memory () else Sink.null in
+  let tracing = Sink.enabled mem || Sink.enabled obs in
+  let emit e =
+    if Sink.enabled mem then Sink.emit mem e;
+    if Sink.enabled obs then Sink.emit obs e
+  in
   (* Per-edge protocol state, indexed by the child (each non-root rank has a
      unique parent in the plan). *)
   let acked = Array.make n false in
@@ -143,10 +172,19 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
       incr transmissions;
       if try_no > 0 then incr retransmissions;
       let arr = start +. g +. l in
-      if record_trace then
-        trace :=
-          { Trace.src; dst; start; gap_end = start +. g; arrival = arr; msg }
-          :: !trace;
+      if tracing then begin
+        emit
+          (Event.Send_start
+             {
+               src;
+               dst;
+               time = start;
+               msg;
+               intra = intra machines src dst;
+               try_no;
+             });
+        emit (Event.Send_end { src; dst; time = start +. g; arrival = arr })
+      end;
       let lost =
         Faults.lose faults ~src ~dst
         || (not (Faults.link_up faults ~src ~dst ~at:start))
@@ -165,6 +203,7 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
       has_msg.(dst) <- true;
       arrival.(dst) <- now;
       nic_free.(dst) <- Float.max nic_free.(dst) now;
+      if tracing then emit (Event.Arrival { src; dst; time = now });
       forward dst engine
     end;
     (* ACK on the control plane: pays the reverse latency (degraded if the
@@ -182,9 +221,12 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
       || (not (Faults.link_up faults ~src:dst ~dst:src ~at:now))
       || Faults.crash_time faults src <= ack_at
     in
-    if not ack_lost then Engine.schedule engine ~time:ack_at (ack_arrives ~child:dst)
-  and ack_arrives ~child engine =
+    if not ack_lost then
+      Engine.schedule engine ~time:ack_at (ack_arrives ~parent:src ~child:dst)
+  and ack_arrives ~parent ~child engine =
     incr acks;
+    if tracing then
+      emit (Event.Ack { src = child; dst = parent; time = Engine.now engine });
     if not acked.(child) then begin
       acked.(child) <- true;
       match timers.(child) with
@@ -197,8 +239,17 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
     timers.(dst) <- None;
     if not acked.(dst) then
       if Faults.crash_time faults src <= Engine.now engine then ()
-      else if try_no >= retries then gave_up := (src, dst) :: !gave_up
-      else attempt ~src ~dst ~try_no:(try_no + 1) ~rto:(2. *. rto) engine
+      else if try_no >= retries then begin
+        gave_up := (src, dst) :: !gave_up;
+        if tracing then emit (Event.Give_up { src; dst; time = Engine.now engine })
+      end
+      else begin
+        if tracing then
+          emit
+            (Event.Retransmit
+               { src; dst; time = Engine.now engine; try_no = try_no + 1; rto = 2. *. rto });
+        attempt ~src ~dst ~try_no:(try_no + 1) ~rto:(2. *. rto) engine
+      end
   and forward rank engine =
     List.iter
       (fun child ->
@@ -211,6 +262,8 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
         has_msg.(plan.Plan.root) <- true;
         arrival.(plan.Plan.root) <- now;
         nic_free.(plan.Plan.root) <- Float.max nic_free.(plan.Plan.root) now;
+        if tracing then
+          emit (Event.Arrival { src = plan.Plan.root; dst = plan.Plan.root; time = now });
         forward plan.Plan.root engine
       end);
   Engine.run engine;
@@ -222,11 +275,7 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
     List.filter (fun r -> Faults.crash_time faults r <= horizon) (List.init n Fun.id)
   in
   let delivered = Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 has_msg in
-  let trace =
-    List.sort
-      (fun (a : Trace.transmission) b -> Float.compare a.arrival b.arrival)
-      !trace
-  in
+  let trace = if record_trace then trace_of_mem mem else [] in
   {
     r_arrival = arrival;
     r_makespan = makespan;

@@ -8,7 +8,20 @@
 
     With [noise = Exact] the executor reproduces the analytic predictions
     of {!Gridb_collectives.Cost} and {!Gridb_sched.Schedule} to floating
-    point accuracy — an invariant the integration tests rely on. *)
+    point accuracy — an invariant the integration tests rely on.
+
+    Observability: both executors accept an [obs] sink and publish the full
+    event stream of the run — [Send_start]/[Send_end]/[Arrival] (plus
+    [Ack]/[Retransmit]/[Give_up] and the engine's timer events for the
+    reliable executor).  With the default {!Gridb_obs.Sink.null} every
+    emission site is a single always-false test: seeded runs are
+    bit-identical with and without the instrumentation layer.
+
+    The legacy [record_trace] flag is retained as a compatibility alias: it
+    installs an internal {!Gridb_obs.Sink.memory} sink and rebuilds the
+    [trace] field from the event stream, byte-for-byte equal (ordering of
+    simultaneous arrivals included) to what the pre-bus executor
+    recorded. *)
 
 type result = {
   arrival : float array;  (** per-rank delivery time; [start_delay] at the root *)
@@ -23,6 +36,7 @@ val run :
   ?start_delay:float ->
   ?msg:int ->
   ?record_trace:bool ->
+  ?obs:Gridb_obs.Sink.t ->
   Gridb_topology.Machines.t ->
   Plan.t ->
   result
@@ -30,7 +44,9 @@ val run :
     along [plan].  [start_delay] (default 0., e.g. a scheduling overhead)
     postpones the root's first injection.  [rng] is required when [noise]
     is not [Exact] (default seed 0 otherwise).  [record_trace] (default
-    false) retains every transmission for {!Trace} analysis.
+    false) retains every transmission for {!Trace} analysis — prefer
+    passing an [obs] sink (default {!Gridb_obs.Sink.null}) and
+    {!Trace.of_events}.
     @raise Invalid_argument if plan and machine view sizes differ. *)
 
 val mean_makespan :
@@ -70,6 +86,7 @@ val run_reliable :
   ?start_delay:float ->
   ?msg:int ->
   ?record_trace:bool ->
+  ?obs:Gridb_obs.Sink.t ->
   ?faults:Faults.t ->
   ?retries:int ->
   ?rto_mult:float ->

@@ -16,6 +16,12 @@ type transmission = {
   msg : int;  (** bytes *)
 }
 
+val of_events : Gridb_obs.Event.t list -> transmission list
+(** Reconstruct transmissions from a chronological observability stream:
+    each [Send_end] is paired with the latest open [Send_start] of the same
+    directed link.  Unpaired starts and all other events are ignored.  The
+    result is in emission order (not sorted by arrival). *)
+
 val sender_busy_time : transmission list -> (int * float) list
 (** Total NIC occupancy per sending rank, descending. *)
 

@@ -7,6 +7,8 @@ module Faults = Gridb_des.Faults
 module Plan = Gridb_des.Plan
 module Exec = Gridb_des.Exec
 module Noise = Gridb_des.Noise
+module Sink = Gridb_obs.Sink
+module Event = Gridb_obs.Event
 
 type metrics = {
   policy : string;
@@ -30,16 +32,18 @@ type metrics = {
 }
 
 let run ?(policy = Policy.ecef_la) ?(msg = 1_000_000) ?(retries = 5) ?(seed = 0)
-    ?(noise = Noise.Exact) ~spec grid =
+    ?(noise = Noise.Exact) ?(obs = Sink.null) ~spec grid =
   let inst = Instance.of_grid ~root:0 ~msg grid in
-  let schedule = Sched_engine.run policy inst in
+  let schedule = Sched_engine.run ~obs policy inst in
   let machines = Machines.expand grid in
   let plan = Plan.of_cluster_schedule machines schedule in
   let baseline = Exec.run ~msg machines plan in
   let n = Machines.count machines in
   let faults = Faults.create ~seed ~n spec in
   let rng = Gridb_util.Rng.create seed in
-  let rel = Exec.run_reliable ~noise ~rng ~msg ~faults ~retries machines plan in
+  (* Only the faulty reliable run is observed: the baseline exists purely
+     as a reference makespan and would double every send on the stream. *)
+  let rel = Exec.run_reliable ~noise ~rng ~msg ~faults ~retries ~obs machines plan in
   (* Cluster-level crash vector: a cluster halts (as a schedule node) when
      its coordinator does.  Only crashes inside the simulated horizon count
      ([rel.crashed]); a draw beyond it is a future fault, not this run's. *)
@@ -53,6 +57,14 @@ let run ?(policy = Policy.ecef_la) ?(msg = 1_000_000) ?(retries = 5) ?(seed = 0)
   let repairs, repaired_makespan =
     if repair_invoked then begin
       let o = Repair.repair ~policy inst schedule ~crash in
+      if Sink.enabled obs then begin
+        let crashed_clusters =
+          Array.fold_left (fun acc t -> if Float.is_finite t then acc + 1 else acc) 0 crash
+        in
+        Sink.emit obs
+          (Event.Repair_splice
+             { crashed = crashed_clusters; replanned = List.length o.Repair.replanned })
+      end;
       (List.length o.Repair.replanned, Some o.Repair.makespan)
     end
     else (0, None)

@@ -39,6 +39,7 @@ val run :
   ?retries:int ->
   ?seed:int ->
   ?noise:Gridb_des.Noise.t ->
+  ?obs:Gridb_obs.Sink.t ->
   spec:Gridb_des.Faults.spec ->
   Gridb_topology.Grid.t ->
   metrics
@@ -46,7 +47,12 @@ val run :
     {!Gridb_sched.Policy.ecef_la}, 1 MB, 5 retries, seed 0, [Exact] noise.
     [seed] seeds both the fault model and (when [noise] is not [Exact])
     the jitter stream of the reliable run; the baseline is always
-    noise-free. *)
+    noise-free.
+
+    [obs] (default {!Gridb_obs.Sink.null}) observes the scheduling pass and
+    the {e faulty reliable} run (not the fault-free baseline, which would
+    duplicate every send on the stream), and receives one [Repair_splice]
+    event when a coordinator crash triggers schedule repair. *)
 
 val render : metrics -> string
 (** Two-column text table of the scorecard. *)

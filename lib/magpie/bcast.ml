@@ -3,6 +3,8 @@ module Heuristics = Gridb_sched.Heuristics
 module Schedule = Gridb_sched.Schedule
 module Plan = Gridb_des.Plan
 module Exec = Gridb_des.Exec
+module Sink = Gridb_obs.Sink
+module Event = Gridb_obs.Event
 
 type strategy =
   | Binomial_world
@@ -28,11 +30,16 @@ let pick_adaptive tuning hs ~root ~msg =
         (h, Schedule.makespan inst s))
       hs
   in
-  let best, _ =
+  let best, best_makespan =
     List.fold_left
       (fun ((_, bm) as best) ((_, m) as cand) -> if m < bm then cand else best)
       (List.hd scored) (List.tl scored)
   in
+  let obs = Tuning.obs tuning in
+  if Sink.enabled obs then
+    Sink.emit obs
+      (Event.Strategy_selected
+         { name = best.Heuristics.name; predicted = best_makespan });
   best
 
 let plan tuning strategy ~root ~msg =
@@ -89,7 +96,7 @@ let scheduling_cost strategy ~n ~fresh =
         Gridb_sched.Portfolio.scheduling_evaluations ~heuristics:hs n
         *. Gridb_sched.Overhead.default_per_evaluation_us
 
-let execute ?noise ?seed ?(charge_overhead = true) tuning strategy ~root ~msg =
+let execute ?noise ?seed ?(charge_overhead = true) ?obs tuning strategy ~root ~msg =
   let machines = Tuning.machines tuning in
   let n = Gridb_topology.Grid.size (Machines.grid machines) in
   let _, misses_before = Tuning.cache_stats tuning in
@@ -102,4 +109,5 @@ let execute ?noise ?seed ?(charge_overhead = true) tuning strategy ~root ~msg =
   let rng =
     match seed with Some s -> Gridb_util.Rng.create s | None -> Gridb_util.Rng.create 0
   in
-  Exec.run ?noise ~rng ~start_delay ~msg machines p
+  let obs = match obs with Some o -> o | None -> Tuning.obs tuning in
+  Exec.run ?noise ~rng ~start_delay ~msg ~obs machines p

@@ -32,6 +32,7 @@ val execute :
   ?noise:Gridb_des.Noise.t ->
   ?seed:int ->
   ?charge_overhead:bool ->
+  ?obs:Gridb_obs.Sink.t ->
   Tuning.t ->
   strategy ->
   root:int ->
@@ -40,4 +41,9 @@ val execute :
 (** Run on the ground-truth topology.  [charge_overhead] (default [true])
     delays the root by the strategy's scheduling cost
     ({!Gridb_sched.Overhead}; the full portfolio cost for [Adaptive], zero
-    on a schedule-cache hit). *)
+    on a schedule-cache hit).
+
+    [obs] defaults to the tuning context's sink ({!Tuning.obs}), so one
+    sink passed to {!Tuning.create} observes the whole pipeline:
+    [Cache_hit]/[Cache_miss] during planning, [Strategy_selected] for
+    [Adaptive] picks, and the executor's transmission events. *)

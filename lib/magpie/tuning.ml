@@ -2,11 +2,14 @@ module Machines = Gridb_topology.Machines
 module Grid = Gridb_topology.Grid
 module Cluster = Gridb_topology.Cluster
 module Params = Gridb_plogp.Params
+module Sink = Gridb_obs.Sink
+module Event = Gridb_obs.Event
 
 type t = {
   machines : Machines.t;
   measured : Grid.t;
   cache : (string * int * int, Gridb_sched.Schedule.t) Hashtbl.t;
+  obs : Sink.t;
   mutable hits : int;
   mutable misses : int;
 }
@@ -24,7 +27,7 @@ let measure_intra ?noise ?seed ?sizes machines cluster =
        0 regardless, so any fast placeholder works. *)
     Params.linear ~latency:10. ~g0:10. ~bandwidth_mb_s:1000.
 
-let create ?noise ?seed ?sizes machines =
+let create ?noise ?seed ?sizes ?(obs = Sink.null) machines =
   let grid = Machines.grid machines in
   let n = Grid.size grid in
   let clusters =
@@ -50,11 +53,13 @@ let create ?noise ?seed ?sizes machines =
     machines;
     measured = Grid.v ~clusters ~inter;
     cache = Hashtbl.create 32;
+    obs;
     hits = 0;
     misses = 0;
   }
 
 let machines t = t.machines
+let obs t = t.obs
 let measured_grid t = t.measured
 
 let size_class msg =
@@ -65,14 +70,20 @@ let size_class msg =
 let instance t ~root ~msg =
   Gridb_sched.Instance.of_grid ~root ~msg:(size_class msg) t.measured
 
+let key_string (name, root, cls) = Printf.sprintf "%s/root=%d/class=%d" name root cls
+
 let schedule t ~heuristic ~root ~msg =
   let key = (heuristic.Gridb_sched.Heuristics.name, root, size_class msg) in
   match Hashtbl.find_opt t.cache key with
   | Some s ->
       t.hits <- t.hits + 1;
+      if Sink.enabled t.obs then
+        Sink.emit t.obs (Event.Cache_hit { key = key_string key });
       s
   | None ->
       t.misses <- t.misses + 1;
+      if Sink.enabled t.obs then
+        Sink.emit t.obs (Event.Cache_miss { key = key_string key });
       let s = Gridb_sched.Heuristics.run heuristic (instance t ~root ~msg) in
       Hashtbl.replace t.cache key s;
       s

@@ -17,14 +17,22 @@ val create :
   ?noise:Gridb_des.Noise.t ->
   ?seed:int ->
   ?sizes:int list ->
+  ?obs:Gridb_obs.Sink.t ->
   Gridb_topology.Machines.t ->
   t
 (** Runs the measurement campaign.  [sizes] are the gap-probe message sizes
     (defaults to {!Gridb_mpi.Benchmarks.measure_link}'s).  With [noise]
     absent the measured grid reproduces the ground truth to floating-point
-    accuracy. *)
+    accuracy.  [obs] (default {!Gridb_obs.Sink.null}) receives
+    [Cache_hit]/[Cache_miss] events from the schedule cache, keyed
+    ["<heuristic>/root=<r>/class=<c>"], and is the sink {!Bcast} publishes
+    its strategy-selection events on. *)
 
 val machines : t -> Gridb_topology.Machines.t
+
+val obs : t -> Gridb_obs.Sink.t
+(** The sink passed at creation ({!Gridb_obs.Sink.null} by default). *)
+
 val measured_grid : t -> Gridb_topology.Grid.t
 
 val size_class : int -> int

@@ -2,6 +2,8 @@ module Machines = Gridb_topology.Machines
 module Params = Gridb_plogp.Params
 module Engine = Gridb_des.Engine
 module Noise = Gridb_des.Noise
+module Sink = Gridb_obs.Sink
+module Event = Gridb_obs.Event
 
 type message = {
   src : int;
@@ -87,9 +89,11 @@ type parked =
    rank first (matching delivery or timer expiry), so at most one live
    deadline timer exists per rank. *)
 
-let run ?(noise = Noise.Exact) ?(seed = 0) ?(failures = []) machines program =
+let run ?(noise = Noise.Exact) ?(seed = 0) ?(failures = []) ?(obs = Sink.null)
+    machines program =
   let n = Machines.count machines in
-  let engine = Engine.create () in
+  let engine = Engine.create ~obs () in
+  let tracing = Sink.enabled obs in
   let rng = Gridb_util.Rng.create seed in
   let nic_free = Array.make n 0. in
   let mailboxes = Array.init n (fun _ -> ref []) in
@@ -117,6 +121,9 @@ let run ?(noise = Noise.Exact) ?(seed = 0) ?(failures = []) machines program =
   in
   let deliver m engine =
     incr delivered;
+    if tracing then
+      Sink.emit obs
+        (Event.Msg_recv { src = m.src; dst = m.dst; tag = m.tag; time = Engine.now engine });
     match parked.(m.dst) with
     | Some (Parked (filter, k)) when matches filter m ->
         parked.(m.dst) <- None;
@@ -141,6 +148,8 @@ let run ?(noise = Noise.Exact) ?(seed = 0) ?(failures = []) machines program =
     let m =
       { src = rank; dst; tag; msg_size; payload; sent_at = start; delivered_at = start +. g +. l }
     in
+    if tracing then
+      Sink.emit obs (Event.Msg_send { src = rank; dst; tag; size = msg_size; time = start });
     if (not dead.(dst)) && not (should_drop rank dst) then
       Engine.schedule engine ~time:m.delivered_at (deliver m);
     start +. g
@@ -197,6 +206,10 @@ let run ?(noise = Noise.Exact) ?(seed = 0) ?(failures = []) machines program =
                             match parked.(rank) with
                             | Some (Parked_deadline (_, k, _)) ->
                                 parked.(rank) <- None;
+                                if tracing then
+                                  Sink.emit obs
+                                    (Event.Recv_timeout
+                                       { rank; time = Engine.now engine });
                                 Effect.Deep.continue k None
                             | _ -> ())
                       in
@@ -227,8 +240,8 @@ let run ?(noise = Noise.Exact) ?(seed = 0) ?(failures = []) machines program =
   in
   { finish; makespan; messages = !delivered; deadlocked }
 
-let run_exn ?noise ?seed ?failures machines program =
-  let r = run ?noise ?seed ?failures machines program in
+let run_exn ?noise ?seed ?failures ?obs machines program =
+  let r = run ?noise ?seed ?failures ?obs machines program in
   if r.deadlocked <> [] then
     failwith
       (Printf.sprintf "simMPI: deadlock, ranks [%s] blocked in recv"

@@ -79,6 +79,7 @@ val run :
   ?noise:Gridb_des.Noise.t ->
   ?seed:int ->
   ?failures:failure list ->
+  ?obs:Gridb_obs.Sink.t ->
   Gridb_topology.Machines.t ->
   (rank:int -> size:int -> unit) ->
   result
@@ -86,12 +87,18 @@ val run :
     time 0 and drives the simulation to quiescence.  [noise] (default
     [Exact]) independently scales each transmission's gap and latency;
     [seed] (default 0) seeds the noise stream; [failures] (default none)
-    injects faults. *)
+    injects faults.
+
+    [obs] (default {!Gridb_obs.Sink.null}) receives message-level events:
+    [Msg_send] at injection start, [Msg_recv] at delivery, [Recv_timeout]
+    when a bounded receive's deadline fires, plus the engine's timer
+    events.  Null-sink runs are bit-identical to uninstrumented ones. *)
 
 val run_exn :
   ?noise:Gridb_des.Noise.t ->
   ?seed:int ->
   ?failures:failure list ->
+  ?obs:Gridb_obs.Sink.t ->
   Gridb_topology.Machines.t ->
   (rank:int -> size:int -> unit) ->
   result

@@ -1,0 +1,83 @@
+(** Typed simulation/scheduling events — the vocabulary of the
+    observability bus.
+
+    Every instrumented layer speaks this one type: the DES executors emit
+    the data-plane events ([Send_start] .. [Give_up]), the event engine its
+    timer lifecycle, simMPI its message plane, the scheduling engine its
+    per-round picks, work counters and heap maintenance, MagPIe its cache
+    and strategy decisions, and the repair machinery its splices.  Sinks
+    ({!Sink}) receive events; consumers ({!Profile},
+    [Gridb_des.Trace.of_events], [Gridb_sched.Gantt.render_events]) fold
+    over the stream.
+
+    Times are producer-defined: simulation events carry simulated
+    microseconds, span events whatever clock the producer sampled
+    ({!Span} uses CPU time) — only differences within one producer are
+    meaningful. *)
+
+type heap_op =
+  | Rescore  (** a stale candidate entry was re-scored on pop *)
+  | Drop  (** a dead lookahead entry was permanently dropped *)
+
+type t =
+  (* DES data plane *)
+  | Send_start of {
+      src : int;
+      dst : int;
+      time : float;  (** injection start *)
+      msg : int;  (** bytes *)
+      intra : bool;  (** both ranks in the same cluster *)
+      try_no : int;  (** 0 for first attempts, >= 1 for retransmissions *)
+    }
+  | Send_end of {
+      src : int;
+      dst : int;
+      time : float;  (** sender NIC free again (gap end) *)
+      arrival : float;  (** when the message reaches [dst] (if it does) *)
+    }
+  | Arrival of { src : int; dst : int; time : float }
+      (** [dst] holds the message (first delivery only). *)
+  | Ack of { src : int; dst : int; time : float }
+      (** control-plane acknowledgement for edge [src -> dst] delivered *)
+  | Retransmit of { src : int; dst : int; time : float; try_no : int; rto : float }
+      (** timeout-triggered re-send; [rto] is the (doubled) next timeout *)
+  | Give_up of { src : int; dst : int; time : float }
+      (** retry budget exhausted; the edge is abandoned *)
+  (* DES engine timers *)
+  | Timer_set of { id : int; time : float; fire_at : float }
+  | Timer_fire of { id : int; time : float }
+  | Timer_cancel of { id : int; time : float }
+  (* simMPI message plane *)
+  | Msg_send of { src : int; dst : int; tag : int; size : int; time : float }
+  | Msg_recv of { src : int; dst : int; tag : int; time : float }
+  | Recv_timeout of { rank : int; time : float }
+      (** a [recv_timeout] deadline expired with no matching message *)
+  (* scheduling *)
+  | Policy_round of { round : int; src : int; dst : int }
+      (** one selection round of the scheduling engine picked [src -> dst] *)
+  | Heap_op of { op : heap_op; receiver : int; sender : int }
+  | Cache_hit of { key : string }
+  | Cache_miss of { key : string }
+  | Strategy_selected of { name : string; predicted : float }
+      (** adaptive strategy selection settled on [name] *)
+  | Repair_splice of { crashed : int; replanned : int }
+      (** schedule repair replayed around [crashed] coordinators and
+          replanned [replanned] transmissions *)
+  (* generic *)
+  | Counter of { name : string; value : int }
+  | Span_start of { name : string; time : float }
+  | Span_end of { name : string; time : float }
+
+val to_json : t -> string
+(** One-line JSON object, no trailing newline.  Floats are printed with
+    17 significant digits so {!of_json} round-trips them bit-exactly. *)
+
+val of_json : string -> (t, string) result
+(** Parse one line produced by {!to_json} (tolerates surrounding
+    whitespace).  [Error] carries a human-readable reason. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug rendering (the JSON form). *)
+
+val equal : t -> t -> bool
+(** Structural equality ([Stdlib.( = )]); exposed for tests. *)

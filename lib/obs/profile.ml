@@ -1,0 +1,105 @@
+type report = {
+  schedule_us : float;
+  transmit_us : float;
+  intra_us : float;
+  retransmit_us : float;
+  makespan_us : float;
+  sends : int;
+  retransmits : int;
+  give_ups : int;
+  events : int;
+  spans : (string * float) list;
+  counters : (string * int) list;
+}
+
+(* Small ordered accumulator: first-seen key order is preserved so reports
+   read in the order the producers spoke. *)
+let upd assoc k f =
+  let rec go = function
+    | [] -> [ (k, f None) ]
+    | (k', v) :: rest when k' = k -> (k, f (Some v)) :: rest
+    | kv :: rest -> kv :: go rest
+  in
+  go assoc
+
+let of_events events =
+  let transmit = ref 0. and intra = ref 0. and retransmit = ref 0. in
+  let makespan = ref 0. in
+  let sends = ref 0 and retransmits = ref 0 and give_ups = ref 0 in
+  let pending_send : (int * int, Event.t) Hashtbl.t = Hashtbl.create 64 in
+  let open_spans : (string, float list) Hashtbl.t = Hashtbl.create 8 in
+  let spans = ref [] and counters = ref [] in
+  let total = ref 0 in
+  List.iter
+    (fun (e : Event.t) ->
+      incr total;
+      match e with
+      | Send_start { src; dst; try_no; _ } ->
+          incr sends;
+          if try_no > 0 then incr retransmits;
+          Hashtbl.replace pending_send (src, dst) e
+      | Send_end { src; dst; time; arrival } -> (
+          makespan := Float.max !makespan arrival;
+          match Hashtbl.find_opt pending_send (src, dst) with
+          | Some (Send_start { time = start; intra = is_intra; try_no; _ }) ->
+              Hashtbl.remove pending_send (src, dst);
+              let gap = time -. start in
+              if try_no > 0 then retransmit := !retransmit +. gap
+              else if is_intra then intra := !intra +. gap
+              else transmit := !transmit +. gap
+          | _ -> ())
+      | Arrival { time; _ } -> makespan := Float.max !makespan time
+      | Give_up _ -> incr give_ups
+      | Span_start { name; time } ->
+          let stack = Option.value ~default:[] (Hashtbl.find_opt open_spans name) in
+          Hashtbl.replace open_spans name (time :: stack)
+      | Span_end { name; time } -> (
+          match Hashtbl.find_opt open_spans name with
+          | Some (start :: rest) ->
+              Hashtbl.replace open_spans name rest;
+              spans :=
+                upd !spans name (function
+                  | None -> time -. start
+                  | Some acc -> acc +. (time -. start))
+          | _ -> ())
+      | Counter { name; value } -> counters := upd !counters name (fun _ -> value)
+      | _ -> ())
+    events;
+  {
+    schedule_us = (match List.assoc_opt "schedule" !spans with Some v -> v | None -> 0.);
+    transmit_us = !transmit;
+    intra_us = !intra;
+    retransmit_us = !retransmit;
+    makespan_us = !makespan;
+    sends = !sends;
+    retransmits = !retransmits;
+    give_ups = !give_ups;
+    events = !total;
+    spans = !spans;
+    counters = !counters;
+  }
+
+let render r =
+  let table =
+    Gridb_util.Text_table.create
+      ~align:Gridb_util.Text_table.[ Left; Right ]
+      [ "phase"; "value" ]
+  in
+  let add label value = Gridb_util.Text_table.add_row table [ label; value ] in
+  let us label v = add label (Printf.sprintf "%.1f us" v) in
+  us "schedule (host)" r.schedule_us;
+  us "transmit (inter-cluster)" r.transmit_us;
+  us "intra-cluster" r.intra_us;
+  us "retransmit" r.retransmit_us;
+  us "makespan (simulated)" r.makespan_us;
+  Gridb_util.Text_table.add_separator table;
+  add "data sends" (string_of_int r.sends);
+  add "retransmissions" (string_of_int r.retransmits);
+  add "edges given up" (string_of_int r.give_ups);
+  add "events on bus" (string_of_int r.events);
+  List.iter
+    (fun (name, v) -> if name <> "schedule" then us (Printf.sprintf "span %s" name) v)
+    r.spans;
+  if r.counters <> [] then Gridb_util.Text_table.add_separator table;
+  List.iter (fun (name, v) -> add name (string_of_int v)) r.counters;
+  Gridb_util.Text_table.render table

@@ -1,0 +1,33 @@
+(** Per-phase profile rollup over one event stream.
+
+    Answers the paper's Section 7 accounting question from the unified
+    bus: where did the time go?  Scheduling (host spans), inter-cluster
+    transmission, intra-cluster transmission and retransmission (simulated
+    NIC occupancy, split by the [intra]/[try_no] tags of the send events),
+    plus the named counters and span totals the producers published. *)
+
+type report = {
+  schedule_us : float;
+      (** total of spans named ["schedule"] (host CPU time, us) *)
+  transmit_us : float;
+      (** inter-cluster first-attempt NIC occupancy (simulated us) *)
+  intra_us : float;  (** intra-cluster first-attempt NIC occupancy *)
+  retransmit_us : float;  (** NIC occupancy of retransmissions (any link) *)
+  makespan_us : float;  (** latest arrival on the stream; 0 if none *)
+  sends : int;  (** data transmissions (including retransmissions) *)
+  retransmits : int;
+  give_ups : int;
+  events : int;  (** stream length *)
+  spans : (string * float) list;
+      (** per-name span totals (us), insertion order *)
+  counters : (string * int) list;
+      (** named counters, last value wins, insertion order *)
+}
+
+val of_events : Event.t list -> report
+(** Fold a chronological stream into a report.  Send gaps are paired
+    [Send_start]/[Send_end] per directed link (the executors emit the two
+    back to back); unmatched starts contribute nothing. *)
+
+val render : report -> string
+(** Two-column text table of the rollup. *)

@@ -1,0 +1,16 @@
+type t = { name : string; start : float }
+
+let now_us () = Sys.time () *. 1e6
+
+let start sink name =
+  let start = now_us () in
+  if Sink.enabled sink then Sink.emit sink (Event.Span_start { name; time = start });
+  { name; start }
+
+let finish sink t =
+  if Sink.enabled sink then
+    Sink.emit sink (Event.Span_end { name = t.name; time = now_us () })
+
+let wrap sink name f =
+  let span = start sink name in
+  Fun.protect ~finally:(fun () -> finish sink span) f

@@ -1,0 +1,23 @@
+(** Monotonic spans: bracket a phase with [Span_start]/[Span_end] events.
+
+    Spans measure {e host} work (e.g. how long the scheduler ran), unlike
+    the simulated-time data-plane events.  The clock is [Sys.time] — CPU
+    seconds, monotone, dependency-free — scaled to microseconds so every
+    duration on the bus shares a unit.  {!Profile.of_events} rolls spans
+    up per name. *)
+
+type t
+(** An open span (name + start time). *)
+
+val now_us : unit -> float
+(** CPU time in microseconds ([Sys.time () *. 1e6]). *)
+
+val start : Sink.t -> string -> t
+(** Emit [Span_start] (when the sink is enabled) and return the handle. *)
+
+val finish : Sink.t -> t -> unit
+(** Emit the matching [Span_end]. *)
+
+val wrap : Sink.t -> string -> (unit -> 'a) -> 'a
+(** [wrap sink name f] brackets [f ()] in a span; the end event is emitted
+    even when [f] raises. *)

@@ -1,4 +1,6 @@
 module Heap = Gridb_util.Score_heap
+module Sink = Gridb_obs.Sink
+module Event = Gridb_obs.Event
 
 type mode = [ `Incremental | `Naive ]
 
@@ -111,17 +113,33 @@ let push_new_sender stats state senders pair dst =
       stats.pair_evaluations <- stats.pair_evaluations + 1;
       Heap.push senders.(j) (pair dst j) dst)
 
-let incremental_loop stats (shape : Policy.shape) state =
+let incremental_loop ~obs stats (shape : Policy.shape) state =
   let inst = State.instance state in
   let n = inst.Instance.n in
   let root = inst.Instance.root in
+  (* One precomputed flag guards every emission site: with the Null sink the
+     hot loops pay a single always-false branch and allocate nothing. *)
+  let tracing = Sink.enabled obs in
+  let round = ref 0 in
+  let note_round ~src ~dst =
+    if tracing then begin
+      Sink.emit obs (Event.Policy_round { round = !round; src; dst });
+      incr round
+    end
+  in
+  let note_rescore ~receiver ~sender =
+    if tracing then
+      Sink.emit obs (Event.Heap_op { op = Event.Rescore; receiver; sender })
+  in
   match shape with
   | Policy.Sized _ -> assert false
   | Policy.Root_first ->
       while not (State.finished state) do
         stats.pair_evaluations <- stats.pair_evaluations + 1;
         match State.first_b state with
-        | Some j -> State.send state ~src:root ~dst:j
+        | Some j ->
+            State.send state ~src:root ~dst:j;
+            note_round ~src:root ~dst:j
         | None -> assert false
       done
   | Policy.Select_min { score; lookahead } ->
@@ -162,6 +180,10 @@ let incremental_loop stats (shape : Policy.shape) state =
             let rec clean () =
               if Heap.is_empty h then 0.
               else if State.in_a state (Heap.top_id h) then begin
+                if tracing then
+                  Sink.emit obs
+                    (Event.Heap_op
+                       { op = Event.Drop; receiver = j; sender = Heap.top_id h });
                 Heap.drop_top h;
                 clean ()
               end
@@ -190,6 +212,7 @@ let incremental_loop stats (shape : Policy.shape) state =
             Heap.drop_top h;
             Heap.push h cur i;
             stats.rescored <- stats.rescored + 1;
+            note_rescore ~receiver:j ~sender:i;
             fresh_top h j
           end
         end
@@ -225,6 +248,7 @@ let incremental_loop stats (shape : Policy.shape) state =
                   Heap.drop_top h;
                   Heap.push h cur i;
                   stats.rescored <- stats.rescored + 1;
+                  note_rescore ~receiver:j ~sender:i;
                   false
                 end
               end
@@ -259,6 +283,7 @@ let incremental_loop stats (shape : Policy.shape) state =
             end);
         let dst = !best_j in
         State.send state ~src:!best_i ~dst;
+        note_round ~src:!best_i ~dst;
         senders.(dst) <- empty;
         (match la_folds with Some heaps -> heaps.(dst) <- empty | None -> ());
         push_new_sender stats state senders pair dst
@@ -280,6 +305,7 @@ let incremental_loop stats (shape : Policy.shape) state =
             Heap.drop_top h;
             Heap.push h cur i;
             stats.rescored <- stats.rescored + 1;
+            note_rescore ~receiver:j ~sender:i;
             clean ()
           end
         in
@@ -297,21 +323,38 @@ let incremental_loop stats (shape : Policy.shape) state =
             end);
         let dst = !best_j in
         State.send state ~src:!best_i ~dst;
+        note_round ~src:!best_i ~dst;
         senders.(dst) <- empty;
         push_new_sender stats state senders pair dst
       done
 
-let run_stats ?(mode = `Incremental) policy inst =
+let run_stats ?(mode = `Incremental) ?(obs = Sink.null) policy inst =
   let stats = create_stats () in
   let shape = Policy.shape (Policy.resolve ~n:inst.Instance.n policy) in
   let state = State.create inst in
   (match mode with
   | `Naive ->
+      let tracing = Sink.enabled obs in
+      let round = ref 0 in
       while not (State.finished state) do
         let src, dst = naive_round stats shape state in
-        State.send state ~src ~dst
+        State.send state ~src ~dst;
+        if tracing then begin
+          Sink.emit obs (Event.Policy_round { round = !round; src; dst });
+          incr round
+        end
       done
-  | `Incremental -> incremental_loop stats shape state);
+  | `Incremental -> incremental_loop ~obs stats shape state);
+  (* The counters stay plain mutable fields (zero-cost for every caller,
+     instrumented or not) and are additionally published on the bus when a
+     sink is listening. *)
+  if Sink.enabled obs then begin
+    Sink.emit obs
+      (Event.Counter { name = "pair_evaluations"; value = stats.pair_evaluations });
+    Sink.emit obs
+      (Event.Counter { name = "lookahead_terms"; value = stats.lookahead_terms });
+    Sink.emit obs (Event.Counter { name = "rescored"; value = stats.rescored })
+  end;
   (State.to_schedule state, stats)
 
-let run ?mode policy inst = fst (run_stats ?mode policy inst)
+let run ?mode ?obs policy inst = fst (run_stats ?mode ?obs policy inst)

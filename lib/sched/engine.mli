@@ -36,13 +36,22 @@ type stats = {
           mode and for static pair scores). *)
 }
 
-val run : ?mode:mode -> Policy.t -> Instance.t -> Schedule.t
+val run : ?mode:mode -> ?obs:Gridb_obs.Sink.t -> Policy.t -> Instance.t -> Schedule.t
 (** [run ?mode policy inst] builds the broadcast schedule for [inst].
-    [Sized] policies are resolved against [inst]'s size first. *)
+    [Sized] policies are resolved against [inst]'s size first.
 
-val run_stats : ?mode:mode -> Policy.t -> Instance.t -> Schedule.t * stats
+    [obs] (default {!Gridb_obs.Sink.null}) receives one [Policy_round] per
+    selection, [Heap_op] events for lazy re-scores/drops of the incremental
+    heaps, and the {!type-stats} counters as [Counter] events at the end.
+    With the Null sink every emission site is one always-false branch; the
+    schedule built is bit-identical either way. *)
+
+val run_stats :
+  ?mode:mode -> ?obs:Gridb_obs.Sink.t -> Policy.t -> Instance.t -> Schedule.t * stats
 (** Same, also returning work counters — the naive counters match the
-    {!Overhead} closed forms exactly. *)
+    {!Overhead} closed forms exactly.  Kept as a thin compatibility wrapper
+    over the bus: the returned record holds the same values the [Counter]
+    events publish. *)
 
 val naive_select : Policy.t -> State.t -> int * int
 (** One reference selection round: the (sender, receiver) pair the naive

@@ -48,3 +48,62 @@ let render ?(model = Schedule.After_sends) ?(width = 72) inst (s : Schedule.t) =
   Buffer.contents buf
 
 let print ?model ?width inst s = print_string (render ?model ?width inst s)
+
+let render_events ?(width = 72) events =
+  if width < 10 then invalid_arg "Gantt.render_events: width < 10";
+  (* Collect the per-rank busy intervals straight off the bus: each
+     [Send_start]/[Send_end] pair is one NIC seizure of the sender. *)
+  let open_start : (int * int, float * bool) Hashtbl.t = Hashtbl.create 64 in
+  let intervals = ref [] in
+  (* (rank, start, stop, glyph) *)
+  let horizon = ref 1e-9 in
+  let max_rank = ref 0 in
+  List.iter
+    (fun (e : Gridb_obs.Event.t) ->
+      match e with
+      | Send_start { src; dst; time; try_no; _ } ->
+          max_rank := max !max_rank (max src dst);
+          Hashtbl.replace open_start (src, dst) (time, try_no > 0)
+      | Send_end { src; dst; time; arrival } -> (
+          horizon := Float.max !horizon arrival;
+          match Hashtbl.find_opt open_start (src, dst) with
+          | Some (start, retry) ->
+              Hashtbl.remove open_start (src, dst);
+              intervals := (src, start, time, if retry then 'r' else '>') :: !intervals
+          | None -> ())
+      | Arrival { dst; time; _ } ->
+          max_rank := max !max_rank dst;
+          horizon := Float.max !horizon time
+      | _ -> ())
+    events;
+  let n = !max_rank + 1 in
+  let makespan = !horizon in
+  let column t =
+    let c = int_of_float (t /. makespan *. float_of_int width) in
+    min (width - 1) (max 0 c)
+  in
+  let rows = Array.init n (fun _ -> Bytes.make width ' ') in
+  List.iter
+    (fun (rank, a, b, ch) ->
+      let ca = column a and cb = max (column a + 1) (column b) in
+      for c = ca to min (width - 1) (cb - 1) do
+        Bytes.set rows.(rank) c ch
+      done)
+    (List.rev !intervals);
+  List.iter
+    (fun (e : Gridb_obs.Event.t) ->
+      match e with
+      | Arrival { dst; time; _ } -> Bytes.set rows.(dst) (column time) '*'
+      | _ -> ())
+    events;
+  let buf = Buffer.create ((width + 16) * (n + 3)) in
+  Buffer.add_string buf
+    (Printf.sprintf "event gantt (makespan %s)\n"
+       (Gridb_util.Units.time_to_string makespan));
+  for k = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "r%-3d |%s|\n" k (Bytes.to_string rows.(k)))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "      0%*s\n" width (Gridb_util.Units.time_to_string makespan));
+  Buffer.add_string buf "      > sending   r retransmitting   * message arrival\n";
+  Buffer.contents buf

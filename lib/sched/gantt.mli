@@ -17,3 +17,11 @@ val render :
 
 val print :
   ?model:Schedule.completion_model -> ?width:int -> Instance.t -> Schedule.t -> unit
+
+val render_events : ?width:int -> Gridb_obs.Event.t list -> string
+(** Per-rank timeline reconstructed from an observability stream instead of
+    an analytic schedule: ['>'] first-attempt sends, ['r'] retransmissions
+    (both from paired [Send_start]/[Send_end]), ['*'] message arrivals.
+    Renders whatever actually happened — noise, faults and retries
+    included — making it the executed-run counterpart of {!render}.
+    @raise Invalid_argument if [width < 10]. *)

@@ -1,69 +1,52 @@
+(* A keyed heap is a Score_heap of (key, insertion seq) over a payload
+   array indexed by seq: the sift core lives in Score_heap alone, and the
+   documented smaller-id tie-break turns into FIFO order for equal keys. *)
+
 type 'a t = {
-  cmp : 'a -> 'a -> int;
+  key : 'a -> float;
+  heap : Score_heap.t;
   capacity : int;  (* requested initial allocation, honoured lazily *)
-  mutable data : 'a array;  (* slots [0, size) are live *)
-  mutable size : int;
+  mutable data : 'a array;  (* seq -> payload; slots [0, next) written *)
+  mutable next : int;  (* next insertion sequence number *)
 }
 
-let create ?(capacity = 16) ~cmp () =
+let create ?(capacity = 16) ~key () =
   if capacity < 1 then invalid_arg "Binary_heap.create: capacity < 1";
-  { cmp; capacity; data = [||]; size = 0 }
+  { key; heap = Score_heap.create ~capacity ~order:Score_heap.Min (); capacity; data = [||]; next = 0 }
 
-let length t = t.size
-let is_empty t = t.size = 0
+let length t = Score_heap.length t.heap
+let is_empty t = Score_heap.is_empty t.heap
 
 let grow t x =
-  (* The array is allocated lazily because a heap of unknown element type
-     cannot be pre-filled; [x] seeds the new slots. *)
+  (* The payload array is allocated lazily because an array of unknown
+     element type cannot be pre-filled; [x] seeds the new slots. *)
   let cap = Array.length t.data in
-  if t.size = cap then begin
+  if t.next = cap then begin
     let ncap = if cap = 0 then t.capacity else 2 * cap in
     let ndata = Array.make ncap x in
-    Array.blit t.data 0 ndata 0 t.size;
+    Array.blit t.data 0 ndata 0 t.next;
     t.data <- ndata
-  end
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
   end
 
 let add t x =
   grow t x;
-  t.data.(t.size) <- x;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  t.data.(t.next) <- x;
+  Score_heap.push t.heap (t.key x) t.next;
+  t.next <- t.next + 1
 
-let peek t = if t.size = 0 then None else Some t.data.(0)
+let peek t =
+  if Score_heap.is_empty t.heap then None else Some t.data.(Score_heap.top_id t.heap)
 
 let pop t =
-  if t.size = 0 then None
+  if Score_heap.is_empty t.heap then None
   else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some top
+    let x = t.data.(Score_heap.top_id t.heap) in
+    Score_heap.drop_top t.heap;
+    (* No live sequence numbers remain once the heap empties, so the slot
+       counter can restart — total memory is bounded by the peak number of
+       pushes between two empty states, not by the push count overall. *)
+    if Score_heap.is_empty t.heap then t.next <- 0;
+    Some x
   end
 
 let pop_exn t =
@@ -71,15 +54,14 @@ let pop_exn t =
   | Some x -> x
   | None -> invalid_arg "Binary_heap.pop_exn: empty heap"
 
-let clear t = t.size <- 0
+let clear t =
+  Score_heap.clear t.heap;
+  t.data <- [||];
+  t.next <- 0
 
-let of_array ~cmp a =
-  let t =
-    { cmp; capacity = max 1 (Array.length a); data = Array.copy a; size = Array.length a }
-  in
-  for i = (t.size / 2) - 1 downto 0 do
-    sift_down t i
-  done;
+let of_array ~key a =
+  let t = create ~capacity:(max 1 (Array.length a)) ~key () in
+  Array.iter (add t) a;
   t
 
 let to_sorted_list t =
@@ -88,9 +70,4 @@ let to_sorted_list t =
   in
   drain []
 
-let check_invariant t =
-  let ok = ref true in
-  for i = 1 to t.size - 1 do
-    if t.cmp t.data.((i - 1) / 2) t.data.(i) > 0 then ok := false
-  done;
-  !ok
+let check_invariant t = Score_heap.check_invariant t.heap

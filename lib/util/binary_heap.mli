@@ -1,15 +1,25 @@
-(** Imperative binary min-heap.
+(** Keyed binary min-heap, expressed over {!Score_heap}.
 
-    Backbone of the discrete-event simulator ([Gridb_des.Engine]): events are
-    popped in timestamp order.  Priorities are supplied through an explicit
-    comparison so the same structure also serves the schedulers' candidate
-    queues. *)
+    Backbone of the discrete-event simulator ([Gridb_des.Engine]): events
+    are popped in timestamp order.  Elements are ordered by a [float] key
+    plus a monotonically increasing insertion sequence number, and the
+    heap itself is a {!Score_heap} of (key, sequence) pairs over a side
+    array of payloads — the two heap structures of the repo share
+    {!Score_heap}'s single sift core.
+
+    Because {!Score_heap} breaks key ties towards the smaller id and the
+    id here is the insertion sequence, {e equal keys pop in insertion
+    order} (FIFO) — exactly the stable tie-breaking the DES engine needs
+    for reproducible runs, with unboxed float comparisons instead of a
+    comparison closure per sift step. *)
 
 type 'a t
 
-val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
-(** Empty heap ordered by [cmp] (minimum first).  [capacity] sizes the
-    first allocation (default 16), performed lazily on the first {!add}.
+val create : ?capacity:int -> key:('a -> float) -> unit -> 'a t
+(** Empty heap ordered by [key] (minimum first), insertion order among
+    equal keys.  [key] is sampled once per {!add}; mutating an element's
+    key after insertion does not re-order the heap.  [capacity] sizes the
+    first allocation (default 16).
     @raise Invalid_argument if [capacity < 1]. *)
 
 val length : 'a t -> int
@@ -28,12 +38,13 @@ val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on empty heap. *)
 
 val clear : 'a t -> unit
+(** Drop every element (also releases the payload array). *)
 
-val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
-(** O(n) heapify; does not retain the input array. *)
+val of_array : key:('a -> float) -> 'a array -> 'a t
+(** Heap of the array's elements; insertion order is array order. *)
 
 val to_sorted_list : 'a t -> 'a list
 (** Drains the heap; the heap is empty afterwards. *)
 
 val check_invariant : 'a t -> bool
-(** True iff every parent is <= its children under [cmp] (for tests). *)
+(** True iff the underlying score heap's invariant holds (for tests). *)

@@ -187,21 +187,23 @@ let test_stats_online_merge () =
 
 (* --- Binary heap ------------------------------------------------------ *)
 
+let int_key x = float_of_int x
+
 let test_heap_sorts () =
   let rng = Rng.create 21 in
   let xs = List.init 200 (fun _ -> Rng.int rng 1000) in
-  let h = Heap.create ~cmp:compare () in
+  let h = Heap.create ~key:int_key () in
   List.iter (Heap.add h) xs;
   Alcotest.(check (list int)) "drains sorted" (List.sort compare xs) (Heap.to_sorted_list h);
   Alcotest.(check int) "empty after drain" 0 (Heap.length h)
 
 let test_heap_of_array () =
-  let h = Heap.of_array ~cmp:compare [| 5; 1; 4; 2; 3 |] in
+  let h = Heap.of_array ~key:int_key [| 5; 1; 4; 2; 3 |] in
   Alcotest.(check bool) "invariant holds" true (Heap.check_invariant h);
   Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (Heap.to_sorted_list h)
 
 let test_heap_peek_pop () =
-  let h = Heap.create ~cmp:compare () in
+  let h = Heap.create ~key:int_key () in
   Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
   Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
   Heap.add h 3;
@@ -216,18 +218,56 @@ let test_heap_invariant_random =
   QCheck.Test.make ~name:"heap invariant after random ops" ~count:200
     QCheck.(list (int_bound 1000))
     (fun xs ->
-      let h = Heap.create ~cmp:compare () in
+      let h = Heap.create ~key:int_key () in
       List.iteri
         (fun i x -> if i mod 3 = 2 then ignore (Heap.pop h) else Heap.add h x)
         xs;
       Heap.check_invariant h)
 
 let test_heap_stability_order () =
-  (* equal priorities must all come out; count preserved *)
-  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) () in
+  (* Equal keys pop in insertion (FIFO) order: the keyed heap inherits
+     Score_heap's smaller-id tie-break over insertion sequence numbers. *)
+  let h = Heap.create ~key:(fun (a, _) -> float_of_int a) () in
   List.iter (Heap.add h) [ (1, "a"); (1, "b"); (0, "c"); (1, "d") ];
   Alcotest.(check int) "4 elements" 4 (Heap.length h);
-  Alcotest.(check string) "min first" "c" (snd (Heap.pop_exn h))
+  Alcotest.(check (list string)) "min first, then FIFO among ties"
+    [ "c"; "a"; "b"; "d" ]
+    (List.map snd (Heap.to_sorted_list h))
+
+(* Differential test of the two heap structures: random push/pop sequences
+   must agree between Binary_heap (keyed, over Score_heap) and a naive
+   stable reference model.  This pins down both the shared sift core and
+   the FIFO tie-break the DES engine relies on. *)
+let test_heap_differential =
+  QCheck.Test.make ~name:"binary heap vs stable reference model" ~count:300
+    QCheck.(list (pair bool (int_bound 20)))
+    (fun ops ->
+      (* Elements are (key, unique insertion seq): equal keys abound (keys
+         are drawn from [0, 20]) so the FIFO tie-break is exercised, and the
+         unique seq makes every pop's expected payload unambiguous. *)
+      let h = Heap.create ~key:(fun (k, _) -> float_of_int k) () in
+      let model = ref [] in
+      let seq = ref 0 in
+      List.for_all
+        (fun (is_pop, k) ->
+          if is_pop then begin
+            let expected =
+              match List.sort compare !model with
+              | [] -> None
+              | hd :: _ ->
+                  model := List.filter (fun e -> e <> hd) !model;
+                  Some hd
+            in
+            Heap.pop h = expected && Heap.check_invariant h
+          end
+          else begin
+            let e = (k, !seq) in
+            incr seq;
+            Heap.add h e;
+            model := e :: !model;
+            Heap.length h = List.length !model && Heap.check_invariant h
+          end)
+        ops)
 
 (* --- Score heap ------------------------------------------------------- *)
 
@@ -342,6 +382,32 @@ let test_csv_escape () =
   Alcotest.(check string) "row" "a,\"b,c\",d"
     (Gridb_util.Csv.row_to_string [ "a"; "b,c"; "d" ])
 
+let test_csv_parse () =
+  let rows = Alcotest.(check (list (list string))) in
+  rows "empty" [] (Gridb_util.Csv.parse "");
+  rows "plain" [ [ "a"; "b" ]; [ "c"; "d" ] ] (Gridb_util.Csv.parse "a,b\nc,d\n");
+  rows "crlf" [ [ "a"; "b" ]; [ "c" ] ] (Gridb_util.Csv.parse "a,b\r\nc");
+  rows "quoted comma, newline, doubled quote"
+    [ [ "a,b"; "c\nd"; "e\"f" ] ]
+    (Gridb_util.Csv.parse "\"a,b\",\"c\nd\",\"e\"\"f\"");
+  rows "trailing empty field" [ [ "a"; "" ] ] (Gridb_util.Csv.parse "a,")
+
+let csv_field_gen =
+  QCheck.Gen.(
+    map
+      (fun cs -> String.concat "" (List.map (String.make 1) cs))
+      (list_size (int_bound 12) (oneofl [ 'a'; 'b'; ','; '\"'; '\n'; '\r'; ' '; 'z' ])))
+
+let test_csv_roundtrip =
+  (* parse . row_to_string = singleton, on fields stuffed with commas,
+     quotes and newlines.  The one exception is [ "" ]: a lone empty field
+     serialises to the empty string, which parses as zero records. *)
+  QCheck.Test.make ~name:"csv escape/parse round trip" ~count:500
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 8) csv_field_gen))
+    (fun row ->
+      QCheck.assume (row <> [ "" ]);
+      Gridb_util.Csv.parse (Gridb_util.Csv.row_to_string row) = [ row ])
+
 let test_csv_write_read () =
   let path = Filename.temp_file "gridb" ".csv" in
   Gridb_util.Csv.write path [ [ "h1"; "h2" ]; [ "1"; "2" ] ];
@@ -391,6 +457,7 @@ let () =
           quick "peek/pop" test_heap_peek_pop;
           QCheck_alcotest.to_alcotest test_heap_invariant_random;
           quick "ties" test_heap_stability_order;
+          QCheck_alcotest.to_alcotest test_heap_differential;
         ] );
       ( "score-heap",
         [
@@ -407,6 +474,8 @@ let () =
           quick "table rejects bad row" test_table_rejects_bad_row;
           quick "plot renders" test_plot_renders;
           quick "csv escape" test_csv_escape;
+          quick "csv parse" test_csv_parse;
+          QCheck_alcotest.to_alcotest test_csv_roundtrip;
           quick "csv write" test_csv_write_read;
         ] );
     ]
