@@ -1,31 +1,47 @@
 (* Fault-injection sweep: reliable broadcast under increasing message-loss
-   and crash rates, emitting machine-readable results to BENCH_faults.json.
+   and crash rates, comparing the fixed-RTO transport against the adaptive
+   one (Jacobson/Karn RTO + circuit breakers) with and without in-flight
+   reroute, emitting machine-readable results to BENCH_faults.json.
 
    Usage: dune exec bench/faults.exe -- [--reps N] [--max-n N] [-o FILE]
-                                        [--seed S]
+                                        [--seed S] [--assert-total]
 
    Each cell is a (clusters, loss, crash-rate) point averaged over --reps
    independently generated random grids (Table 2 parameter ranges) and
-   fault draws.  The loss=0, crash=0 row doubles as a sanity check: the
-   reliable executor must reproduce the fault-free makespan exactly
-   (inflation 1.0, zero retransmissions).  CI runs this capped as a smoke
-   test; the committed BENCH_faults.json comes from a full local run. *)
+   fault draws; all three transports replay the same grids and fault seeds.
+   The loss=0, crash=0 row doubles as a sanity check: every transport must
+   reproduce the fault-free makespan exactly (inflation 1.0, zero
+   retransmissions).  --assert-total additionally fails the run if
+   adaptive+reroute left any rank undelivered in a repetition where no rank
+   crashed (the sweep has no link cuts, so the reachability graph is
+   complete and delivery must be total) — the CI chaos job runs with it.
+   CI runs this capped as a smoke test; the committed BENCH_faults.json
+   comes from a full local run. *)
 
 module Robustness = Gridb_experiments.Robustness
 module Faults = Gridb_des.Faults
+module Exec = Gridb_des.Exec
 module Generators = Gridb_topology.Generators
 module Rng = Gridb_util.Rng
+
+type tcell = {
+  delivery_ratio : float; (* mean *)
+  inflation : float; (* mean over reps with a defined baseline *)
+  retransmissions : float; (* mean *)
+  gave_up : int; (* total over reps *)
+  reroutes : int; (* total over reps *)
+  circuit_opens : int; (* total over reps *)
+}
 
 type cell = {
   n : int;
   loss : float;
   crash_rate : float;
   reps : int;
-  delivery_ratio : float; (* mean *)
-  inflation : float; (* mean over reps with a defined baseline *)
-  retransmissions : float; (* mean *)
-  gave_up : int; (* total over reps *)
-  crashed_ranks : int; (* total over reps *)
+  fixed : tcell;
+  adaptive : tcell;
+  adaptive_reroute : tcell;
+  crashed_ranks : int; (* total over reps, fixed transport's horizon *)
   repair_invocations : int; (* reps where a coordinator crashed *)
   replanned : int; (* total repair transmissions *)
 }
@@ -34,57 +50,107 @@ let sizes = [ 5; 10; 20 ]
 let loss_levels = [ 0.; 0.01; 0.05; 0.1 ]
 let crash_rates = [ 0.; 1e-7 ]
 
+let transports =
+  [
+    ("fixed", Exec.Fixed);
+    ("adaptive", Exec.adaptive ());
+    ("adaptive,reroute", Exec.adaptive ~reroute:true ());
+  ]
+
+(* Repetitions of adaptive+reroute where a rank stayed undelivered with no
+   crash anywhere: (n, loss, crash_rate, rep seed, delivered, total). *)
+let totality_violations = ref []
+
 let bench_cell ~seed ~reps n loss crash_rate =
   let spec = Faults.v ~loss ~crash_rate () in
-  let acc_delivery = ref 0. and acc_inflation = ref 0. and acc_retrans = ref 0. in
-  let gave_up = ref 0 and crashed = ref 0 and invocations = ref 0 and replanned = ref 0 in
+  let acc =
+    List.map (fun (name, _) -> (name, ref 0., ref 0., ref 0., ref 0, ref 0, ref 0)) transports
+  in
+  let crashed = ref 0 and invocations = ref 0 and replanned = ref 0 in
   for rep = 0 to reps - 1 do
     let cell_seed = seed + (1_000 * n) + (100 * rep) in
     let rng = Rng.create cell_seed in
     let grid = Generators.uniform_random ~rng ~n Generators.default_random_spec in
-    let m = Robustness.run ~seed:cell_seed ~spec grid in
-    acc_delivery := !acc_delivery +. m.Robustness.delivery_ratio;
-    acc_inflation := !acc_inflation +. m.Robustness.inflation;
-    acc_retrans := !acc_retrans +. float_of_int m.Robustness.retransmissions;
-    gave_up := !gave_up + m.Robustness.gave_up;
-    crashed := !crashed + m.Robustness.crashed_ranks;
-    if m.Robustness.repair_invoked then incr invocations;
-    replanned := !replanned + m.Robustness.repairs
+    List.iter2
+      (fun (name, transport) (_, del, infl, retr, gave, rer, circ) ->
+        let m = Robustness.run ~seed:cell_seed ~spec ~transport grid in
+        del := !del +. m.Robustness.delivery_ratio;
+        infl := !infl +. m.Robustness.inflation;
+        retr := !retr +. float_of_int m.Robustness.retransmissions;
+        gave := !gave + m.Robustness.gave_up;
+        rer := !rer + m.Robustness.reroutes;
+        circ := !circ + m.Robustness.circuit_opens;
+        if name = "fixed" then begin
+          crashed := !crashed + m.Robustness.crashed_ranks;
+          if m.Robustness.repair_invoked then incr invocations;
+          replanned := !replanned + m.Robustness.repairs
+        end;
+        if
+          name = "adaptive,reroute" && m.Robustness.crashed_ranks = 0
+          && m.Robustness.delivered <> m.Robustness.total_ranks
+        then
+          totality_violations :=
+            (n, loss, crash_rate, cell_seed, m.Robustness.delivered,
+             m.Robustness.total_ranks)
+            :: !totality_violations)
+      transports acc
   done;
-  let mean acc = !acc /. float_of_int reps in
-  {
-    n;
-    loss;
-    crash_rate;
-    reps;
-    delivery_ratio = mean acc_delivery;
-    inflation = mean acc_inflation;
-    retransmissions = mean acc_retrans;
-    gave_up = !gave_up;
-    crashed_ranks = !crashed;
-    repair_invocations = !invocations;
-    replanned = !replanned;
-  }
+  let mean r = !r /. float_of_int reps in
+  let tcell (_, del, infl, retr, gave, rer, circ) =
+    {
+      delivery_ratio = mean del;
+      inflation = mean infl;
+      retransmissions = mean retr;
+      gave_up = !gave;
+      reroutes = !rer;
+      circuit_opens = !circ;
+    }
+  in
+  match acc with
+  | [ f; a; ar ] ->
+      {
+        n;
+        loss;
+        crash_rate;
+        reps;
+        fixed = tcell f;
+        adaptive = tcell a;
+        adaptive_reroute = tcell ar;
+        crashed_ranks = !crashed;
+        repair_invocations = !invocations;
+        replanned = !replanned;
+      }
+  | _ -> assert false
 
 (* Handwritten JSON writer, same rationale as bench/scaling.ml. *)
 let json_of_cells buf cells =
   let add fmt = Printf.bprintf buf fmt in
+  let add_tcell name t last =
+    add
+      "    \"%s\": {\"delivery_ratio\": %.4f, \"inflation\": %.4f, \
+       \"retransmissions\": %.2f, \"gave_up\": %d, \"reroutes\": %d, \
+       \"circuit_opens\": %d}%s\n"
+      name t.delivery_ratio t.inflation t.retransmissions t.gave_up t.reroutes
+      t.circuit_opens
+      (if last then "" else ",")
+  in
   add "[\n";
   List.iteri
     (fun i c ->
-      add
-        "  {\"n\": %d, \"loss\": %g, \"crash_rate\": %g, \"reps\": %d, \
-         \"delivery_ratio\": %.4f, \"inflation\": %.4f, \"retransmissions\": %.2f, \
-         \"gave_up\": %d, \"crashed_ranks\": %d, \"repair_invocations\": %d, \
-         \"replanned\": %d}%s\n"
-        c.n c.loss c.crash_rate c.reps c.delivery_ratio c.inflation c.retransmissions
-        c.gave_up c.crashed_ranks c.repair_invocations c.replanned
+      add "  {\"n\": %d, \"loss\": %g, \"crash_rate\": %g, \"reps\": %d,\n" c.n c.loss
+        c.crash_rate c.reps;
+      add_tcell "fixed" c.fixed false;
+      add_tcell "adaptive" c.adaptive false;
+      add_tcell "adaptive_reroute" c.adaptive_reroute false;
+      add "    \"crashed_ranks\": %d, \"repair_invocations\": %d, \"replanned\": %d}%s\n"
+        c.crashed_ranks c.repair_invocations c.replanned
         (if i = List.length cells - 1 then "" else ","))
     cells;
   add "]"
 
 let () =
   let reps = ref 5 and max_n = ref 20 and out = ref "BENCH_faults.json" and seed = ref 2006 in
+  let assert_total = ref false in
   let rec parse = function
     | [] -> ()
     | "--reps" :: v :: rest ->
@@ -99,9 +165,13 @@ let () =
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
         parse rest
+    | "--assert-total" :: rest ->
+        assert_total := true;
+        parse rest
     | other :: _ ->
         prerr_endline
-          ("unknown option " ^ other ^ " (known: --reps N, --max-n N, -o FILE, --seed S)");
+          ("unknown option " ^ other
+         ^ " (known: --reps N, --max-n N, -o FILE, --seed S, --assert-total)");
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -115,39 +185,64 @@ let () =
               (fun crash_rate ->
                 let c = bench_cell ~seed:!seed ~reps:!reps n loss crash_rate in
                 Printf.printf
-                  "n=%-3d loss=%-5g crash=%-6g delivery %6.4f  inflation %6.3fx  \
-                   retrans %6.2f  repairs %d\n\
+                  "n=%-3d loss=%-5g crash=%-6g | fixed: delivery %6.4f infl %6.3fx | \
+                   adaptive: %6.4f %6.3fx | +reroute: %6.4f %6.3fx (%d reroutes)\n\
                    %!"
-                  n loss crash_rate c.delivery_ratio c.inflation c.retransmissions
-                  c.repair_invocations;
+                  n loss crash_rate c.fixed.delivery_ratio c.fixed.inflation
+                  c.adaptive.delivery_ratio c.adaptive.inflation
+                  c.adaptive_reroute.delivery_ratio c.adaptive_reroute.inflation
+                  c.adaptive_reroute.reroutes;
                 c)
               crash_rates)
           loss_levels)
       sizes
   in
-  (* Sanity: the fault-free cells must show a bit-exact baseline. *)
+  (* Sanity: the fault-free cells must show a bit-exact baseline under every
+     transport. *)
   (match
      List.filter
        (fun c ->
          c.loss = 0. && c.crash_rate = 0.
-         && (c.inflation <> 1. || c.retransmissions <> 0. || c.delivery_ratio <> 1.))
+         && List.exists
+              (fun t ->
+                t.inflation <> 1. || t.retransmissions <> 0. || t.delivery_ratio <> 1.)
+              [ c.fixed; c.adaptive; c.adaptive_reroute ])
        cells
    with
   | [] -> ()
   | bad ->
       List.iter
         (fun c ->
-          Printf.eprintf "FAULT-FREE MISMATCH at n=%d: inflation %.17g retrans %.2f\n" c.n
-            c.inflation c.retransmissions)
+          Printf.eprintf
+            "FAULT-FREE MISMATCH at n=%d: fixed %.17g/%.2f adaptive %.17g/%.2f \
+             reroute %.17g/%.2f\n"
+            c.n c.fixed.inflation c.fixed.retransmissions c.adaptive.inflation
+            c.adaptive.retransmissions c.adaptive_reroute.inflation
+            c.adaptive_reroute.retransmissions)
         bad;
       exit 1);
+  if !assert_total then begin
+    match List.rev !totality_violations with
+    | [] -> print_endline "assert-total: adaptive+reroute delivered everywhere no rank crashed"
+    | vs ->
+        List.iter
+          (fun (n, loss, crash_rate, cell_seed, delivered, total) ->
+            Printf.eprintf
+              "TOTALITY VIOLATION n=%d loss=%g crash=%g seed=%d: %d/%d delivered with no \
+               crash\n"
+              n loss crash_rate cell_seed delivered total)
+          vs;
+        exit 1
+  end;
   let buf = Buffer.create 4_096 in
   Printf.bprintf buf
     "{\n\
     \  \"benchmark\": \"fault-injection\",\n\
     \  \"seed\": %d,\n\
     \  \"instance\": \"Generators.uniform_random default_random_spec, fresh grid per rep\",\n\
-    \  \"protocol\": \"stop-and-wait ACK, 5 retries, exponential backoff\",\n\
+    \  \"protocol\": \"stop-and-wait ACK, 5 retries, exponential backoff; transports: \
+     fixed RTO / adaptive (Jacobson-Karn RTO, circuit breakers) / adaptive with in-flight \
+     reroute\",\n\
     \  \"units\": {\"loss\": \"per-transmission probability\", \"crash_rate\": \"1/us per rank\"},\n\
     \  \"results\": " !seed;
   json_of_cells buf cells;

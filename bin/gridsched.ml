@@ -409,6 +409,15 @@ let faults_conv =
   in
   Arg.conv (parse, fun ppf spec -> Format.pp_print_string ppf (Gridb_des.Faults.to_string spec))
 
+let transport_conv =
+  let parse s =
+    match Gridb_des.Exec.transport_of_string s with
+    | Ok t -> Ok t
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    (parse, fun ppf t -> Format.pp_print_string ppf (Gridb_des.Exec.transport_to_string t))
+
 let trace_arg =
   Arg.(
     value
@@ -419,7 +428,7 @@ let trace_arg =
            line; read back with $(b,Gridb_obs.Sink.read)).")
 
 let simulate_cmd =
-  let run heuristic topology msg seed faults retries jitter trace =
+  let run heuristic topology msg seed faults retries transport reps jitter trace =
     match load_grid topology with
     | Error e ->
         prerr_endline e;
@@ -438,9 +447,10 @@ let simulate_cmd =
             let noise =
               if jitter > 0. then Gridb_des.Noise.Lognormal jitter else Gridb_des.Noise.Exact
             in
+            let repetitions = if reps > 0 then Some reps else None in
             let robustness obs =
               Gridb_experiments.Robustness.run ~policy ~msg ~retries ~seed ~noise ?obs
-                ~spec:faults grid
+                ~transport ?repetitions ~spec:faults grid
             in
             let metrics, traced =
               match trace with
@@ -479,6 +489,26 @@ let simulate_cmd =
       & info [ "retries" ] ~docv:"N"
           ~doc:"Retransmission budget per plan edge before giving up.")
   in
+  let transport =
+    Arg.(
+      value
+      & opt transport_conv Gridb_des.Exec.Fixed
+      & info [ "transport" ] ~docv:"KIND"
+          ~doc:
+            "Retransmission transport: $(b,fixed) (model-derived RTO), $(b,adaptive) \
+             (live Jacobson/Karn RTO estimation with per-link circuit breakers) or \
+             $(b,adaptive,reroute) (additionally re-parents orphaned children onto \
+             already-delivered ranks, scored on live-estimated link quality).")
+  in
+  let reps =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "reps" ] ~docv:"N"
+          ~doc:
+            "Also aggregate the reliable run over $(docv) independent fault draws \
+             (mean/stddev makespan, delivered fraction); 0 disables the summary.")
+  in
   let jitter =
     Arg.(
       value
@@ -489,8 +519,8 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Reliable broadcast under fault injection (delivery ratio, inflation, repair)")
     Term.(
-      const run $ heuristic $ topology_arg $ msg_arg $ seed_arg $ faults $ retries $ jitter
-      $ trace_arg)
+      const run $ heuristic $ topology_arg $ msg_arg $ seed_arg $ faults $ retries
+      $ transport $ reps $ jitter $ trace_arg)
 
 (* --- profile: per-phase rollup of one schedule-and-execute pipeline --- *)
 

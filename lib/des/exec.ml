@@ -94,6 +94,26 @@ let mean_makespan ?(noise = Noise.default_measured) ?(msg = 1_000_000)
   done;
   !total /. float_of_int repetitions
 
+type transport = Fixed | Adaptive of { config : Adaptive.config; reroute : bool }
+
+let adaptive ?(config = Adaptive.default) ?(reroute = false) () =
+  Adaptive { config; reroute }
+
+let transport_of_string str =
+  match String.lowercase_ascii (String.trim str) with
+  | "fixed" -> Ok Fixed
+  | "adaptive" -> Ok (adaptive ())
+  | "adaptive,reroute" | "adaptive+reroute" -> Ok (adaptive ~reroute:true ())
+  | other ->
+      Error
+        (Printf.sprintf "unknown transport %S (known: fixed, adaptive, adaptive,reroute)"
+           other)
+
+let transport_to_string = function
+  | Fixed -> "fixed"
+  | Adaptive { reroute = false; _ } -> "adaptive"
+  | Adaptive { reroute = true; _ } -> "adaptive,reroute"
+
 type reliable = {
   r_arrival : float array;
   r_makespan : float;
@@ -103,6 +123,9 @@ type reliable = {
   delivered : int;
   gave_up : (int * int) list;
   crashed : int list;
+  reroutes : (int * int * int) list;
+  circuit_opens : int;
+  estimator : Adaptive.t option;
   r_trace : Trace.transmission list;
 }
 
@@ -114,17 +137,34 @@ type reliable = {
    stop-and-wait reliability protocol: the receiver returns an ACK on the
    control plane (latency only, no NIC seizure), the sender arms a
    cancellable retransmission timer at [rto] past the end of its injection,
-   and every timeout doubles [rto] and retransmits until [retries] is
-   exhausted, at which point the edge (and the subtree hanging off it) is
-   abandoned — graceful degradation to partial delivery. *)
+   and every timeout doubles [rto] (capped at [rto_max]) and retransmits
+   until [retries] is exhausted.
+
+   [Fixed] transport then abandons the edge (and the subtree hanging off
+   it) — graceful degradation to partial delivery.  [Adaptive] transport
+   additionally feeds every clean round trip and every timeout into an
+   {!Adaptive.t} estimator: the RTO comes from SRTT/RTTVAR instead of the
+   static model, and per-link circuit breakers publish
+   [Circuit_open]/[Circuit_close].  With [reroute] on, an edge whose
+   breaker opens or whose retry budget dies re-parents the orphaned child
+   onto an already-delivered alive rank — picked by the ECEF arrival score
+   over live-estimated link parameters — so delivery is total unless the
+   destination is crashed or physically partitioned.
+
+   The estimator is pure float bookkeeping on times the executor already
+   has: it draws no randomness and never touches the data-path arithmetic,
+   and with no faults every retransmission timer is cancelled by its ACK
+   before firing — which is why the zero-fault adaptive run stays
+   bit-identical to [run] too. *)
 let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_000)
     ?(record_trace = false) ?(obs = Sink.null) ?faults ?(retries = 5) ?(rto_mult = 2.)
-    ?(rto_min = 1.) machines plan =
+    ?(rto_min = 1.) ?(rto_max = 1e9) ?(transport = Fixed) machines plan =
   let n = Machines.count machines in
   if Plan.size plan <> n then invalid_arg "Exec.run_reliable: plan size mismatch";
   if retries < 0 then invalid_arg "Exec.run_reliable: negative retries";
   if rto_mult < 1. then invalid_arg "Exec.run_reliable: rto_mult < 1";
   if rto_min <= 0. then invalid_arg "Exec.run_reliable: rto_min must be positive";
+  if rto_max < rto_min then invalid_arg "Exec.run_reliable: rto_max < rto_min";
   let faults =
     match faults with
     | Some f ->
@@ -148,22 +188,98 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
     if Sink.enabled mem then Sink.emit mem e;
     if Sink.enabled obs then Sink.emit obs e
   in
+  let est, reroute =
+    match transport with
+    | Fixed -> (None, false)
+    | Adaptive { config; reroute } -> (Some (Adaptive.create ~config ~n ()), reroute)
+  in
+  let max_reroutes =
+    match est with
+    | None -> 0
+    | Some est ->
+        let m = (Adaptive.config est).Adaptive.max_reroutes in
+        if m = 0 then 2 * n else m
+  in
   (* Per-edge protocol state, indexed by the child (each non-root rank has a
-     unique parent in the plan). *)
+     unique parent in the plan; under reroute the parent can change, but a
+     child still has at most one live edge at a time). *)
   let acked = Array.make n false in
   let timers = Array.make n None in
+  let cur_parent = Array.make n (-1) in
+  let cur_try = Array.make n 0 in
+  let last_start = Array.make n nan in
+  let reroutes_used = Array.make n 0 in
+  let failed = Array.make (n * n) false in
+  (* Orphans with no delivered alive candidate yet, retried on the next
+     delivery: (dst, parent that last failed it). *)
+  let pending = ref [] in
+  let reroute_log = ref [] in
+  let circuit_opens = ref 0 in
   (* Noiseless round-trip estimate: data gap + data latency + ACK latency. *)
-  let initial_rto src dst =
+  let model_rto src dst =
     let p = Machines.link_params machines src dst in
     let pb = Machines.link_params machines dst src in
     Float.max rto_min
       (rto_mult *. (Params.gap p msg +. Params.latency p +. Params.latency pb))
   in
+  let initial_rto src dst =
+    let fallback = model_rto src dst in
+    match est with
+    | None -> fallback
+    | Some est -> Adaptive.rto est ~src ~dst ~fallback
+  in
+  let backoff rto = Float.min rto_max (2. *. rto) in
+  (* Best already-delivered alive parent for an orphan, by the ECEF arrival
+     score over live-estimated link quality; candidates whose circuit to
+     [dst] is open (or that already failed this orphan) only as a last
+     resort. *)
+  let pick_parent ~dst ~now =
+    match est with
+    | None -> None
+    | Some est ->
+        let best = ref None in
+        for p = 0 to n - 1 do
+          (* Liveness must be judged at the moment the parent could actually
+             start sending — max(now, nic_free) — not at [now]: a backlogged
+             parent that crashes before its NIC frees would fail the attempt
+             at start, re-orphan the child synchronously, and the cycle
+             would churn the whole reroute budget in one instant.  Judged at
+             the send horizon, doomed parents are no candidates at all and
+             the orphan parks until a later delivery provides a live one. *)
+          if
+            p <> dst && has_msg.(p)
+            && Faults.crash_time faults p > Float.max now nic_free.(p)
+          then begin
+            let tier =
+              if failed.((dst * n) + p) then 2
+              else if Adaptive.usable est ~src:p ~dst ~now then 0
+              else 1
+            in
+            let ep =
+              Adaptive.estimated_params est ~src:p ~dst
+                (Machines.link_params machines p dst)
+            in
+            let score =
+              Gridb_sched.Policy.arrival_score
+                ~avail:(Float.max now nic_free.(p))
+                ~gap:(Params.gap ep msg) ~latency:(Params.latency ep)
+            in
+            match !best with
+            | Some (bt, bs, _) when bt < tier || (bt = tier && bs <= score) -> ()
+            | _ -> best := Some (tier, score, p)
+          end
+        done;
+        Option.map (fun ((_ : int), (_ : float), p) -> p) !best
+  in
   let rec attempt ~src ~dst ~try_no ~rto engine =
     let now = Engine.now engine in
     let start = Float.max now nic_free.(src) in
-    (* A halted sender transmits nothing more; its pending edges die here. *)
+    (* A halted sender transmits nothing more; its pending edges die here
+       (under reroute the child becomes an orphan instead). *)
     if Faults.crash_time faults src > start then begin
+      cur_parent.(dst) <- src;
+      cur_try.(dst) <- try_no;
+      last_start.(dst) <- start;
       let p = Machines.link_params machines src dst in
       let d = Faults.slowdown faults ~src ~dst ~at:start in
       let g = Noise.apply noise rng (Params.gap p msg) *. d in
@@ -197,6 +313,7 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
       in
       timers.(dst) <- Some tm
     end
+    else if reroute then orphaned ~old_parent:src ~dst engine
   and data_arrives ~src ~dst engine =
     let now = Engine.now engine in
     if not has_msg.(dst) then begin
@@ -204,7 +321,8 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
       arrival.(dst) <- now;
       nic_free.(dst) <- Float.max nic_free.(dst) now;
       if tracing then emit (Event.Arrival { src; dst; time = now });
-      forward dst engine
+      forward dst engine;
+      if reroute then drain_pending engine
     end;
     (* ACK on the control plane: pays the reverse latency (degraded if the
        reverse link is) but does not seize the receiver's NIC, so the ACK
@@ -225,8 +343,26 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
       Engine.schedule engine ~time:ack_at (ack_arrives ~parent:src ~child:dst)
   and ack_arrives ~parent ~child engine =
     incr acks;
-    if tracing then
-      emit (Event.Ack { src = child; dst = parent; time = Engine.now engine });
+    let now = Engine.now engine in
+    if tracing then emit (Event.Ack { src = child; dst = parent; time = now });
+    (* RTT sample for the estimator — only for the edge currently armed
+       (a stale ACK from a pre-reroute parent must not be attributed to the
+       new link), and per Karn's rule flagged ambiguous when the edge has
+       retransmitted. *)
+    (match est with
+    | Some est when parent = cur_parent.(child) && not acked.(child) ->
+        let rtt = now -. last_start.(child) in
+        (match
+           Adaptive.on_sample est ~src:parent ~dst:child ~rtt
+             ~retransmitted:(cur_try.(child) > 0) ~now
+         with
+        | `No_change -> ()
+        | `Opened ->
+            incr circuit_opens;
+            if tracing then emit (Event.Circuit_open { src = parent; dst = child; time = now })
+        | `Closed ->
+            if tracing then emit (Event.Circuit_close { src = parent; dst = child; time = now }))
+    | _ -> ());
     if not acked.(child) then begin
       acked.(child) <- true;
       match timers.(child) with
@@ -237,19 +373,83 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
     end
   and timeout ~src ~dst ~try_no ~rto engine =
     timers.(dst) <- None;
-    if not acked.(dst) then
-      if Faults.crash_time faults src <= Engine.now engine then ()
-      else if try_no >= retries then begin
-        gave_up := (src, dst) :: !gave_up;
-        if tracing then emit (Event.Give_up { src; dst; time = Engine.now engine })
+    if not acked.(dst) then begin
+      let now = Engine.now engine in
+      if Faults.crash_time faults src <= now then begin
+        if reroute then orphaned ~old_parent:src ~dst engine
       end
       else begin
-        if tracing then
-          emit
-            (Event.Retransmit
-               { src; dst; time = Engine.now engine; try_no = try_no + 1; rto = 2. *. rto });
-        attempt ~src ~dst ~try_no:(try_no + 1) ~rto:(2. *. rto) engine
+        let opened =
+          match est with
+          | None -> false
+          | Some est ->
+              let o = Adaptive.on_timeout est ~src ~dst ~now in
+              if o then begin
+                incr circuit_opens;
+                if tracing then emit (Event.Circuit_open { src; dst; time = now })
+              end;
+              o
+        in
+        if reroute && (opened || try_no >= retries) then
+          orphaned ~old_parent:src ~dst engine
+        else if try_no >= retries then begin
+          gave_up := (src, dst) :: !gave_up;
+          if tracing then emit (Event.Give_up { src; dst; time = now })
+        end
+        else begin
+          let rto' = backoff rto in
+          if tracing then
+            emit
+              (Event.Retransmit { src; dst; time = now; try_no = try_no + 1; rto = rto' });
+          attempt ~src ~dst ~try_no:(try_no + 1) ~rto:rto' engine
+        end
       end
+    end
+  and orphaned ~old_parent ~dst engine =
+    (* A duplicate delivery may already have landed; then there is nothing
+       to reroute (the timer is gone either way). *)
+    if not has_msg.(dst) then begin
+      failed.((dst * n) + old_parent) <- true;
+      try_reroute ~old_parent ~dst engine
+    end
+  and try_reroute ~old_parent ~dst engine =
+    let now = Engine.now engine in
+    let lost =
+      (* A halted destination can never deliver (burning the reroute budget
+         on it would only inflate the sweep); past the budget the orphan is
+         abandoned for good. *)
+      Faults.crash_time faults dst <= now || reroutes_used.(dst) >= max_reroutes
+    in
+    if lost then begin
+      gave_up := (old_parent, dst) :: !gave_up;
+      if tracing then emit (Event.Give_up { src = old_parent; dst; time = now });
+      (* The subtree planned under a permanently lost child is stranded
+         with it — its members never saw an attempt, so re-parent each of
+         them onto the delivered set too. *)
+      List.iter
+        (fun gc -> orphaned ~old_parent:dst ~dst:gc engine)
+        plan.Plan.children.(dst)
+    end
+    else
+      match pick_parent ~dst ~now with
+      | Some p ->
+          reroutes_used.(dst) <- reroutes_used.(dst) + 1;
+          reroute_log := (dst, old_parent, p) :: !reroute_log;
+          if tracing then
+            emit (Event.Reroute { dst; old_parent; new_parent = p; time = now });
+          attempt ~src:p ~dst ~try_no:0 ~rto:(initial_rto p dst) engine
+      | None ->
+          if not (List.exists (fun (d, _) -> d = dst) !pending) then
+            pending := (dst, old_parent) :: !pending
+  and drain_pending engine =
+    match !pending with
+    | [] -> ()
+    | parked ->
+        pending := [];
+        List.iter
+          (fun (dst, old_parent) ->
+            if not has_msg.(dst) then try_reroute ~old_parent ~dst engine)
+          (List.rev parked)
   and forward rank engine =
     List.iter
       (fun child ->
@@ -285,5 +485,65 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
     delivered;
     gave_up = List.rev !gave_up;
     crashed;
+    reroutes = List.rev !reroute_log;
+    circuit_opens = !circuit_opens;
+    estimator = est;
     r_trace = trace;
+  }
+
+type reliable_summary = {
+  reps : int;
+  delivered_fraction : float;
+  mean_retransmissions : float;
+  mean_reroutes : float;
+  mean_makespan : float;
+  stddev_makespan : float;
+  total_gave_up : int;
+  all_delivered : bool;
+}
+
+let mean_reliable ?(noise = Noise.default_measured) ?(msg = 1_000_000)
+    ?(repetitions = 10) ?(retries = 5) ?(rto_mult = 2.) ?(rto_min = 1.)
+    ?(rto_max = 1e9) ?(transport = Fixed) ~seed ~spec machines plan =
+  if repetitions < 1 then invalid_arg "Exec.mean_reliable: repetitions < 1";
+  let n = Machines.count machines in
+  (* Same split-stream discipline as [mean_makespan]: equal seeds give equal
+     summaries, and no repetition's draw count bleeds into the next one's
+     stream.  Each repetition burns one raw draw for its fault seed and one
+     split for its noise stream. *)
+  let rng = Gridb_util.Rng.create seed in
+  let makespans = Array.make repetitions 0. in
+  let delivered = ref 0 in
+  let retrans = ref 0 in
+  let reroutes = ref 0 in
+  let gave = ref 0 in
+  let all = ref true in
+  for rep = 0 to repetitions - 1 do
+    let fseed = Int64.to_int (Gridb_util.Rng.bits64 rng) land max_int in
+    let faults = Faults.create ~seed:fseed ~n spec in
+    let r =
+      run_reliable ~noise ~rng:(Gridb_util.Rng.split rng) ~msg ~faults ~retries
+        ~rto_mult ~rto_min ~rto_max ~transport machines plan
+    in
+    makespans.(rep) <- r.r_makespan;
+    delivered := !delivered + r.delivered;
+    retrans := !retrans + r.retransmissions;
+    reroutes := !reroutes + List.length r.reroutes;
+    gave := !gave + List.length r.gave_up;
+    if r.delivered <> n then all := false
+  done;
+  let reps = float_of_int repetitions in
+  let mean = Array.fold_left ( +. ) 0. makespans /. reps in
+  let var =
+    Array.fold_left (fun acc m -> acc +. ((m -. mean) *. (m -. mean))) 0. makespans /. reps
+  in
+  {
+    reps = repetitions;
+    delivered_fraction = float_of_int !delivered /. (reps *. float_of_int n);
+    mean_retransmissions = float_of_int !retrans /. reps;
+    mean_reroutes = float_of_int !reroutes /. reps;
+    mean_makespan = mean;
+    stddev_makespan = sqrt var;
+    total_gave_up = !gave;
+    all_delivered = !all;
   }

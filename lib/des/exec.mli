@@ -63,6 +63,23 @@ val mean_makespan :
     equal means, and the repetitions' streams are pairwise independent (one
     run's draw count cannot shift the next run's draws). *)
 
+type transport =
+  | Fixed  (** model-derived RTO, exponential backoff, no reroute *)
+  | Adaptive of { config : Adaptive.config; reroute : bool }
+      (** live Jacobson/Karn RTO + circuit breakers; with [reroute],
+          orphaned children are re-parented onto delivered ranks *)
+
+val adaptive : ?config:Adaptive.config -> ?reroute:bool -> unit -> transport
+(** [Adaptive] with {!Adaptive.default} knobs; [reroute] defaults false. *)
+
+val transport_of_string : string -> (transport, string) Stdlib.result
+(** Parses ["fixed"], ["adaptive"], ["adaptive,reroute"] (or
+    ["adaptive+reroute"]), case-insensitively; adaptive forms carry
+    {!Adaptive.default}. *)
+
+val transport_to_string : transport -> string
+(** Left inverse of {!transport_of_string} for default configs. *)
+
 type reliable = {
   r_arrival : float array;
       (** per-rank {e first} delivery time; [nan] for ranks never reached *)
@@ -74,8 +91,16 @@ type reliable = {
   acks : int;  (** ACK messages delivered *)
   delivered : int;  (** ranks holding the message at quiescence *)
   gave_up : (int * int) list;
-      (** [(parent, child)] plan edges whose retry budget was exhausted *)
+      (** [(parent, child)] edges abandoned for good: retry budget exhausted
+          (fixed/adaptive), or reroute budget exhausted (reroute) *)
   crashed : int list;  (** ranks that halted within the simulated horizon *)
+  reroutes : (int * int * int) list;
+      (** [(dst, old_parent, new_parent)] re-parentings, chronological;
+          [] unless the transport reroutes *)
+  circuit_opens : int;  (** breaker open transitions (timeouts + blow-ups) *)
+  estimator : Adaptive.t option;
+      (** the live estimator after quiescence — [Some] for adaptive
+          transports; feed {!Adaptive.estimated_params} to replanning *)
   r_trace : Trace.transmission list;
       (** data transmissions, arrival-ordered; [] unless recorded *)
 }
@@ -91,6 +116,8 @@ val run_reliable :
   ?retries:int ->
   ?rto_mult:float ->
   ?rto_min:float ->
+  ?rto_max:float ->
+  ?transport:transport ->
   Gridb_topology.Machines.t ->
   Plan.t ->
   reliable
@@ -99,10 +126,27 @@ val run_reliable :
     the receiver ACKs every delivery on the control plane (reverse-link
     latency, no NIC seizure), the sender arms a cancellable timer [rto]
     after its injection ends and retransmits with doubled [rto] on every
-    timeout, up to [retries] retransmissions (default 5) before abandoning
-    the edge — partial delivery, reported via [gave_up].  The initial [rto]
-    is [rto_mult] (default 2.) times the link's noiseless round trip
-    [g + L + L_back], floored at [rto_min] us (default 1.).
+    timeout — capped at [rto_max] us (default 1e9) — up to [retries]
+    retransmissions (default 5) before abandoning the edge — partial
+    delivery, reported via [gave_up].  The initial [rto] is [rto_mult]
+    (default 2.) times the link's noiseless round trip [g + L + L_back],
+    floored at [rto_min] us (default 1.).
+
+    [transport] (default {!Fixed}) selects the retransmission strategy.
+    Under [Adaptive], every clean round trip updates a per-link
+    SRTT/RTTVAR estimator ({!Adaptive}, Karn's rule included) that
+    replaces the model-derived initial RTO once samples exist, and
+    per-link circuit breakers publish [Circuit_open]/[Circuit_close] to
+    the sink.  With [reroute] also set, an edge whose breaker opens or
+    whose retry budget dies orphans its child instead of abandoning it:
+    the child is re-parented onto the already-delivered alive rank with
+    the best ECEF arrival score over live-estimated parameters
+    ([Reroute] events), parked and retried on the next delivery if no
+    candidate exists yet, and only reported in [gave_up] once its
+    per-destination reroute budget ({!Adaptive.config.max_reroutes};
+    0 derives [2 * ranks]) is spent — so delivery is total unless the
+    destination crashed or is physically partitioned from the delivered
+    set.
 
     Fault semantics: losses and permanent cuts are evaluated at injection
     start; a transmission to a rank that halts before its arrival vanishes;
@@ -111,8 +155,44 @@ val run_reliable :
     they are active.
 
     With an empty fault spec ({!Faults.is_none}) and the same [noise],
-    [rng] and [start_delay], the data path is {e bit-identical} to {!run}:
-    same arrivals, same makespan, same transmission count — the zero-fault
-    identity the property tests pin down.
+    [rng] and [start_delay], the data path is {e bit-identical} to {!run}
+    {e for every transport}: same arrivals, same makespan, same
+    transmission count — the estimator draws no randomness and every timer
+    is cancelled by its ACK before firing.  The zero-fault identity the
+    property tests pin down.
     @raise Invalid_argument on plan/machine/fault-model size mismatch,
-    [retries < 0], [rto_mult < 1.] or [rto_min <= 0.]. *)
+    [retries < 0], [rto_mult < 1.], [rto_min <= 0.] or
+    [rto_max < rto_min]. *)
+
+type reliable_summary = {
+  reps : int;
+  delivered_fraction : float;  (** mean delivered / n over repetitions *)
+  mean_retransmissions : float;
+  mean_reroutes : float;
+  mean_makespan : float;  (** over delivered ranks, per repetition *)
+  stddev_makespan : float;  (** population standard deviation *)
+  total_gave_up : int;  (** abandoned edges summed over repetitions *)
+  all_delivered : bool;  (** every repetition delivered all [n] ranks *)
+}
+
+val mean_reliable :
+  ?noise:Noise.t ->
+  ?msg:int ->
+  ?repetitions:int ->
+  ?retries:int ->
+  ?rto_mult:float ->
+  ?rto_min:float ->
+  ?rto_max:float ->
+  ?transport:transport ->
+  seed:int ->
+  spec:Faults.spec ->
+  Gridb_topology.Machines.t ->
+  Plan.t ->
+  reliable_summary
+(** {!run_reliable} aggregated over independent repetitions (default 10),
+    mirroring {!mean_makespan}'s split-stream discipline: each repetition
+    draws a fault seed and splits a noise stream from the master [seed], so
+    equal seeds give equal summaries and no repetition's draw count bleeds
+    into the next one's.  The faults are re-drawn per repetition from
+    [spec].  @raise Invalid_argument if [repetitions < 1] (plus everything
+    {!run_reliable} raises). *)

@@ -48,13 +48,31 @@ let of_string str =
               match float_of_string_opt value with
               | None -> Error (Printf.sprintf "%s: not a number (%S)" key value)
               | Some f -> (
+                  (* Range checks live here, per key, so the error names the
+                     CLI key the user typed — not the spec record field that
+                     [v] would complain about. *)
+                  let checked ok msg update =
+                    if ok then Ok (update s)
+                    else Error (Printf.sprintf "%s: %s (got %g)" key msg f)
+                  in
                   match key with
-                  | "loss" -> Ok { s with loss = f }
-                  | "cut" -> Ok { s with cut_rate = f }
-                  | "crash" -> Ok { s with crash_rate = f }
-                  | "degrade" -> Ok { s with degrade_rate = f }
-                  | "degrade-mean" -> Ok { s with degrade_mean = f }
-                  | "degrade-factor" -> Ok { s with degrade_factor = f }
+                  | "loss" ->
+                      checked (f >= 0. && f < 1.) "outside [0, 1)"
+                        (fun s -> { s with loss = f })
+                  | "cut" ->
+                      checked (f >= 0.) "negative rate" (fun s -> { s with cut_rate = f })
+                  | "crash" ->
+                      checked (f >= 0.) "negative rate"
+                        (fun s -> { s with crash_rate = f })
+                  | "degrade" ->
+                      checked (f >= 0.) "negative rate"
+                        (fun s -> { s with degrade_rate = f })
+                  | "degrade-mean" ->
+                      checked (f > 0.) "must be positive"
+                        (fun s -> { s with degrade_mean = f })
+                  | "degrade-factor" ->
+                      checked (f >= 1.) "must be >= 1"
+                        (fun s -> { s with degrade_factor = f })
                   | other ->
                       Error
                         (Printf.sprintf

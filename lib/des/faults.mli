@@ -55,7 +55,10 @@ val of_string : string -> (spec, string) result
 (** Parse a CLI spec: comma-separated [key=value] pairs with keys [loss],
     [cut], [crash], [degrade] (episode rate), [degrade-mean],
     [degrade-factor].  [""] and ["none"] parse to {!none}.
-    Example: ["loss=0.05,crash=2e-8,degrade=1e-7,degrade-factor=4"]. *)
+    Example: ["loss=0.05,crash=2e-8,degrade=1e-7,degrade-factor=4"].
+    Errors name the offending key as typed: unknown keys list the known
+    ones, non-numbers quote the value, and out-of-range values state the
+    accepted range (e.g. ["loss: outside [0, 1) (got 1.5)"]). *)
 
 val to_string : spec -> string
 (** Inverse of {!of_string} up to field order; ["none"] for {!none}. *)

@@ -4,6 +4,7 @@ module Instance = Gridb_sched.Instance
 module Repair = Gridb_sched.Repair
 module Machines = Gridb_topology.Machines
 module Faults = Gridb_des.Faults
+module Adaptive = Gridb_des.Adaptive
 module Plan = Gridb_des.Plan
 module Exec = Gridb_des.Exec
 module Noise = Gridb_des.Noise
@@ -13,6 +14,7 @@ module Event = Gridb_obs.Event
 type metrics = {
   policy : string;
   spec : Faults.spec;
+  transport : string;
   retries : int;
   seed : int;
   total_ranks : int;
@@ -26,13 +28,35 @@ type metrics = {
   retransmissions : int;
   acks : int;
   gave_up : int;
+  reroutes : int;
+  circuit_opens : int;
   repair_invoked : bool;
   repairs : int;
   repaired_makespan : float option;
+  estimated_repaired_makespan : float option;
+  summary : Exec.reliable_summary option;
 }
 
+(* Cluster-level estimated instance: the estimator's per-link quality on the
+   coordinator-to-coordinator links rescales the nominal inter-cluster gap
+   and latency matrices — the Params-shaped live view, lifted to the
+   scheduling layer, so Repair replans on measured numbers. *)
+let estimated_instance est machines inst =
+  let nc = inst.Instance.n in
+  let q c d =
+    if c = d then 1.
+    else
+      Adaptive.quality est
+        ~src:(Machines.coordinator machines c)
+        ~dst:(Machines.coordinator machines d)
+  in
+  let scale m = Array.init nc (fun i -> Array.init nc (fun j -> m.(i).(j) *. q i j)) in
+  Instance.v ~root:inst.Instance.root ~latency:(scale inst.Instance.latency)
+    ~gap:(scale inst.Instance.gap) ~intra:inst.Instance.intra
+
 let run ?(policy = Policy.ecef_la) ?(msg = 1_000_000) ?(retries = 5) ?(seed = 0)
-    ?(noise = Noise.Exact) ?(obs = Sink.null) ~spec grid =
+    ?(noise = Noise.Exact) ?(obs = Sink.null) ?(transport = Exec.Fixed) ?repetitions
+    ~spec grid =
   let inst = Instance.of_grid ~root:0 ~msg grid in
   let schedule = Sched_engine.run ~obs policy inst in
   let machines = Machines.expand grid in
@@ -43,7 +67,9 @@ let run ?(policy = Policy.ecef_la) ?(msg = 1_000_000) ?(retries = 5) ?(seed = 0)
   let rng = Gridb_util.Rng.create seed in
   (* Only the faulty reliable run is observed: the baseline exists purely
      as a reference makespan and would double every send on the stream. *)
-  let rel = Exec.run_reliable ~noise ~rng ~msg ~faults ~retries ~obs machines plan in
+  let rel =
+    Exec.run_reliable ~noise ~rng ~msg ~faults ~retries ~obs ~transport machines plan
+  in
   (* Cluster-level crash vector: a cluster halts (as a schedule node) when
      its coordinator does.  Only crashes inside the simulated horizon count
      ([rel.crashed]); a draw beyond it is a future fault, not this run's. *)
@@ -54,7 +80,7 @@ let run ?(policy = Policy.ecef_la) ?(msg = 1_000_000) ?(retries = 5) ?(seed = 0)
         else infinity)
   in
   let repair_invoked = Array.exists Float.is_finite crash in
-  let repairs, repaired_makespan =
+  let repairs, repaired_makespan, estimated_repaired_makespan =
     if repair_invoked then begin
       let o = Repair.repair ~policy inst schedule ~crash in
       if Sink.enabled obs then begin
@@ -65,13 +91,30 @@ let run ?(policy = Policy.ecef_la) ?(msg = 1_000_000) ?(retries = 5) ?(seed = 0)
           (Event.Repair_splice
              { crashed = crashed_clusters; replanned = List.length o.Repair.replanned })
       end;
-      (List.length o.Repair.replanned, Some o.Repair.makespan)
+      let estimated =
+        match rel.Exec.estimator with
+        | None -> None
+        | Some est ->
+            let o' =
+              Repair.repair ~policy (estimated_instance est machines inst) schedule ~crash
+            in
+            Some o'.Repair.makespan
+      in
+      (List.length o.Repair.replanned, Some o.Repair.makespan, estimated)
     end
-    else (0, None)
+    else (0, None, None)
+  in
+  let summary =
+    Option.map
+      (fun repetitions ->
+        Exec.mean_reliable ~noise ~msg ~repetitions ~retries ~transport ~seed ~spec
+          machines plan)
+      repetitions
   in
   {
     policy = Policy.name policy;
     spec;
+    transport = Exec.transport_to_string transport;
     retries;
     seed;
     total_ranks = n;
@@ -87,9 +130,13 @@ let run ?(policy = Policy.ecef_la) ?(msg = 1_000_000) ?(retries = 5) ?(seed = 0)
     retransmissions = rel.Exec.retransmissions;
     acks = rel.Exec.acks;
     gave_up = List.length rel.Exec.gave_up;
+    reroutes = List.length rel.Exec.reroutes;
+    circuit_opens = rel.Exec.circuit_opens;
     repair_invoked;
     repairs;
     repaired_makespan;
+    estimated_repaired_makespan;
+    summary;
   }
 
 let render m =
@@ -97,6 +144,7 @@ let render m =
   let add label value = Gridb_util.Text_table.add_row table [ label; value ] in
   add "policy" m.policy;
   add "fault spec" (Faults.to_string m.spec);
+  add "transport" m.transport;
   add "retry budget" (string_of_int m.retries);
   add "seed" (string_of_int m.seed);
   Gridb_util.Text_table.add_separator table;
@@ -105,6 +153,8 @@ let render m =
   add "delivery ratio" (Printf.sprintf "%.4f" m.delivery_ratio);
   add "crashed ranks" (string_of_int m.crashed_ranks);
   add "edges given up" (string_of_int m.gave_up);
+  add "reroutes" (string_of_int m.reroutes);
+  add "circuits opened" (string_of_int m.circuit_opens);
   Gridb_util.Text_table.add_separator table;
   add "fault-free makespan (s)" (Printf.sprintf "%.4f" (m.baseline_makespan /. 1e6));
   add "reliable makespan (s)" (Printf.sprintf "%.4f" (m.makespan /. 1e6));
@@ -119,4 +169,19 @@ let render m =
     (match m.repaired_makespan with
     | None -> "-"
     | Some t -> Printf.sprintf "%.4f" (t /. 1e6));
+  add "  on estimated parameters (s)"
+    (match m.estimated_repaired_makespan with
+    | None -> "-"
+    | Some t -> Printf.sprintf "%.4f" (t /. 1e6));
+  (match m.summary with
+  | None -> ()
+  | Some s ->
+      Gridb_util.Text_table.add_separator table;
+      add "repetitions" (string_of_int s.Exec.reps);
+      add "mean delivered fraction" (Printf.sprintf "%.4f" s.Exec.delivered_fraction);
+      add "mean retransmissions" (Printf.sprintf "%.2f" s.Exec.mean_retransmissions);
+      add "mean reroutes" (Printf.sprintf "%.2f" s.Exec.mean_reroutes);
+      add "mean reliable makespan (s)" (Printf.sprintf "%.4f" (s.Exec.mean_makespan /. 1e6));
+      add "stddev (s)" (Printf.sprintf "%.4f" (s.Exec.stddev_makespan /. 1e6));
+      add "edges abandoned (all reps)" (string_of_int s.Exec.total_gave_up));
   Gridb_util.Text_table.render table

@@ -4,15 +4,20 @@
     {!Gridb_des.Faults} model as a second, measured one.  One evaluation
     schedules a grid with a policy, executes the plan twice on the DES —
     fault-free ({!Gridb_des.Exec.run}, the baseline) and reliably under
-    faults ({!Gridb_des.Exec.run_reliable}) — and, when a coordinator
-    crashed, additionally invokes {!Gridb_sched.Repair} on the
-    cluster-level schedule.  The resulting metrics (delivery ratio,
-    makespan inflation, retransmission counts, repair work) feed
+    faults ({!Gridb_des.Exec.run_reliable}, with a selectable
+    {!Gridb_des.Exec.transport}) — and, when a coordinator crashed,
+    additionally invokes {!Gridb_sched.Repair} on the cluster-level
+    schedule: once on the nominal instance, and (for adaptive transports)
+    once on the instance rescaled by the live estimator's per-link quality,
+    so the replanned makespan reflects measured rather than nominal
+    numbers.  The resulting metrics (delivery ratio, makespan inflation,
+    retransmission/reroute counts, repair work) feed
     [gridsched simulate --faults] and the [bench/faults] sweep. *)
 
 type metrics = {
   policy : string;
   spec : Gridb_des.Faults.spec;
+  transport : string;  (** {!Gridb_des.Exec.transport_to_string} *)
   retries : int;
   seed : int;
   total_ranks : int;
@@ -25,12 +30,21 @@ type metrics = {
   transmissions : int;  (** data transmissions incl. retransmissions *)
   retransmissions : int;
   acks : int;
-  gave_up : int;  (** plan edges whose retry budget was exhausted *)
+  gave_up : int;  (** edges abandoned for good (retry or reroute budget) *)
+  reroutes : int;  (** orphan re-parentings (adaptive + reroute only) *)
+  circuit_opens : int;  (** breaker open transitions (adaptive only) *)
   repair_invoked : bool;  (** a cluster coordinator crashed *)
   repairs : int;  (** replanned inter-cluster transmissions *)
   repaired_makespan : float option;
       (** analytic completion of the {!Gridb_sched.Repair}-patched
           cluster schedule, us; [None] when repair was not invoked *)
+  estimated_repaired_makespan : float option;
+      (** same repair replanned on the estimator-rescaled instance
+          (observed SRTT over nominal round trip on coordinator links);
+          [None] unless repair was invoked under an adaptive transport *)
+  summary : Gridb_des.Exec.reliable_summary option;
+      (** {!Gridb_des.Exec.mean_reliable} over [repetitions] independent
+          fault draws; [None] unless [repetitions] was given *)
 }
 
 val run :
@@ -40,14 +54,18 @@ val run :
   ?seed:int ->
   ?noise:Gridb_des.Noise.t ->
   ?obs:Gridb_obs.Sink.t ->
+  ?transport:Gridb_des.Exec.transport ->
+  ?repetitions:int ->
   spec:Gridb_des.Faults.spec ->
   Gridb_topology.Grid.t ->
   metrics
 (** One robustness evaluation on [grid] (root cluster 0).  Defaults:
-    {!Gridb_sched.Policy.ecef_la}, 1 MB, 5 retries, seed 0, [Exact] noise.
-    [seed] seeds both the fault model and (when [noise] is not [Exact])
-    the jitter stream of the reliable run; the baseline is always
-    noise-free.
+    {!Gridb_sched.Policy.ecef_la}, 1 MB, 5 retries, seed 0, [Exact] noise,
+    [Fixed] transport.  [seed] seeds both the fault model and (when [noise]
+    is not [Exact]) the jitter stream of the reliable run; the baseline is
+    always noise-free.  With [repetitions] the scorecard also carries a
+    {!Gridb_des.Exec.mean_reliable} summary over that many independent
+    fault draws (seeded from [seed]).
 
     [obs] (default {!Gridb_obs.Sink.null}) observes the scheduling pass and
     the {e faulty reliable} run (not the fault-free baseline, which would

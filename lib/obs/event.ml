@@ -14,6 +14,9 @@ type t =
   | Ack of { src : int; dst : int; time : float }
   | Retransmit of { src : int; dst : int; time : float; try_no : int; rto : float }
   | Give_up of { src : int; dst : int; time : float }
+  | Circuit_open of { src : int; dst : int; time : float }
+  | Circuit_close of { src : int; dst : int; time : float }
+  | Reroute of { dst : int; old_parent : int; new_parent : int; time : float }
   | Timer_set of { id : int; time : float; fire_at : float }
   | Timer_fire of { id : int; time : float }
   | Timer_cancel of { id : int; time : float }
@@ -92,6 +95,13 @@ let to_json = function
           F ("rto", rto) ]
   | Give_up { src; dst; time } ->
       obj "give_up" [ I ("src", src); I ("dst", dst); F ("t", time) ]
+  | Circuit_open { src; dst; time } ->
+      obj "circuit_open" [ I ("src", src); I ("dst", dst); F ("t", time) ]
+  | Circuit_close { src; dst; time } ->
+      obj "circuit_close" [ I ("src", src); I ("dst", dst); F ("t", time) ]
+  | Reroute { dst; old_parent; new_parent; time } ->
+      obj "reroute"
+        [ I ("dst", dst); I ("old", old_parent); I ("new", new_parent); F ("t", time) ]
   | Timer_set { id; time; fire_at } ->
       obj "timer_set" [ I ("id", id); F ("t", time); F ("fire_at", fire_at) ]
   | Timer_fire { id; time } -> obj "timer_fire" [ I ("id", id); F ("t", time) ]
@@ -300,6 +310,20 @@ let of_json line =
           }
     | "give_up" ->
         Give_up { src = geti fields "src"; dst = geti fields "dst"; time = getf fields "t" }
+    | "circuit_open" ->
+        Circuit_open
+          { src = geti fields "src"; dst = geti fields "dst"; time = getf fields "t" }
+    | "circuit_close" ->
+        Circuit_close
+          { src = geti fields "src"; dst = geti fields "dst"; time = getf fields "t" }
+    | "reroute" ->
+        Reroute
+          {
+            dst = geti fields "dst";
+            old_parent = geti fields "old";
+            new_parent = geti fields "new";
+            time = getf fields "t";
+          }
     | "timer_set" ->
         Timer_set
           { id = geti fields "id"; time = getf fields "t"; fire_at = getf fields "fire_at" }

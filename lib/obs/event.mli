@@ -43,6 +43,14 @@ type t =
       (** timeout-triggered re-send; [rto] is the (doubled) next timeout *)
   | Give_up of { src : int; dst : int; time : float }
       (** retry budget exhausted; the edge is abandoned *)
+  | Circuit_open of { src : int; dst : int; time : float }
+      (** the adaptive transport's per-link breaker tripped: consecutive
+          timeouts (or an RTT blow-up) took the link out of service *)
+  | Circuit_close of { src : int; dst : int; time : float }
+      (** a half-open probe succeeded; the link is back in service *)
+  | Reroute of { dst : int; old_parent : int; new_parent : int; time : float }
+      (** the adaptive transport re-parented an orphaned receiver (and its
+          planned subtree) onto an already-delivered rank *)
   (* DES engine timers *)
   | Timer_set of { id : int; time : float; fire_at : float }
   | Timer_fire of { id : int; time : float }

@@ -7,6 +7,8 @@ type report = {
   sends : int;
   retransmits : int;
   give_ups : int;
+  circuit_opens : int;
+  reroutes : int;
   events : int;
   spans : (string * float) list;
   counters : (string * int) list;
@@ -26,6 +28,7 @@ let of_events events =
   let transmit = ref 0. and intra = ref 0. and retransmit = ref 0. in
   let makespan = ref 0. in
   let sends = ref 0 and retransmits = ref 0 and give_ups = ref 0 in
+  let circuit_opens = ref 0 and reroutes = ref 0 in
   let pending_send : (int * int, Event.t) Hashtbl.t = Hashtbl.create 64 in
   let open_spans : (string, float list) Hashtbl.t = Hashtbl.create 8 in
   let spans = ref [] and counters = ref [] in
@@ -50,6 +53,8 @@ let of_events events =
           | _ -> ())
       | Arrival { time; _ } -> makespan := Float.max !makespan time
       | Give_up _ -> incr give_ups
+      | Circuit_open _ -> incr circuit_opens
+      | Reroute _ -> incr reroutes
       | Span_start { name; time } ->
           let stack = Option.value ~default:[] (Hashtbl.find_opt open_spans name) in
           Hashtbl.replace open_spans name (time :: stack)
@@ -74,6 +79,8 @@ let of_events events =
     sends = !sends;
     retransmits = !retransmits;
     give_ups = !give_ups;
+    circuit_opens = !circuit_opens;
+    reroutes = !reroutes;
     events = !total;
     spans = !spans;
     counters = !counters;
@@ -96,6 +103,8 @@ let render r =
   add "data sends" (string_of_int r.sends);
   add "retransmissions" (string_of_int r.retransmits);
   add "edges given up" (string_of_int r.give_ups);
+  add "circuits opened" (string_of_int r.circuit_opens);
+  add "reroutes" (string_of_int r.reroutes);
   add "events on bus" (string_of_int r.events);
   List.iter
     (fun (name, v) -> if name <> "schedule" then us (Printf.sprintf "span %s" name) v)

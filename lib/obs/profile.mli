@@ -17,6 +17,8 @@ type report = {
   sends : int;  (** data transmissions (including retransmissions) *)
   retransmits : int;
   give_ups : int;
+  circuit_opens : int;  (** adaptive-transport breaker trips *)
+  reroutes : int;  (** orphans re-parented by the adaptive transport *)
   events : int;  (** stream length *)
   spans : (string * float) list;
       (** per-name span totals (us), insertion order *)

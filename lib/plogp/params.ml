@@ -42,6 +42,16 @@ let scale_noise ~factor t =
     or_ = Piecewise.scale factor t.or_;
   }
 
+let rescale ?(gap_factor = 1.) ?(latency_factor = 1.) t =
+  if gap_factor <= 0. then invalid_arg "Params.rescale: non-positive gap_factor";
+  if latency_factor <= 0. then invalid_arg "Params.rescale: non-positive latency_factor";
+  {
+    latency = t.latency *. latency_factor;
+    gap = Piecewise.scale gap_factor t.gap;
+    os = Piecewise.scale gap_factor t.os;
+    or_ = Piecewise.scale gap_factor t.or_;
+  }
+
 let pp ppf t =
   Format.fprintf ppf "@[<h>{L=%.3g us; g=%a}@]" t.latency Piecewise.pp t.gap
 

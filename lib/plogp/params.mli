@@ -49,6 +49,14 @@ val scale_noise : factor:float -> t -> t
 (** Multiplies latency and all tables by [factor] (>0) — used by the DES
     noise models.  @raise Invalid_argument if [factor <= 0.]. *)
 
+val rescale : ?gap_factor:float -> ?latency_factor:float -> t -> t
+(** Anisotropic variant of {!scale_noise}: gap (and the overhead tables
+    derived from it) and latency scale independently.  This is how the
+    adaptive transport ({!Gridb_des.Adaptive}) turns a nominal parameter
+    set plus an observed round-trip ratio into an {e estimated} one.
+    Both factors default to 1.  @raise Invalid_argument if either factor
+    is non-positive. *)
+
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
 (** Structural equality on defining samples (for tests). *)

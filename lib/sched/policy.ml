@@ -7,6 +7,8 @@ let score_depends_on_avail = function
   | Latency | Transmission -> false
   | Arrival -> true
 
+let arrival_score ~avail ~gap ~latency = avail +. gap +. latency
+
 type t = { name : string; shape : shape }
 
 and shape =

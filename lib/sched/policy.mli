@@ -24,6 +24,13 @@ type pair_score =
 
 val score_depends_on_avail : pair_score -> bool
 
+val arrival_score : avail:float -> gap:float -> latency:float -> float
+(** The ECEF pair score, [avail + g + L]: earliest completion of a single
+    edge from a sender free at [avail].  {!Gridb_sched.State.score_arrival}
+    evaluates it on an instance; the adaptive transport's in-flight reroute
+    ({!Gridb_des.Adaptive}) ranks candidate parents with the same metric
+    over {e live-estimated} link parameters. *)
+
 type t
 
 and shape =

@@ -107,6 +107,8 @@ let avail t i =
   if not (in_a t i) then invalid_arg "State.avail: cluster still in B";
   t.avail.(i)
 
+(* Same formula as [Policy.arrival_score] (a State -> Lookahead -> Policy
+   dependency cycle forbids calling it here). *)
 let score_arrival t src dst =
   t.avail.(src)
   +. t.inst.Instance.gap.(src).(dst)

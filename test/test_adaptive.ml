@@ -1,0 +1,243 @@
+(* Tests for the adaptive transport state: Jacobson/Karn RTT estimation,
+   RTO convergence and re-inflation, circuit-breaker transitions, and the
+   estimated-parameter export.  The estimator is pure bookkeeping, so every
+   test drives it directly with synthetic samples/timeouts. *)
+
+module Adaptive = Gridb_des.Adaptive
+module Params = Gridb_plogp.Params
+
+let feq ?(eps = 1e-9) a b =
+  let scale = Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= eps *. scale
+
+let check_feq ?eps name expected actual =
+  Alcotest.(check bool) (Printf.sprintf "%s: %g ~ %g" name expected actual) true
+    (feq ?eps expected actual)
+
+(* --- config validation --------------------------------------------------- *)
+
+let test_config_validation () =
+  Alcotest.check_raises "alpha > 1" (Invalid_argument "Adaptive.v: alpha outside (0, 1]")
+    (fun () -> ignore (Adaptive.v ~alpha:1.5 ()));
+  Alcotest.check_raises "beta = 0" (Invalid_argument "Adaptive.v: beta outside (0, 1]")
+    (fun () -> ignore (Adaptive.v ~beta:0. ()));
+  Alcotest.check_raises "rto_max < rto_min" (Invalid_argument "Adaptive.v: rto_max < rto_min")
+    (fun () -> ignore (Adaptive.v ~rto_min:10. ~rto_max:5. ()));
+  Alcotest.check_raises "threshold 0"
+    (Invalid_argument "Adaptive.v: breaker_threshold < 1") (fun () ->
+      ignore (Adaptive.v ~breaker_threshold:0 ()));
+  Alcotest.check_raises "blowup 1" (Invalid_argument "Adaptive.v: blowup_factor <= 1")
+    (fun () -> ignore (Adaptive.v ~blowup_factor:1. ()));
+  Alcotest.check_raises "negative reroutes"
+    (Invalid_argument "Adaptive.v: negative max_reroutes") (fun () ->
+      ignore (Adaptive.v ~max_reroutes:(-1) ()));
+  Alcotest.check_raises "create re-validates" (Invalid_argument "Adaptive.v: rto_max < rto_min")
+    (fun () ->
+      let bad = { Adaptive.default with Adaptive.rto_max = 0.5 } in
+      ignore (Adaptive.create ~config:bad ~n:2 ()));
+  Alcotest.check_raises "n < 1" (Invalid_argument "Adaptive.create: n < 1") (fun () ->
+      ignore (Adaptive.create ~n:0 ()))
+
+(* --- estimator seeding and fallback -------------------------------------- *)
+
+let test_first_sample_seeds_rfc6298 () =
+  let t = Adaptive.create ~n:4 () in
+  check_feq ~eps:0. "fallback before any sample" 500.
+    (Adaptive.rto t ~src:0 ~dst:1 ~fallback:500.);
+  Alcotest.(check (option (float 0.))) "no srtt yet" None (Adaptive.srtt t ~src:0 ~dst:1);
+  (match Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:100. ~retransmitted:false ~now:100. with
+  | `No_change -> ()
+  | _ -> Alcotest.fail "closed circuit must stay closed");
+  check_feq ~eps:0. "SRTT = R" 100. (Option.get (Adaptive.srtt t ~src:0 ~dst:1));
+  check_feq ~eps:0. "RTTVAR = R/2" 50. (Option.get (Adaptive.rttvar t ~src:0 ~dst:1));
+  (* RTO = SRTT + 4 RTTVAR = 300, fallback no longer consulted. *)
+  check_feq ~eps:0. "RTO from estimator" 300. (Adaptive.rto t ~src:0 ~dst:1 ~fallback:500.);
+  Alcotest.(check int) "one sample" 1 (Adaptive.samples t ~src:0 ~dst:1);
+  (* Other links are untouched. *)
+  Alcotest.(check int) "links independent" 0 (Adaptive.samples t ~src:1 ~dst:0)
+
+let test_rto_clamped () =
+  let t = Adaptive.create ~config:(Adaptive.v ~rto_min:10. ~rto_max:250. ()) ~n:2 () in
+  check_feq ~eps:0. "fallback floored" 10. (Adaptive.rto t ~src:0 ~dst:1 ~fallback:1.);
+  ignore (Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:100. ~retransmitted:false ~now:0.);
+  (* SRTT + 4 RTTVAR = 300 > cap. *)
+  check_feq ~eps:0. "estimator capped" 250. (Adaptive.rto t ~src:0 ~dst:1 ~fallback:1.)
+
+(* --- Karn's rule ---------------------------------------------------------- *)
+
+let test_karn_exclusion () =
+  let t = Adaptive.create ~n:2 () in
+  ignore (Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:100. ~retransmitted:false ~now:0.);
+  (* An ambiguous (retransmitted-edge) sample must not move the estimator,
+     however extreme. *)
+  ignore (Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:1e7 ~retransmitted:true ~now:1.);
+  check_feq ~eps:0. "SRTT unmoved" 100. (Option.get (Adaptive.srtt t ~src:0 ~dst:1));
+  check_feq ~eps:0. "RTTVAR unmoved" 50. (Option.get (Adaptive.rttvar t ~src:0 ~dst:1));
+  Alcotest.(check int) "sample not counted" 1 (Adaptive.samples t ~src:0 ~dst:1)
+
+(* Property: the estimator state after any mixed sample sequence equals the
+   state after the subsequence of clean samples — retransmitted ones are
+   invisible to SRTT/RTTVAR/samples (they only touch the breaker). *)
+let karn_exclusion_property =
+  let sample = QCheck.(pair (float_range 1. 1e6) bool) in
+  QCheck.Test.make ~name:"Karn: retransmitted samples never enter the estimator" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 40) sample)
+    (fun samples ->
+      let full = Adaptive.create ~n:2 () in
+      let clean = Adaptive.create ~n:2 () in
+      List.iteri
+        (fun i (rtt, retransmitted) ->
+          let now = float_of_int i in
+          ignore (Adaptive.on_sample full ~src:0 ~dst:1 ~rtt ~retransmitted ~now);
+          if not retransmitted then
+            ignore (Adaptive.on_sample clean ~src:0 ~dst:1 ~rtt ~retransmitted:false ~now))
+        samples;
+      Adaptive.srtt full ~src:0 ~dst:1 = Adaptive.srtt clean ~src:0 ~dst:1
+      && Adaptive.rttvar full ~src:0 ~dst:1 = Adaptive.rttvar clean ~src:0 ~dst:1
+      && Adaptive.samples full ~src:0 ~dst:1 = Adaptive.samples clean ~src:0 ~dst:1)
+
+(* --- RTO convergence and re-inflation ------------------------------------- *)
+
+(* Property: on a stable link (constant round trip R) the RTO contracts to
+   R: RTTVAR decays geometrically from R/2, so after 64 samples
+   RTO = R + 4 * (R/2) * 0.75^63 is R to within a fraction of a percent. *)
+let rto_convergence_property =
+  QCheck.Test.make ~name:"RTO converges to R on a stable link" ~count:50
+    QCheck.(float_range 10. 1e6)
+    (fun r ->
+      let t = Adaptive.create ~n:2 () in
+      for i = 1 to 64 do
+        ignore
+          (Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:r ~retransmitted:false
+             ~now:(float_of_int i))
+      done;
+      let rto = Adaptive.rto t ~src:0 ~dst:1 ~fallback:1e9 in
+      rto >= r && rto <= 1.01 *. r)
+
+let test_rto_reinflates_on_degradation () =
+  let t = Adaptive.create ~n:2 () in
+  (* First fallback doubles as the link's nominal round trip. *)
+  ignore (Adaptive.rto t ~src:0 ~dst:1 ~fallback:100.);
+  for i = 1 to 64 do
+    ignore
+      (Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:100. ~retransmitted:false
+         ~now:(float_of_int i))
+  done;
+  let converged = Adaptive.rto t ~src:0 ~dst:1 ~fallback:1e9 in
+  Alcotest.(check bool) "converged near 100" true (converged < 101.);
+  (* The link degrades 3x: valid samples re-inflate the RTO past the new
+     round trip within a handful of observations (RTTVAR spikes first). *)
+  for i = 65 to 72 do
+    ignore
+      (Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:300. ~retransmitted:false
+         ~now:(float_of_int i))
+  done;
+  let reinflated = Adaptive.rto t ~src:0 ~dst:1 ~fallback:1e9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "re-inflated %g > 300" reinflated)
+    true (reinflated > 300.);
+  Alcotest.(check bool) "quality reflects the drift" true
+    (Adaptive.quality t ~src:0 ~dst:1 > 1.)
+
+(* --- circuit breaker ------------------------------------------------------ *)
+
+let test_breaker_timeout_transitions () =
+  let t = Adaptive.create ~n:2 () in
+  ignore (Adaptive.rto t ~src:0 ~dst:1 ~fallback:100.);
+  Alcotest.(check bool) "1st strike stays closed" false
+    (Adaptive.on_timeout t ~src:0 ~dst:1 ~now:10.);
+  Alcotest.(check bool) "2nd strike stays closed" false
+    (Adaptive.on_timeout t ~src:0 ~dst:1 ~now:20.);
+  Alcotest.(check bool) "3rd strike opens" true
+    (Adaptive.on_timeout t ~src:0 ~dst:1 ~now:30.);
+  Alcotest.(check bool) "open circuit" true (Adaptive.circuit t ~src:0 ~dst:1 = `Open);
+  (* Cooldown = cooldown_mult * nominal = 400 from t=30. *)
+  Alcotest.(check bool) "unusable during cooldown" false
+    (Adaptive.usable t ~src:0 ~dst:1 ~now:100.);
+  Alcotest.(check bool) "still open" true (Adaptive.circuit t ~src:0 ~dst:1 = `Open);
+  Alcotest.(check bool) "usable after cooldown (probe)" true
+    (Adaptive.usable t ~src:0 ~dst:1 ~now:500.);
+  Alcotest.(check bool) "half-open now" true
+    (Adaptive.circuit t ~src:0 ~dst:1 = `Half_open);
+  (* A failed probe re-opens (restarts the cooldown), without re-reporting
+     the open transition. *)
+  Alcotest.(check bool) "failed probe is not a fresh open" false
+    (Adaptive.on_timeout t ~src:0 ~dst:1 ~now:600.);
+  Alcotest.(check bool) "back to open" true (Adaptive.circuit t ~src:0 ~dst:1 = `Open);
+  (* A successful probe closes; even an ambiguous (Karn-excluded) success
+     counts for the breaker. *)
+  Alcotest.(check bool) "usable again" true (Adaptive.usable t ~src:0 ~dst:1 ~now:2000.);
+  (match Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:100. ~retransmitted:true ~now:2000. with
+  | `Closed -> ()
+  | _ -> Alcotest.fail "successful probe must close the circuit");
+  Alcotest.(check bool) "closed" true (Adaptive.circuit t ~src:0 ~dst:1 = `Closed);
+  Alcotest.(check int) "Karn still excluded the probe sample" 0
+    (Adaptive.samples t ~src:0 ~dst:1)
+
+let test_breaker_strikes_reset_on_success () =
+  let t = Adaptive.create ~n:2 () in
+  ignore (Adaptive.on_timeout t ~src:0 ~dst:1 ~now:1.);
+  ignore (Adaptive.on_timeout t ~src:0 ~dst:1 ~now:2.);
+  ignore (Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:50. ~retransmitted:false ~now:3.);
+  (* The success reset the streak: two more timeouts are strikes 1 and 2,
+     not 3 and 4. *)
+  Alcotest.(check bool) "strike 1 after reset" false
+    (Adaptive.on_timeout t ~src:0 ~dst:1 ~now:4.);
+  Alcotest.(check bool) "strike 2 after reset" false
+    (Adaptive.on_timeout t ~src:0 ~dst:1 ~now:5.);
+  Alcotest.(check bool) "strike 3 opens" true (Adaptive.on_timeout t ~src:0 ~dst:1 ~now:6.)
+
+let test_breaker_blowup_opens () =
+  let t = Adaptive.create ~n:2 () in
+  ignore (Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:100. ~retransmitted:false ~now:0.);
+  (* 8x SRTT is the default blow-up threshold; 900 > 800 opens at once. *)
+  (match Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:900. ~retransmitted:false ~now:1. with
+  | `Opened -> ()
+  | _ -> Alcotest.fail "blow-up sample must open the circuit");
+  Alcotest.(check bool) "open after blow-up" true (Adaptive.circuit t ~src:0 ~dst:1 = `Open);
+  (* The blow-up sample itself still entered the estimator (it was not
+     ambiguous). *)
+  Alcotest.(check int) "two samples" 2 (Adaptive.samples t ~src:0 ~dst:1)
+
+(* --- estimated parameters -------------------------------------------------- *)
+
+let test_estimated_params_rescale () =
+  let nominal = Params.linear ~latency:50. ~g0:10. ~bandwidth_mb_s:100. in
+  let t = Adaptive.create ~n:2 () in
+  (* Nominal round trip 200; observed SRTT settles at 400 -> quality 2. *)
+  ignore (Adaptive.rto t ~src:0 ~dst:1 ~fallback:200.);
+  for i = 1 to 64 do
+    ignore
+      (Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:400. ~retransmitted:false
+         ~now:(float_of_int i))
+  done;
+  check_feq "quality 2" 2. (Adaptive.quality t ~src:0 ~dst:1);
+  let est = Adaptive.estimated_params t ~src:0 ~dst:1 nominal in
+  check_feq "latency rescaled" (2. *. Params.latency nominal) (Params.latency est);
+  check_feq "gap rescaled" (2. *. Params.gap nominal 1_000_000) (Params.gap est 1_000_000);
+  (* Links without samples export the nominal view unchanged. *)
+  let un = Adaptive.estimated_params t ~src:1 ~dst:0 nominal in
+  check_feq ~eps:0. "no samples, no rescale" (Params.latency nominal) (Params.latency un)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "adaptive"
+    [
+      ("config", [ quick "validation" test_config_validation ]);
+      ( "estimator",
+        [
+          quick "first sample seeds RFC 6298" test_first_sample_seeds_rfc6298;
+          quick "rto clamped" test_rto_clamped;
+          quick "karn exclusion" test_karn_exclusion;
+          QCheck_alcotest.to_alcotest karn_exclusion_property;
+          QCheck_alcotest.to_alcotest rto_convergence_property;
+          quick "re-inflates on degradation" test_rto_reinflates_on_degradation;
+        ] );
+      ( "breaker",
+        [
+          quick "timeout transitions" test_breaker_timeout_transitions;
+          quick "strikes reset on success" test_breaker_strikes_reset_on_success;
+          quick "blow-up opens" test_breaker_blowup_opens;
+        ] );
+      ("estimated params", [ quick "rescale" test_estimated_params_rescale ]);
+    ]

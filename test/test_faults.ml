@@ -163,6 +163,57 @@ let test_spec_roundtrip () =
       check_feq "degrade" spec.Faults.degrade_rate spec'.Faults.degrade_rate;
       check_feq "factor" spec.Faults.degrade_factor spec'.Faults.degrade_factor
 
+let test_spec_errors_name_keys () =
+  let err s =
+    match Faults.of_string s with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+  in
+  Alcotest.(check string) "loss range" "loss: outside [0, 1) (got 1.5)" (err "loss=1.5");
+  Alcotest.(check string) "cut range" "cut: negative rate (got -1)" (err "cut=-1");
+  Alcotest.(check string) "crash range" "crash: negative rate (got -2e-08)"
+    (err "crash=-2e-8");
+  Alcotest.(check string) "degrade range" "degrade: negative rate (got -0.5)"
+    (err "loss=0.1,degrade=-0.5");
+  Alcotest.(check string) "degrade-mean range" "degrade-mean: must be positive (got 0)"
+    (err "degrade-mean=0");
+  Alcotest.(check string) "degrade-factor range" "degrade-factor: must be >= 1 (got 0.5)"
+    (err "degrade-factor=0.5");
+  Alcotest.(check string) "not a number" "loss: not a number (\"lots\")"
+    (err "loss=lots");
+  Alcotest.(check string) "unknown key"
+    "unknown key \"bogus\" (known: loss, cut, crash, degrade, degrade-mean, \
+     degrade-factor)"
+    (err "bogus=1");
+  Alcotest.(check string) "malformed pair" "malformed \"loss\" (want key=value)"
+    (err "loss")
+
+(* to_string prints with %g (6 significant digits), so the round trip is
+   exact only to that precision. *)
+let spec_roundtrip_property =
+  QCheck.Test.make ~name:"Faults.to_string/of_string round-trips every spec" ~count:200
+    QCheck.(
+      pair
+        (pair (float_range 0. 0.999) (float_range 0. 1e-3))
+        (pair
+           (pair (float_range 0. 1e-3) (float_range 1. 1e7))
+           (pair (float_range 1. 10.) (float_range 0. 1e-3))))
+    (fun ((loss, cut_rate), ((degrade_rate, degrade_mean), (degrade_factor, crash_rate))) ->
+      let spec =
+        Faults.v ~loss ~cut_rate ~degrade_rate ~degrade_mean ~degrade_factor ~crash_rate
+          ()
+      in
+      match Faults.of_string (Faults.to_string spec) with
+      | Error e -> QCheck.Test.fail_reportf "rejected own rendering: %s" e
+      | Ok spec' ->
+          let close a b = feq ~eps:1e-5 a b || abs_float (a -. b) <= 1e-5 *. abs_float a in
+          close spec.Faults.loss spec'.Faults.loss
+          && close spec.Faults.cut_rate spec'.Faults.cut_rate
+          && close spec.Faults.degrade_rate spec'.Faults.degrade_rate
+          && close spec.Faults.degrade_mean spec'.Faults.degrade_mean
+          && close spec.Faults.degrade_factor spec'.Faults.degrade_factor
+          && close spec.Faults.crash_rate spec'.Faults.crash_rate)
+
 let test_faults_deterministic () =
   let spec = Faults.v ~loss:0.2 ~crash_rate:1e-6 ~cut_rate:1e-7 ()
   and n = 12 in
@@ -187,6 +238,10 @@ let test_faults_deterministic () =
 
 (* --- Reliable executor -------------------------------------------------- *)
 
+(* The zero-fault identity must hold for every transport — the adaptive
+   estimator draws no randomness and every timer is cancelled by its ACK
+   before firing — and with or without an observability sink attached
+   (sinks only watch; both topology generators via [random_grid]). *)
 let reliable_zero_fault_identity =
   QCheck.Test.make ~name:"run_reliable with no faults is bit-identical to run" ~count:25
     QCheck.(pair (int_range 2 9) (int_bound 10_000))
@@ -196,14 +251,25 @@ let reliable_zero_fault_identity =
       let msg = 1 + (seed mod 4_000_000) in
       let machines, plan = plan_of_grid ~msg grid in
       let base = Exec.run ~msg machines plan in
-      let rel = Exec.run_reliable ~msg machines plan in
-      rel.Exec.r_makespan = base.Exec.makespan
-      && rel.Exec.r_arrival = base.Exec.arrival
-      && rel.Exec.r_transmissions = base.Exec.transmissions
-      && rel.Exec.retransmissions = 0
-      && rel.Exec.gave_up = []
-      && rel.Exec.crashed = []
-      && rel.Exec.delivered = Machines.count machines)
+      let identical (rel : Exec.reliable) =
+        rel.Exec.r_makespan = base.Exec.makespan
+        && rel.Exec.r_arrival = base.Exec.arrival
+        && rel.Exec.r_transmissions = base.Exec.transmissions
+        && rel.Exec.retransmissions = 0
+        && rel.Exec.gave_up = []
+        && rel.Exec.crashed = []
+        && rel.Exec.reroutes = []
+        && rel.Exec.circuit_opens = 0
+        && rel.Exec.delivered = Machines.count machines
+      in
+      List.for_all
+        (fun transport ->
+          identical (Exec.run_reliable ~msg ~transport machines plan)
+          &&
+          let obs = Gridb_obs.Sink.memory () in
+          let observed = Exec.run_reliable ~msg ~transport ~obs machines plan in
+          identical observed && Gridb_obs.Sink.count obs > 0)
+        [ Exec.Fixed; Exec.adaptive (); Exec.adaptive ~reroute:true () ])
 
 let test_reliable_seeded_reproducible () =
   let grid = Grid5000.grid () in
@@ -273,6 +339,149 @@ let test_reliable_crash_partitions () =
         true
         (Float.is_finite (Faults.crash_time faults r)))
     rel.Exec.crashed
+
+(* --- Adaptive transport and in-flight reroute ---------------------------- *)
+
+let test_run_reliable_rto_max_validation () =
+  let grid = Grid5000.grid () in
+  let machines, plan = plan_of_grid ~msg:1_000 grid in
+  Alcotest.check_raises "rto_max < rto_min"
+    (Invalid_argument "Exec.run_reliable: rto_max < rto_min") (fun () ->
+      ignore (Exec.run_reliable ~rto_min:10. ~rto_max:5. machines plan))
+
+let test_reroute_totality_under_loss () =
+  (* Same cell as the retry-budget-exhaustion test: the fixed transport
+     strands ranks, while adaptive+reroute must deliver everyone — no
+     crashes and no cuts, so the reachability graph is complete. *)
+  let rng = Rng.create 2 in
+  let grid = Generators.uniform_random ~rng ~n:6 Generators.default_random_spec in
+  let msg = 1_000_000 in
+  let machines, plan = plan_of_grid ~msg grid in
+  let n = Machines.count machines in
+  let faults () = Faults.create ~seed:4 ~n (Faults.v ~loss:0.9 ()) in
+  let fixed = Exec.run_reliable ~msg ~faults:(faults ()) ~retries:1 machines plan in
+  Alcotest.(check bool) "fixed transport strands ranks" true (fixed.Exec.delivered < n);
+  let rer =
+    Exec.run_reliable ~msg ~faults:(faults ()) ~retries:1
+      ~transport:(Exec.adaptive ~reroute:true ()) machines plan
+  in
+  Alcotest.(check (list int)) "no crashes" [] rer.Exec.crashed;
+  Alcotest.(check int) "total delivery" n rer.Exec.delivered;
+  Alcotest.(check bool) "rescues went through reroutes" true (rer.Exec.reroutes <> []);
+  Alcotest.(check (list (pair int int))) "nothing abandoned" [] rer.Exec.gave_up
+
+let test_reroute_under_cuts () =
+  (* Permanent link cuts with no crashes: any rank left undelivered by the
+     rerouting transport must be physically partitioned — every link from a
+     delivered rank to it was cut (otherwise a loss-free attempt over a
+     live link would have delivered). *)
+  let rng = Rng.create 8 in
+  let grid = Generators.uniform_random ~rng ~n:8 Generators.default_random_spec in
+  let msg = 1_000_000 in
+  let machines, plan = plan_of_grid ~msg grid in
+  let n = Machines.count machines in
+  let spec = Faults.v ~cut_rate:2e-6 () in
+  let faults () = Faults.create ~seed:9 ~n spec in
+  let fixed = Exec.run_reliable ~msg ~faults:(faults ()) machines plan in
+  let rer =
+    Exec.run_reliable ~msg ~faults:(faults ())
+      ~transport:(Exec.adaptive ~reroute:true ()) machines plan
+  in
+  Alcotest.(check (list int)) "no crashes" [] rer.Exec.crashed;
+  Alcotest.(check bool)
+    (Printf.sprintf "reroute %d >= fixed %d delivered" rer.Exec.delivered
+       fixed.Exec.delivered)
+    true
+    (rer.Exec.delivered >= fixed.Exec.delivered);
+  let f = faults () in
+  Array.iteri
+    (fun dst t ->
+      if Float.is_nan t then
+        for src = 0 to n - 1 do
+          if src <> dst && not (Float.is_nan rer.Exec.r_arrival.(src)) then
+            Alcotest.(check bool)
+              (Printf.sprintf "undelivered %d is partitioned: %d->%d was cut" dst src dst)
+              true
+              (Float.is_finite (Faults.cut_time f ~src ~dst))
+        done)
+    rer.Exec.r_arrival
+
+let test_reroute_rescues_crashed_subtrees () =
+  (* Same aggressive crash cell as the partition test.  With reroute, the
+     planned subtrees under crashed relays are re-parented: every rank left
+     undelivered must itself have crashed. *)
+  let grid = Grid5000.grid () in
+  let msg = 1_000_000 in
+  let machines, plan = plan_of_grid ~msg grid in
+  let n = Machines.count machines in
+  let faults () = Faults.create ~seed:1 ~n (Faults.v ~crash_rate:5e-6 ()) in
+  let fixed = Exec.run_reliable ~msg ~faults:(faults ()) machines plan in
+  let rer =
+    Exec.run_reliable ~msg ~faults:(faults ())
+      ~transport:(Exec.adaptive ~reroute:true ()) machines plan
+  in
+  Alcotest.(check bool) "crashes happened" true (rer.Exec.crashed <> []);
+  Alcotest.(check bool)
+    (Printf.sprintf "reroute %d > fixed %d delivered" rer.Exec.delivered
+       fixed.Exec.delivered)
+    true
+    (rer.Exec.delivered > fixed.Exec.delivered);
+  Array.iteri
+    (fun r t ->
+      if Float.is_nan t then
+        Alcotest.(check bool)
+          (Printf.sprintf "undelivered rank %d crashed" r)
+          true
+          (List.mem r rer.Exec.crashed))
+    rer.Exec.r_arrival
+
+let test_adaptive_emits_circuit_events () =
+  (* Heavy loss with a generous retry budget: circuits must open (3
+     consecutive timeouts) and close again on a later success, and the
+     stream must carry the matching events. *)
+  let rng = Rng.create 2 in
+  let grid = Generators.uniform_random ~rng ~n:6 Generators.default_random_spec in
+  let msg = 1_000_000 in
+  let machines, plan = plan_of_grid ~msg grid in
+  let n = Machines.count machines in
+  let faults = Faults.create ~seed:4 ~n (Faults.v ~loss:0.6 ()) in
+  let obs = Gridb_obs.Sink.memory () in
+  let rel =
+    Exec.run_reliable ~msg ~faults ~retries:25 ~transport:(Exec.adaptive ()) ~obs machines
+      plan
+  in
+  Alcotest.(check bool) "circuits opened" true (rel.Exec.circuit_opens > 0);
+  let events = Gridb_obs.Sink.events obs in
+  let opens =
+    List.length
+      (List.filter (function Gridb_obs.Event.Circuit_open _ -> true | _ -> false) events)
+  in
+  let closes =
+    List.length
+      (List.filter (function Gridb_obs.Event.Circuit_close _ -> true | _ -> false) events)
+  in
+  Alcotest.(check int) "open events match the counter" rel.Exec.circuit_opens opens;
+  Alcotest.(check bool) "some circuit closed again" true (closes > 0);
+  (* Plain adaptive never reroutes. *)
+  Alcotest.(check (list (triple int int int))) "no reroutes without the flag" []
+    rel.Exec.reroutes
+
+let test_mean_reliable_discipline () =
+  let grid = Grid5000.grid () in
+  let machines, plan = plan_of_grid ~msg:1_000_000 grid in
+  let spec = Faults.v ~loss:0.05 () in
+  let s seed = Exec.mean_reliable ~repetitions:3 ~seed ~spec machines plan in
+  let a = s 5 and b = s 5 in
+  Alcotest.(check bool) "equal seeds, equal summaries" true (a = b);
+  Alcotest.(check bool) "different seeds differ" true (s 5 <> s 6);
+  Alcotest.(check bool) "losses retransmit" true (a.Exec.mean_retransmissions > 0.);
+  Alcotest.(check bool) "stddev nonnegative" true (a.Exec.stddev_makespan >= 0.);
+  let r =
+    Exec.mean_reliable ~repetitions:3 ~seed:5 ~spec
+      ~transport:(Exec.adaptive ~reroute:true ()) machines plan
+  in
+  Alcotest.(check bool) "reroute delivers in every repetition" true r.Exec.all_delivered;
+  check_feq ~eps:0. "full delivered fraction" 1. r.Exec.delivered_fraction
 
 (* --- Exec.mean_makespan stream discipline ------------------------------- *)
 
@@ -518,6 +727,8 @@ let () =
           quick "validation" test_spec_validation;
           quick "of_string" test_spec_of_string;
           quick "roundtrip" test_spec_roundtrip;
+          quick "errors name keys" test_spec_errors_name_keys;
+          QCheck_alcotest.to_alcotest spec_roundtrip_property;
           quick "deterministic" test_faults_deterministic;
         ] );
       ( "reliable",
@@ -527,6 +738,15 @@ let () =
           quick "recovers from loss" test_reliable_recovers_from_loss;
           quick "retry budget exhaustion" test_reliable_retry_budget_exhaustion;
           quick "crash partitions" test_reliable_crash_partitions;
+        ] );
+      ( "adaptive transport",
+        [
+          quick "rto_max validation" test_run_reliable_rto_max_validation;
+          quick "reroute totality under loss" test_reroute_totality_under_loss;
+          quick "reroute under cuts" test_reroute_under_cuts;
+          quick "reroute rescues crashed subtrees" test_reroute_rescues_crashed_subtrees;
+          quick "circuit events" test_adaptive_emits_circuit_events;
+          quick "mean_reliable discipline" test_mean_reliable_discipline;
         ] );
       ( "mean makespan",
         [

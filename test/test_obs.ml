@@ -29,6 +29,9 @@ let sample_events =
     Event.Ack { src = 2; dst = 1; time = 160. };
     Event.Retransmit { src = 1; dst = 2; time = 400.; try_no = 1; rto = 512.5 };
     Event.Give_up { src = 1; dst = 2; time = 9999.75 };
+    Event.Circuit_open { src = 1; dst = 2; time = 512.5 };
+    Event.Circuit_close { src = 1; dst = 2; time = 2048.25 };
+    Event.Reroute { dst = 2; old_parent = 1; new_parent = 5; time = 600.125 };
     Event.Timer_set { id = 4; time = 1.; fire_at = 100. };
     Event.Timer_fire { id = 4; time = 100. };
     Event.Timer_cancel { id = 5; time = 42. };
