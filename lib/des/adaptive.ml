@@ -56,7 +56,12 @@ type circuit = Closed | Open of { until : float } | Half_open
 type link = {
   mutable srtt : float;
   mutable rttvar : float;
-  mutable nominal : float;  (* model-derived round trip; nan until first rto query *)
+  mutable nominal : float;
+      (* un-inflated model round trip (quality denominator); nan until first
+         rto query *)
+  mutable fallback_rto : float;
+      (* model-derived RTO (multipliers and floors included), latched at the
+         first rto query; nan before *)
   mutable strikes : int;  (* consecutive timeouts since the last success *)
   mutable state : circuit;
   mutable samples : int;
@@ -87,7 +92,15 @@ let link t ~src ~dst name =
   | Some l -> l
   | None ->
       let l =
-        { srtt = nan; rttvar = nan; nominal = nan; strikes = 0; state = Closed; samples = 0 }
+        {
+          srtt = nan;
+          rttvar = nan;
+          nominal = nan;
+          fallback_rto = nan;
+          strikes = 0;
+          state = Closed;
+          samples = 0;
+        }
       in
       t.links.(idx) <- Some l;
       l
@@ -96,9 +109,14 @@ let clamp t x = Float.min t.config.rto_max (Float.max t.config.rto_min x)
 
 let raw_rto t l = l.srtt +. (t.config.var_mult *. l.rttvar)
 
-let rto t ~src ~dst ~fallback =
+let rto t ~src ~dst ~nominal ~fallback =
   let l = link t ~src ~dst "rto" in
-  if Float.is_nan l.nominal then l.nominal <- fallback;
+  (* [nominal] must stay un-inflated (no rto_mult/rto_min): it is the
+     denominator of [quality], so folding the RTO multiplier in would make
+     a healthy link's SRTT converge to a fraction of it and every
+     estimated parameter read proportionally too fast. *)
+  if Float.is_nan l.nominal then l.nominal <- nominal;
+  if Float.is_nan l.fallback_rto then l.fallback_rto <- fallback;
   if l.samples = 0 then clamp t fallback else clamp t (raw_rto t l)
 
 let on_sample t ~src ~dst ~rtt ~retransmitted ~now =
@@ -140,7 +158,7 @@ let on_timeout t ~src ~dst ~now =
   let l = link t ~src ~dst "on_timeout" in
   l.strikes <- l.strikes + 1;
   let cooldown =
-    let base = if l.samples > 0 then raw_rto t l else l.nominal in
+    let base = if l.samples > 0 then raw_rto t l else l.fallback_rto in
     let base = if Float.is_nan base then t.config.rto_min else base in
     t.config.cooldown_mult *. clamp t base
   in
@@ -165,6 +183,12 @@ let usable t ~src ~dst ~now =
         true
       end
       else false
+
+let usable_now t ~src ~dst ~now =
+  let l = link t ~src ~dst "usable_now" in
+  match l.state with
+  | Closed | Half_open -> true
+  | Open { until } -> now >= until
 
 let circuit t ~src ~dst =
   let l = link t ~src ~dst "circuit" in

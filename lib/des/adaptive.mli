@@ -73,12 +73,16 @@ val size : t -> int
 
 (** {2 Estimator} *)
 
-val rto : t -> src:int -> dst:int -> fallback:float -> float
+val rto : t -> src:int -> dst:int -> nominal:float -> fallback:float -> float
 (** Current retransmission timeout for the link: [SRTT + var_mult * RTTVAR]
     once a sample exists, the model-derived [fallback] before that; always
-    clamped to [[rto_min, rto_max]].  The first call's [fallback] is also
-    remembered as the link's {e nominal} round trip (the denominator of
-    {!quality}). *)
+    clamped to [[rto_min, rto_max]].  [nominal] is the link's {e un-inflated}
+    model round trip — gap + latency + ACK latency, with no RTO multiplier
+    or floor folded in — and the first call latches it as the denominator
+    of {!quality} (SRTT converges to the raw round trip, so an inflated
+    nominal would make healthy links read faster than the model).  The
+    first [fallback] is latched separately as the breaker's cooldown base
+    for links without samples.  Later values of either are ignored. *)
 
 val on_sample :
   t ->
@@ -111,6 +115,12 @@ val usable : t -> src:int -> dst:int -> now:float -> bool
     cooldown elapsed — which transitions it to half-open (the probe the
     caller is about to send).  [false] while the cooldown is running.
     Half-open links answer [true] (the probe is in flight). *)
+
+val usable_now : t -> src:int -> dst:int -> now:float -> bool
+(** Pure variant of {!usable}: same answer, but an elapsed cooldown is only
+    observed, never applied — the circuit stays open until {!usable}
+    transitions it.  Use this to score candidate links without half-opening
+    breakers of links no probe will actually cross. *)
 
 val circuit : t -> src:int -> dst:int -> [ `Closed | `Open | `Half_open ]
 (** Current breaker state (no transition; cooldown expiry is only applied

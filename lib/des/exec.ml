@@ -215,18 +215,21 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
   let pending = ref [] in
   let reroute_log = ref [] in
   let circuit_opens = ref 0 in
-  (* Noiseless round-trip estimate: data gap + data latency + ACK latency. *)
-  let model_rto src dst =
+  (* Noiseless round trip: data gap + data latency + ACK latency.  The RTO
+     inflates it by rto_mult and floors it at rto_min; the estimator's
+     nominal (the quality denominator SRTT converges to) must stay raw. *)
+  let model_round_trip src dst =
     let p = Machines.link_params machines src dst in
     let pb = Machines.link_params machines dst src in
-    Float.max rto_min
-      (rto_mult *. (Params.gap p msg +. Params.latency p +. Params.latency pb))
+    Params.gap p msg +. Params.latency p +. Params.latency pb
   in
+  let model_rto src dst = Float.max rto_min (rto_mult *. model_round_trip src dst) in
   let initial_rto src dst =
     let fallback = model_rto src dst in
     match est with
     | None -> fallback
-    | Some est -> Adaptive.rto est ~src ~dst ~fallback
+    | Some est ->
+        Adaptive.rto est ~src ~dst ~nominal:(model_round_trip src dst) ~fallback
   in
   let backoff rto = Float.min rto_max (2. *. rto) in
   (* Best already-delivered alive parent for an orphan, by the ECEF arrival
@@ -250,9 +253,12 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
             p <> dst && has_msg.(p)
             && Faults.crash_time faults p > Float.max now nic_free.(p)
           then begin
+            (* Pure breaker read: scoring must not half-open circuits of
+               candidates no probe will cross; the winner's transition is
+               applied in [try_reroute]. *)
             let tier =
               if failed.((dst * n) + p) then 2
-              else if Adaptive.usable est ~src:p ~dst ~now then 0
+              else if Adaptive.usable_now est ~src:p ~dst ~now then 0
               else 1
             in
             let ep =
@@ -433,6 +439,11 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
     else
       match pick_parent ~dst ~now with
       | Some p ->
+          (* Only the chosen parent is actually probed, so only its breaker
+             takes the cooldown-expiry transition (Open -> Half_open). *)
+          (match est with
+          | Some est -> ignore (Adaptive.usable est ~src:p ~dst ~now : bool)
+          | None -> ());
           reroutes_used.(dst) <- reroutes_used.(dst) + 1;
           reroute_log := (dst, old_parent, p) :: !reroute_log;
           if tracing then

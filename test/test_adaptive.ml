@@ -43,7 +43,7 @@ let test_config_validation () =
 let test_first_sample_seeds_rfc6298 () =
   let t = Adaptive.create ~n:4 () in
   check_feq ~eps:0. "fallback before any sample" 500.
-    (Adaptive.rto t ~src:0 ~dst:1 ~fallback:500.);
+    (Adaptive.rto t ~src:0 ~dst:1 ~nominal:250. ~fallback:500.);
   Alcotest.(check (option (float 0.))) "no srtt yet" None (Adaptive.srtt t ~src:0 ~dst:1);
   (match Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:100. ~retransmitted:false ~now:100. with
   | `No_change -> ()
@@ -51,17 +51,20 @@ let test_first_sample_seeds_rfc6298 () =
   check_feq ~eps:0. "SRTT = R" 100. (Option.get (Adaptive.srtt t ~src:0 ~dst:1));
   check_feq ~eps:0. "RTTVAR = R/2" 50. (Option.get (Adaptive.rttvar t ~src:0 ~dst:1));
   (* RTO = SRTT + 4 RTTVAR = 300, fallback no longer consulted. *)
-  check_feq ~eps:0. "RTO from estimator" 300. (Adaptive.rto t ~src:0 ~dst:1 ~fallback:500.);
+  check_feq ~eps:0. "RTO from estimator" 300.
+    (Adaptive.rto t ~src:0 ~dst:1 ~nominal:250. ~fallback:500.);
   Alcotest.(check int) "one sample" 1 (Adaptive.samples t ~src:0 ~dst:1);
   (* Other links are untouched. *)
   Alcotest.(check int) "links independent" 0 (Adaptive.samples t ~src:1 ~dst:0)
 
 let test_rto_clamped () =
   let t = Adaptive.create ~config:(Adaptive.v ~rto_min:10. ~rto_max:250. ()) ~n:2 () in
-  check_feq ~eps:0. "fallback floored" 10. (Adaptive.rto t ~src:0 ~dst:1 ~fallback:1.);
+  check_feq ~eps:0. "fallback floored" 10.
+    (Adaptive.rto t ~src:0 ~dst:1 ~nominal:1. ~fallback:1.);
   ignore (Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:100. ~retransmitted:false ~now:0.);
   (* SRTT + 4 RTTVAR = 300 > cap. *)
-  check_feq ~eps:0. "estimator capped" 250. (Adaptive.rto t ~src:0 ~dst:1 ~fallback:1.)
+  check_feq ~eps:0. "estimator capped" 250.
+    (Adaptive.rto t ~src:0 ~dst:1 ~nominal:1. ~fallback:1.)
 
 (* --- Karn's rule ---------------------------------------------------------- *)
 
@@ -111,19 +114,19 @@ let rto_convergence_property =
           (Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:r ~retransmitted:false
              ~now:(float_of_int i))
       done;
-      let rto = Adaptive.rto t ~src:0 ~dst:1 ~fallback:1e9 in
+      let rto = Adaptive.rto t ~src:0 ~dst:1 ~nominal:r ~fallback:1e9 in
       rto >= r && rto <= 1.01 *. r)
 
 let test_rto_reinflates_on_degradation () =
   let t = Adaptive.create ~n:2 () in
-  (* First fallback doubles as the link's nominal round trip. *)
-  ignore (Adaptive.rto t ~src:0 ~dst:1 ~fallback:100.);
+  (* The first call latches the link's nominal round trip. *)
+  ignore (Adaptive.rto t ~src:0 ~dst:1 ~nominal:100. ~fallback:100.);
   for i = 1 to 64 do
     ignore
       (Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:100. ~retransmitted:false
          ~now:(float_of_int i))
   done;
-  let converged = Adaptive.rto t ~src:0 ~dst:1 ~fallback:1e9 in
+  let converged = Adaptive.rto t ~src:0 ~dst:1 ~nominal:100. ~fallback:1e9 in
   Alcotest.(check bool) "converged near 100" true (converged < 101.);
   (* The link degrades 3x: valid samples re-inflate the RTO past the new
      round trip within a handful of observations (RTTVAR spikes first). *)
@@ -132,18 +135,29 @@ let test_rto_reinflates_on_degradation () =
       (Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:300. ~retransmitted:false
          ~now:(float_of_int i))
   done;
-  let reinflated = Adaptive.rto t ~src:0 ~dst:1 ~fallback:1e9 in
+  let reinflated = Adaptive.rto t ~src:0 ~dst:1 ~nominal:100. ~fallback:1e9 in
   Alcotest.(check bool)
     (Printf.sprintf "re-inflated %g > 300" reinflated)
     true (reinflated > 300.);
   Alcotest.(check bool) "quality reflects the drift" true
     (Adaptive.quality t ~src:0 ~dst:1 > 1.)
 
+(* Regression: the fallback RTO carries the executor's rto_mult/rto_min on
+   top of the raw round trip.  Only the fallback may drive the pre-sample
+   RTO; only the un-inflated nominal may drive quality — a healthy link
+   (SRTT = raw round trip) must read exactly 1, not 1/rto_mult. *)
+let test_nominal_separate_from_fallback () =
+  let t = Adaptive.create ~n:2 () in
+  check_feq ~eps:0. "pre-sample RTO is the fallback" 200.
+    (Adaptive.rto t ~src:0 ~dst:1 ~nominal:100. ~fallback:200.);
+  ignore (Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:100. ~retransmitted:false ~now:0.);
+  check_feq ~eps:0. "healthy link has quality 1" 1. (Adaptive.quality t ~src:0 ~dst:1)
+
 (* --- circuit breaker ------------------------------------------------------ *)
 
 let test_breaker_timeout_transitions () =
   let t = Adaptive.create ~n:2 () in
-  ignore (Adaptive.rto t ~src:0 ~dst:1 ~fallback:100.);
+  ignore (Adaptive.rto t ~src:0 ~dst:1 ~nominal:50. ~fallback:100.);
   Alcotest.(check bool) "1st strike stays closed" false
     (Adaptive.on_timeout t ~src:0 ~dst:1 ~now:10.);
   Alcotest.(check bool) "2nd strike stays closed" false
@@ -151,7 +165,8 @@ let test_breaker_timeout_transitions () =
   Alcotest.(check bool) "3rd strike opens" true
     (Adaptive.on_timeout t ~src:0 ~dst:1 ~now:30.);
   Alcotest.(check bool) "open circuit" true (Adaptive.circuit t ~src:0 ~dst:1 = `Open);
-  (* Cooldown = cooldown_mult * nominal = 400 from t=30. *)
+  (* Cooldown = cooldown_mult * fallback RTO (not the raw nominal) = 400
+     from t=30. *)
   Alcotest.(check bool) "unusable during cooldown" false
     (Adaptive.usable t ~src:0 ~dst:1 ~now:100.);
   Alcotest.(check bool) "still open" true (Adaptive.circuit t ~src:0 ~dst:1 = `Open);
@@ -199,13 +214,35 @@ let test_breaker_blowup_opens () =
      ambiguous). *)
   Alcotest.(check int) "two samples" 2 (Adaptive.samples t ~src:0 ~dst:1)
 
+let test_usable_now_is_pure () =
+  let t = Adaptive.create ~n:2 () in
+  ignore (Adaptive.rto t ~src:0 ~dst:1 ~nominal:50. ~fallback:100.);
+  for i = 1 to 3 do
+    ignore (Adaptive.on_timeout t ~src:0 ~dst:1 ~now:(float_of_int (10 * i)))
+  done;
+  Alcotest.(check bool) "open" true (Adaptive.circuit t ~src:0 ~dst:1 = `Open);
+  Alcotest.(check bool) "unusable during cooldown" false
+    (Adaptive.usable_now t ~src:0 ~dst:1 ~now:100.);
+  (* Cooldown (400 from t=30) elapsed: the pure read answers true but the
+     circuit must stay open — scoring a candidate is not probing it, so
+     only [usable] may half-open the breaker. *)
+  Alcotest.(check bool) "usable after cooldown" true
+    (Adaptive.usable_now t ~src:0 ~dst:1 ~now:500.);
+  Alcotest.(check bool) "still open (no transition)" true
+    (Adaptive.circuit t ~src:0 ~dst:1 = `Open);
+  Alcotest.(check bool) "usable applies it" true (Adaptive.usable t ~src:0 ~dst:1 ~now:500.);
+  Alcotest.(check bool) "half-open now" true (Adaptive.circuit t ~src:0 ~dst:1 = `Half_open)
+
 (* --- estimated parameters -------------------------------------------------- *)
 
 let test_estimated_params_rescale () =
   let nominal = Params.linear ~latency:50. ~g0:10. ~bandwidth_mb_s:100. in
   let t = Adaptive.create ~n:2 () in
-  (* Nominal round trip 200; observed SRTT settles at 400 -> quality 2. *)
-  ignore (Adaptive.rto t ~src:0 ~dst:1 ~fallback:200.);
+  (* Nominal round trip 200; observed SRTT settles at 400 -> quality 2.
+     The fallback RTO is deliberately inflated (2x nominal, as the
+     executor's rto_mult would): it must not leak into the quality
+     denominator. *)
+  ignore (Adaptive.rto t ~src:0 ~dst:1 ~nominal:200. ~fallback:400.);
   for i = 1 to 64 do
     ignore
       (Adaptive.on_sample t ~src:0 ~dst:1 ~rtt:400. ~retransmitted:false
@@ -232,12 +269,14 @@ let () =
           QCheck_alcotest.to_alcotest karn_exclusion_property;
           QCheck_alcotest.to_alcotest rto_convergence_property;
           quick "re-inflates on degradation" test_rto_reinflates_on_degradation;
+          quick "nominal separate from fallback" test_nominal_separate_from_fallback;
         ] );
       ( "breaker",
         [
           quick "timeout transitions" test_breaker_timeout_transitions;
           quick "strikes reset on success" test_breaker_strikes_reset_on_success;
           quick "blow-up opens" test_breaker_blowup_opens;
+          quick "usable_now is pure" test_usable_now_is_pure;
         ] );
       ("estimated params", [ quick "rescale" test_estimated_params_rescale ]);
     ]

@@ -6,6 +6,8 @@
 module Engine = Gridb_des.Engine
 module Noise = Gridb_des.Noise
 module Faults = Gridb_des.Faults
+module Adaptive = Gridb_des.Adaptive
+module Params = Gridb_plogp.Params
 module Plan = Gridb_des.Plan
 module Exec = Gridb_des.Exec
 module Machines = Gridb_topology.Machines
@@ -435,6 +437,46 @@ let test_reroute_rescues_crashed_subtrees () =
           (List.mem r rer.Exec.crashed))
     rer.Exec.r_arrival
 
+(* Regression: the estimator's nominal must be the raw round trip, not the
+   rto_mult-inflated, rto_min-floored RTO the executor arms.  With no
+   faults and exact noise every plan edge samples exactly
+   gap + latency + ACK latency, so every link's quality is 1 (to rounding)
+   and the estimated parameters match the nominal ones — with the inflated
+   nominal, healthy links would read ~1/rto_mult faster than the model. *)
+let test_healthy_links_estimate_quality_one () =
+  let grid = Grid5000.grid () in
+  let msg = 1_000_000 in
+  let machines, plan = plan_of_grid ~msg grid in
+  let n = Machines.count machines in
+  let rel = Exec.run_reliable ~msg ~transport:(Exec.adaptive ()) machines plan in
+  Alcotest.(check int) "all delivered" n rel.Exec.delivered;
+  let est = Option.get rel.Exec.estimator in
+  let edges = ref 0 in
+  Array.iteri
+    (fun parent children ->
+      List.iter
+        (fun child ->
+          incr edges;
+          Alcotest.(check int)
+            (Printf.sprintf "edge %d->%d sampled once" parent child)
+            1
+            (Adaptive.samples est ~src:parent ~dst:child);
+          check_feq
+            (Printf.sprintf "edge %d->%d quality" parent child)
+            1.
+            (Adaptive.quality est ~src:parent ~dst:child);
+          let p = Machines.link_params machines parent child in
+          let ep = Adaptive.estimated_params est ~src:parent ~dst:child p in
+          check_feq
+            (Printf.sprintf "edge %d->%d estimated latency" parent child)
+            (Params.latency p) (Params.latency ep);
+          check_feq
+            (Printf.sprintf "edge %d->%d estimated gap" parent child)
+            (Params.gap p msg) (Params.gap ep msg))
+        children)
+    plan.Plan.children;
+  Alcotest.(check int) "every non-root rank has a plan edge" (n - 1) !edges
+
 let test_adaptive_emits_circuit_events () =
   (* Heavy loss with a generous retry budget: circuits must open (3
      consecutive timeouts) and close again on a later success, and the
@@ -745,6 +787,7 @@ let () =
           quick "reroute totality under loss" test_reroute_totality_under_loss;
           quick "reroute under cuts" test_reroute_under_cuts;
           quick "reroute rescues crashed subtrees" test_reroute_rescues_crashed_subtrees;
+          quick "healthy links estimate quality 1" test_healthy_links_estimate_quality_one;
           quick "circuit events" test_adaptive_emits_circuit_events;
           quick "mean_reliable discipline" test_mean_reliable_discipline;
         ] );
