@@ -578,6 +578,68 @@ let profile_cmd =
        ~doc:"Per-phase profile (schedule vs transmit vs intra-cluster) of one broadcast")
     Term.(const run $ heuristic $ topology_arg $ msg_arg $ root $ gantt $ trace_arg)
 
+(* --- check: conformance fuzzing of the whole pipeline --- *)
+
+let check_cmd =
+  let run seed count out replay list =
+    if list then begin
+      print_string (Gridb_check.Report.catalogue ());
+      0
+    end
+    else
+      match replay with
+      | Some path -> (
+          match Gridb_check.Fuzz.replay path with
+          | Error e ->
+              prerr_endline e;
+              1
+          | Ok outcome ->
+              print_endline (Gridb_check.Report.render_replay path outcome);
+              (match outcome with Gridb_check.Fuzz.Confirmed _ -> 0 | _ -> 1))
+      | None -> (
+          let on_progress i =
+            if i mod 100 = 0 then Printf.eprintf "check: %d/%d scenarios...\n%!" i count
+          in
+          match Gridb_check.Fuzz.run ~on_progress ~seed ~count () with
+          | Ok count ->
+              print_endline (Gridb_check.Report.render_success ~seed ~count);
+              0
+          | Error failure ->
+              Gridb_check.Fuzz.write_reproducer out failure;
+              print_endline (Gridb_check.Report.render_failure ~out failure);
+              1)
+  in
+  let count =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Number of generated scenarios to check.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "counterexample.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the shrunk counterexample reproducer on failure.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Re-execute a reproducer file instead of fuzzing; exits 0 iff the \
+             recorded violation is confirmed.")
+  in
+  let list =
+    Arg.(value & flag & info [ "list" ] ~doc:"Print the invariant catalogue and exit.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Fuzz the scheduling/DES pipeline against its invariant and metamorphic catalogue")
+    Term.(const run $ seed_arg $ count $ out $ replay $ list)
+
 let main_cmd =
   let doc = "broadcast scheduling heuristics for grid environments (PMEO-PDS'06 reproduction)" in
   Cmd.group
@@ -593,6 +655,7 @@ let main_cmd =
       measure_cmd;
       simulate_cmd;
       profile_cmd;
+      check_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

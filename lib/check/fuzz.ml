@@ -1,0 +1,101 @@
+module Rng = Gridb_util.Rng
+
+type property = Scenario.t -> Invariant.outcome
+
+type failure = {
+  original : Scenario.t;
+  scenario : Scenario.t;
+  violation : Invariant.violation;
+  shrink_steps : int;
+  tested : int;
+}
+
+let shrink ?(budget = 100) (property : property) sc violation =
+  let rec fixpoint sc violation steps =
+    if steps >= budget then (sc, violation, steps)
+    else
+      let rec first = function
+        | [] -> None
+        | candidate :: rest -> (
+            match property candidate with
+            | Ok () -> first rest
+            | Error v -> Some (candidate, v))
+      in
+      match first (Scenario.shrink_candidates sc) with
+      | None -> (sc, violation, steps)
+      | Some (candidate, v) -> fixpoint candidate v (steps + 1)
+  in
+  fixpoint sc violation 0
+
+let run ?(property = Run.check) ?(on_progress = fun _ -> ()) ~seed ~count () =
+  if count < 0 then invalid_arg "Fuzz.run: count must be >= 0";
+  let rng = Rng.create seed in
+  let rec go i =
+    if i > count then Ok count
+    else begin
+      on_progress i;
+      let sc = Scenario.generate rng in
+      match property sc with
+      | Ok () -> go (i + 1)
+      | Error violation ->
+          let scenario, violation, shrink_steps =
+            shrink property sc violation
+          in
+          Error { original = sc; scenario; violation; shrink_steps; tested = i - 1 }
+    end
+  in
+  go 1
+
+let write_reproducer path failure =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let line =
+        Scenario.to_json
+          ~extra:
+            [
+              ("violation", failure.violation.Invariant.invariant);
+              ("detail", failure.violation.Invariant.detail);
+              ("original_seed", string_of_int failure.original.Scenario.seed);
+            ]
+          failure.scenario
+      in
+      output_string oc line;
+      output_char oc '\n')
+
+type replay_outcome =
+  | Confirmed of Invariant.violation
+  | Different of { recorded : string; got : Invariant.violation }
+  | Fixed
+
+let first_line path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec next () =
+            match input_line ic with
+            | exception End_of_file -> Error (path ^ ": empty reproducer file")
+            | line when String.trim line = "" -> next ()
+            | line -> Ok line
+          in
+          next ())
+
+let replay ?(property = Run.check) path =
+  match first_line path with
+  | Error e -> Error e
+  | Ok line -> (
+      match Scenario.of_json line with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok sc -> (
+          let recorded = Scenario.string_field ~key:"violation" line in
+          match property sc with
+          | Ok () -> Ok Fixed
+          | Error got -> (
+              match recorded with
+              | None -> Ok (Confirmed got)
+              | Some r when r = got.Invariant.invariant -> Ok (Confirmed got)
+              | Some r -> Ok (Different { recorded = r; got }))))

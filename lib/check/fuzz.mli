@@ -1,0 +1,63 @@
+(** Seeded scenario fuzzing with greedy shrinking and reproducers.
+
+    [run] drives {!Scenario.generate} through a property ({!Run.check} by
+    default) for a fixed count; the first failing scenario is shrunk
+    through {!Scenario.shrink_candidates} to a local minimum — a scenario
+    none of whose simplifications still fails — and returned with the
+    violation it exhibits.  [write_reproducer] persists the shrunk
+    scenario as one JSON line ({!Scenario.to_json} with the violation
+    attached) and [replay] re-executes such a file bit-identically:
+    everything a scenario does derives from its recorded seed, so the
+    replay is the run. *)
+
+type property = Scenario.t -> Invariant.outcome
+(** A named-violation predicate over scenarios; [Ok ()] means pass. *)
+
+type failure = {
+  original : Scenario.t;  (** as drawn by the generator *)
+  scenario : Scenario.t;  (** after shrinking — what the reproducer records *)
+  violation : Invariant.violation;  (** exhibited by [scenario] *)
+  shrink_steps : int;  (** simplifications adopted *)
+  tested : int;  (** scenarios that passed before this one failed *)
+}
+
+val shrink :
+  ?budget:int ->
+  property ->
+  Scenario.t ->
+  Invariant.violation ->
+  Scenario.t * Invariant.violation * int
+(** [shrink property sc v] greedily adopts the first
+    {!Scenario.shrink_candidates} entry that still fails, to a fixed point
+    (or [budget] adoptions, default 100).  Any violation keeps a
+    candidate — the minimum may exhibit a different invariant than the
+    original; the returned violation is the minimum's. *)
+
+val run :
+  ?property:property ->
+  ?on_progress:(int -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  (int, failure) Stdlib.result
+(** [run ~seed ~count ()] checks [count] generated scenarios.  [Ok count]
+    if all pass; [Error failure] at the first violation, already shrunk.
+    [on_progress] is called with each 1-based index before checking.
+    Equal seeds test equal scenario sequences.
+    @raise Invalid_argument if [count < 0]. *)
+
+val write_reproducer : string -> failure -> unit
+(** Write the shrunk scenario (violation and detail attached, original
+    seed noted) as one JSON line to the given path. *)
+
+type replay_outcome =
+  | Confirmed of Invariant.violation
+      (** the scenario still fails with the recorded invariant (or the
+          file recorded none) *)
+  | Different of { recorded : string; got : Invariant.violation }
+      (** still fails, but a different invariant than recorded *)
+  | Fixed  (** the scenario now passes *)
+
+val replay : ?property:property -> string -> (replay_outcome, string) Stdlib.result
+(** Re-execute a reproducer file.  [Error] on unreadable files or
+    unparsable scenarios. *)

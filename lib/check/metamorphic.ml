@@ -1,0 +1,190 @@
+open Gridb_sched
+
+let fail invariant fmt =
+  Format.kasprintf
+    (fun detail -> Error { Invariant.invariant; detail })
+    fmt
+
+let feq = Invariant.feq
+
+let scale_instance c (inst : Instance.t) =
+  let mat = Array.map (Array.map (fun x -> c *. x)) in
+  Instance.v ~root:inst.root ~latency:(mat inst.latency) ~gap:(mat inst.gap)
+    ~intra:(Array.map (fun x -> c *. x) inst.intra)
+
+let check_permutation perm n =
+  if Array.length perm <> n then
+    invalid_arg "Metamorphic.permute_instance: permutation length mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= n || seen.(p) then
+        invalid_arg "Metamorphic.permute_instance: not a permutation";
+      seen.(p) <- true)
+    perm
+
+let permute_instance perm (inst : Instance.t) =
+  let n = inst.n in
+  check_permutation perm n;
+  let latency = Array.make_matrix n n 0. in
+  let gap = Array.make_matrix n n 0. in
+  let intra = Array.make n 0. in
+  for i = 0 to n - 1 do
+    intra.(perm.(i)) <- inst.intra.(i);
+    for j = 0 to n - 1 do
+      latency.(perm.(i)).(perm.(j)) <- inst.latency.(i).(j);
+      gap.(perm.(i)).(perm.(j)) <- inst.gap.(i).(j)
+    done
+  done;
+  Instance.v ~root:perm.(inst.root) ~latency ~gap ~intra
+
+let order (s : Schedule.t) =
+  List.map (fun (e : Schedule.event) -> (e.round, e.src, e.dst)) s.events
+
+let scaling ?(c = 2.) policy (inst : Instance.t) =
+  if not (c > 0.) then invalid_arg "Metamorphic.scaling: c must be > 0";
+  let scaled = scale_instance c inst in
+  let s1 = Engine.run policy inst in
+  let s2 = Engine.run policy scaled in
+  if order s1 <> order s2 then
+    fail "scaling"
+      "transmission order changed under uniform scaling by %g (policy %s)" c
+      (Policy.name policy)
+  else
+    let m1 = Schedule.makespan inst s1 in
+    let m2 = Schedule.makespan scaled s2 in
+    if not (feq (c *. m1) m2) then
+      fail "scaling"
+        "makespan %.17g scaled by %g should give %.17g, engine gives %.17g" m1
+        c (c *. m1) m2
+    else
+      let rec events es1 es2 =
+        match (es1, es2) with
+        | [], [] -> Ok ()
+        | (e1 : Schedule.event) :: t1, (e2 : Schedule.event) :: t2 ->
+            if
+              feq (c *. e1.start) e2.start
+              && feq (c *. e1.sender_free) e2.sender_free
+              && feq (c *. e1.arrival) e2.arrival
+            then events t1 t2
+            else
+              fail "scaling"
+                "round %d (%d -> %d): event times do not scale by %g \
+                 (start %.17g vs %.17g)"
+                e1.round e1.src e1.dst c (c *. e1.start) e2.start
+        | _ -> fail "scaling" "event counts differ under scaling"
+      in
+      events s1.events s2.events
+
+let label_independent policy ~n =
+  match Policy.shape (Policy.resolve ~n policy) with
+  | Policy.Root_first -> false
+  | _ -> true
+
+let relabeling ~perm policy (inst : Instance.t) =
+  check_permutation perm inst.n;
+  if not (label_independent policy ~n:inst.n) then Ok ()
+  else
+    let inst2 = permute_instance perm inst in
+    let m1 = Schedule.makespan inst (Engine.run policy inst) in
+    let m2 = Schedule.makespan inst2 (Engine.run policy inst2) in
+    if feq m1 m2 then Ok ()
+    else
+      fail "relabeling"
+        "policy %s: makespan %.17g under original labels, %.17g after \
+         relabeling"
+        (Policy.name policy) m1 m2
+
+let dominated ~(small : Instance.t) ~(large : Instance.t) =
+  (* [large >= small] entrywise, up to the relative epsilon of [feq]. *)
+  let ge a b = a >= b || feq a b in
+  let bad = ref None in
+  let n = small.n in
+  for i = 0 to n - 1 do
+    if not (ge large.intra.(i) small.intra.(i)) then
+      bad := Some (Printf.sprintf "intra.(%d): %.17g < %.17g" i
+                     large.intra.(i) small.intra.(i));
+    for j = 0 to n - 1 do
+      if not (ge large.latency.(i).(j) small.latency.(i).(j)) then
+        bad := Some (Printf.sprintf "latency.(%d).(%d): %.17g < %.17g" i j
+                       large.latency.(i).(j) small.latency.(i).(j));
+      if not (ge large.gap.(i).(j) small.gap.(i).(j)) then
+        bad := Some (Printf.sprintf "gap.(%d).(%d): %.17g < %.17g" i j
+                       large.gap.(i).(j) small.gap.(i).(j))
+    done
+  done;
+  !bad
+
+let replay_size_monotonicity policy ~(small : Instance.t) ~(large : Instance.t)
+    =
+  if small.n <> large.n || small.root <> large.root then
+    invalid_arg
+      "Metamorphic.replay_size_monotonicity: instances must share n and root";
+  match dominated ~small ~large with
+  | Some where ->
+      fail "size-dominance"
+        "larger-message instance does not dominate the smaller one (gap \
+         model not monotone?): %s"
+        where
+  | None -> (
+      let s = Engine.run policy small in
+      let ord =
+        List.map (fun (e : Schedule.event) -> (e.src, e.dst)) s.events
+      in
+      let m_small = Schedule.makespan small s in
+      match Invariant.replay_makespan large ord with
+      | Error e -> fail "size-monotonicity" "replay on larger instance: %s" e
+      | Ok m_large ->
+          if m_large > m_small || feq m_large m_small then Ok ()
+          else
+            fail "size-monotonicity"
+              "replaying the same order on a dominating instance finished \
+               earlier: %.17g < %.17g"
+              m_large m_small)
+
+let transport_equivalence ?(msg = 1_000_000) ?(seed = 0) machines plan =
+  let open Gridb_des in
+  let base =
+    Exec.run ~rng:(Gridb_util.Rng.create seed) ~msg machines plan
+  in
+  let transports =
+    [
+      ("fixed", Exec.Fixed);
+      ("adaptive", Exec.adaptive ());
+      ("adaptive,reroute", Exec.adaptive ~reroute:true ());
+    ]
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | (name, transport) :: rest ->
+        let r =
+          Exec.run_reliable ~rng:(Gridb_util.Rng.create seed) ~msg ~transport
+            machines plan
+        in
+        if r.Exec.r_arrival <> base.Exec.arrival then
+          fail "transport-equivalence"
+            "%s: fault-free arrival vector differs from Exec.run" name
+        else if r.Exec.r_makespan <> base.Exec.makespan then
+          fail "transport-equivalence"
+            "%s: fault-free makespan %.17g differs from Exec.run's %.17g" name
+            r.Exec.r_makespan base.Exec.makespan
+        else if r.Exec.r_transmissions <> base.Exec.transmissions then
+          fail "transport-equivalence"
+            "%s: %d transmissions vs Exec.run's %d" name r.Exec.r_transmissions
+            base.Exec.transmissions
+        else if r.Exec.retransmissions <> 0 then
+          fail "transport-equivalence"
+            "%s: %d retransmissions fired in a fault-free run" name
+            r.Exec.retransmissions
+        else go rest
+  in
+  go transports
+
+let metamorphic_names =
+  [
+    "scaling";
+    "relabeling";
+    "size-dominance";
+    "size-monotonicity";
+    "transport-equivalence";
+  ]

@@ -1,0 +1,63 @@
+(** Metamorphic laws over the whole pipeline.
+
+    Where {!Invariant} checks one artefact against itself, the laws here
+    relate {e two} runs of the pipeline whose outputs must agree in a
+    predictable way — no oracle needed beyond the relation:
+
+    - {b scaling}: multiplying every [L_ij], [g_ij] and [T_k] by [c > 0]
+      must scale the makespan by exactly [c] and preserve the transmission
+      order.  With [c] a power of two the float arithmetic is exact
+      (multiplication by a power of two only shifts exponents), so the
+      engine's selection is bitwise unchanged; the default [c = 2.] keeps
+      the check exact.
+    - {b relabeling}: permuting cluster labels (and the root with them) is
+      a presentation change; any label-independent heuristic must produce
+      a makespan-equal schedule.  [Root_first] policies (FlatTree) serve
+      [B] in label order, so the law is vacuous for them and skipped.
+    - {b size monotonicity}: replaying the {e same} transmission order on
+      an instance whose matrices pointwise dominate the original cannot
+      finish earlier.  Stated over a replay — not a re-schedule, because a
+      greedy heuristic is not provably monotone under re-selection — this
+      is a theorem, and the dominance precondition itself checks that the
+      pLogP gap model is monotone in the message size.
+    - {b transport equivalence}: with an empty fault spec, all three
+      reliable transports must be bit-identical to the unreliable
+      executor — same arrivals, makespan and transmission count, zero
+      retransmissions. *)
+
+open Gridb_sched
+
+val scale_instance : float -> Instance.t -> Instance.t
+(** Every latency, gap and intra entry multiplied by the factor. *)
+
+val permute_instance : int array -> Instance.t -> Instance.t
+(** [permute_instance perm inst] relabels cluster [i] as [perm.(i)]
+    (root included).  @raise Invalid_argument if [perm] is not a
+    permutation of [0 .. n-1]. *)
+
+val scaling : ?c:float -> Policy.t -> Instance.t -> Invariant.outcome
+(** ["scaling"].  [c] defaults to [2.]; use powers of two to keep the law
+    exact.  @raise Invalid_argument if [c <= 0]. *)
+
+val relabeling : perm:int array -> Policy.t -> Instance.t -> Invariant.outcome
+(** ["relabeling"].  Vacuously [Ok] for policies that resolve to
+    [Root_first]. *)
+
+val replay_size_monotonicity :
+  Policy.t -> small:Instance.t -> large:Instance.t -> Invariant.outcome
+(** ["size-dominance"] then ["size-monotonicity"]: checks [large]
+    pointwise dominates [small] (same [n] and root), schedules [small],
+    replays its transmission order on [large] and requires the replayed
+    makespan to be no smaller. *)
+
+val transport_equivalence :
+  ?msg:int -> ?seed:int -> Gridb_topology.Machines.t -> Gridb_des.Plan.t ->
+  Invariant.outcome
+(** ["transport-equivalence"]: {!Gridb_des.Exec.run_reliable} under each
+    of fixed / adaptive / adaptive+reroute, with no faults, against
+    {!Gridb_des.Exec.run} — arrivals, makespan and transmission counts
+    must be {e exactly} equal and no retransmission may fire.  [msg]
+    defaults to 1 MB, [seed] to 0. *)
+
+val metamorphic_names : string list
+(** The invariant names the laws above can report. *)

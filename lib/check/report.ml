@@ -1,0 +1,44 @@
+let render_success ~seed ~count =
+  Printf.sprintf "check: %d scenario%s passed every invariant (seed %d)" count
+    (if count = 1 then "" else "s")
+    seed
+
+let render_failure ?out (f : Fuzz.failure) =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "check: FAILED after %d passing scenario%s\n" f.Fuzz.tested
+    (if f.Fuzz.tested = 1 then "" else "s");
+  Printf.bprintf b "  invariant: %s\n" f.Fuzz.violation.Invariant.invariant;
+  Printf.bprintf b "  detail:    %s\n" f.Fuzz.violation.Invariant.detail;
+  Printf.bprintf b "  scenario:  %s\n" (Scenario.to_json f.Fuzz.scenario);
+  if not (Scenario.equal f.Fuzz.scenario f.Fuzz.original) then
+    Printf.bprintf b "  shrunk:    %d step%s from %s\n" f.Fuzz.shrink_steps
+      (if f.Fuzz.shrink_steps = 1 then "" else "s")
+      (Scenario.to_json f.Fuzz.original);
+  (match out with
+  | Some path ->
+      Printf.bprintf b "  reproduce: gridsched check --replay %s" path
+  | None -> ());
+  Buffer.contents b
+
+let render_replay path = function
+  | Fuzz.Fixed ->
+      Printf.sprintf "replay %s: scenario now passes every invariant (fixed?)"
+        path
+  | Fuzz.Confirmed v ->
+      Format.asprintf "replay %s: confirmed %a" path Invariant.pp_violation v
+  | Fuzz.Different { recorded; got } ->
+      Format.asprintf
+        "replay %s: still failing, but %a (reproducer recorded %S)" path
+        Invariant.pp_violation got recorded
+
+let catalogue () =
+  let b = Buffer.create 256 in
+  let section title names =
+    Printf.bprintf b "%s:\n" title;
+    List.iter (fun n -> Printf.bprintf b "  %s\n" n) names
+  in
+  section "schedule invariants" Invariant.schedule_invariant_names;
+  section "stream invariants" Invariant.stream_invariant_names;
+  section "metamorphic laws" Metamorphic.metamorphic_names;
+  section "pipeline checks" Run.run_invariant_names;
+  Buffer.contents b

@@ -1,0 +1,17 @@
+(** Human-readable rendering of fuzzing outcomes for the CLI. *)
+
+val render_success : seed:int -> count:int -> string
+(** One line: every scenario passed. *)
+
+val render_failure : ?out:string -> Fuzz.failure -> string
+(** Multi-line report: the violation, the shrunk scenario (as the JSON the
+    reproducer records), shrinking statistics and — when [out] names the
+    reproducer file written — how to replay it. *)
+
+val render_replay : string -> Fuzz.replay_outcome -> string
+(** Outcome of [--replay FILE]; first argument is the file name. *)
+
+val catalogue : unit -> string
+(** The full invariant catalogue (schedule, stream, metamorphic and
+    pipeline checks), one name per line — what [gridsched check --list]
+    prints. *)

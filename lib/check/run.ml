@@ -1,0 +1,137 @@
+open Gridb_sched
+module Exec = Gridb_des.Exec
+module Faults = Gridb_des.Faults
+module Plan = Gridb_des.Plan
+module Machines = Gridb_topology.Machines
+module Rng = Gridb_util.Rng
+module Sink = Gridb_obs.Sink
+module Event = Gridb_obs.Event
+
+let ( let* ) = Result.bind
+
+let fail invariant fmt =
+  Format.kasprintf (fun detail -> Error { Invariant.invariant; detail }) fmt
+
+let resolve f sc =
+  match f sc with
+  | Ok v -> Ok v
+  | Error detail -> Error { Invariant.invariant = "scenario"; detail }
+
+(* The incremental engine against the naive oracle: identical schedules,
+   event for event, tie-breaking included — the contract {!Engine}
+   documents as bitwise. *)
+let engine_differential policy inst =
+  let s_inc = Engine.run ~mode:`Incremental policy inst in
+  let s_naive = Engine.run ~mode:`Naive policy inst in
+  if s_inc = s_naive then Ok s_inc
+  else
+    fail "engine-differential"
+      "incremental and naive schedules differ for policy %s on n = %d"
+      (Policy.name policy) inst.Instance.n
+
+(* Arrival vector, [delivered] counter and [Arrival] events must agree. *)
+let arrival_accounting (r : Exec.reliable) events =
+  let n = Array.length r.Exec.r_arrival in
+  let seen = Array.make n nan in
+  let arrivals = ref 0 in
+  List.iter
+    (function
+      | Event.Arrival { dst; time; _ } ->
+          incr arrivals;
+          if Float.is_nan seen.(dst) then seen.(dst) <- time
+      | _ -> ())
+    events;
+  let rec ranks k =
+    if k >= n then Ok ()
+    else
+      let recorded = r.Exec.r_arrival.(k) in
+      if Float.is_nan recorded && Float.is_nan seen.(k) then ranks (k + 1)
+      else if recorded = seen.(k) then ranks (k + 1)
+      else
+        fail "arrival-accounting"
+          "rank %d: executor records arrival %.17g but the event stream says \
+           %.17g"
+          k recorded seen.(k)
+  in
+  let* () = ranks 0 in
+  let delivered_vec =
+    Array.fold_left
+      (fun acc a -> if Float.is_nan a then acc else acc + 1)
+      0 r.Exec.r_arrival
+  in
+  if delivered_vec <> r.Exec.delivered then
+    fail "delivered-accounting"
+      "arrival vector has %d delivered ranks but the executor counted %d"
+      delivered_vec r.Exec.delivered
+  else if !arrivals <> r.Exec.delivered then
+    fail "delivered-accounting"
+      "event stream has %d arrivals but the executor delivered %d" !arrivals
+      r.Exec.delivered
+  else
+    let max_arrival =
+      Array.fold_left
+        (fun acc a -> if Float.is_nan a then acc else Float.max acc a)
+        neg_infinity r.Exec.r_arrival
+    in
+    if max_arrival = r.Exec.r_makespan then Ok ()
+    else
+      fail "delivered-accounting"
+        "max delivered arrival %.17g but recorded makespan %.17g" max_arrival
+        r.Exec.r_makespan
+
+let check (sc : Scenario.t) =
+  let* policy = resolve Scenario.policy sc in
+  let* transport = resolve Scenario.transport sc in
+  let* spec = resolve Scenario.faults_spec sc in
+  let grid = Scenario.grid sc in
+  let inst = Instance.of_grid ~root:sc.root ~msg:sc.msg grid in
+  (* Schedule-level checks. *)
+  let* s = engine_differential policy inst in
+  let* () = Invariant.check_schedule inst s in
+  (* Metamorphic laws. *)
+  let* () = Metamorphic.scaling policy inst in
+  let perm = Rng.permutation (Rng.create (Scenario.perm_seed sc)) sc.n in
+  let* () = Metamorphic.relabeling ~perm policy inst in
+  let small_msg = max 1 (sc.msg / 4) in
+  let small = Instance.of_grid ~root:sc.root ~msg:small_msg grid in
+  let* () = Metamorphic.replay_size_monotonicity policy ~small ~large:inst in
+  (* DES execution, fault-free: stream invariants + model cross-check. *)
+  let machines = Machines.expand grid in
+  let n_ranks = Machines.count machines in
+  let plan = Plan.of_cluster_schedule machines s in
+  let sink = Sink.memory () in
+  let res = Exec.run ~msg:sc.msg ~obs:sink machines plan in
+  let events = Sink.events sink in
+  let* () = Invariant.check_stream ~n:n_ranks ~root:plan.Plan.root events in
+  let* () = Invariant.stream_gap_conformance ~machines ~msg:sc.msg events in
+  let* () =
+    Invariant.cross_check ~invariant:"makespan-cross-check"
+      ~expected:(Schedule.makespan inst s) ~got:res.Exec.makespan
+  in
+  let* () = Metamorphic.transport_equivalence ~msg:sc.msg ~seed:sc.seed machines plan in
+  (* Faulty branch: reliable execution under the scenario's fault spec. *)
+  if Faults.is_none spec then Ok ()
+  else begin
+    let faults =
+      Faults.create ~seed:(Scenario.fault_seed sc) ~n:n_ranks spec
+    in
+    let sink = Sink.memory () in
+    let r =
+      Exec.run_reliable ~msg:sc.msg ~obs:sink ~faults ~transport machines plan
+    in
+    let events = Sink.events sink in
+    let* () =
+      Invariant.check_stream ~faulty:true ~n:n_ranks ~root:plan.Plan.root
+        events
+    in
+    arrival_accounting r events
+  end
+
+let run_invariant_names =
+  [
+    "scenario";
+    "engine-differential";
+    "makespan-cross-check";
+    "arrival-accounting";
+    "delivered-accounting";
+  ]

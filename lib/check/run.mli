@@ -1,0 +1,25 @@
+(** One scenario through the whole pipeline, every check attached.
+
+    [check] executes a {!Scenario.t} end to end — resolve the recipe,
+    schedule with both engine modes, validate every schedule invariant,
+    apply the metamorphic laws, execute on the DES, validate the event
+    stream — and reports the first violation.  On top of the {!Invariant}
+    and {!Metamorphic} catalogues it contributes four checks of its own:
+
+    - ["scenario"]: the recipe itself must resolve (policy, transport and
+      fault strings parse);
+    - ["engine-differential"]: the incremental engine's schedule must be
+      structurally identical to the naive oracle's;
+    - ["makespan-cross-check"]: the fault-free DES makespan must equal the
+      analytic {!Gridb_sched.Schedule.makespan} of the schedule it
+      executes;
+    - ["arrival-accounting"] / ["delivered-accounting"]: under faults, the
+      executor's arrival vector, its [delivered] counter and the [Arrival]
+      events of the stream must tell one consistent story. *)
+
+val check : Scenario.t -> Invariant.outcome
+(** The full pipeline; first violation wins. *)
+
+val run_invariant_names : string list
+(** The checks [check] itself contributes (the {!Invariant} and
+    {!Metamorphic} catalogues list theirs). *)

@@ -1,0 +1,71 @@
+(** Fuzzable pipeline scenarios and their JSON reproducer format.
+
+    A scenario is the complete, serialisable recipe for one end-to-end
+    pipeline run: the seed everything derives from, the grid dimensions,
+    the message size, root, policy, transport and fault spec — all kept as
+    the {e strings} the CLI itself accepts, so a reproducer file doubles as
+    a command line.  {!generate} draws scenarios for {!Fuzz};
+    {!to_json}/{!of_json} is the reproducer codec (one flat JSON object per
+    line, tolerant of unknown fields so {!Fuzz.write_reproducer} can attach
+    the violation it recorded); {!shrink_candidates} is the ordered
+    simplification menu greedy shrinking walks. *)
+
+type t = {
+  seed : int;  (** master seed; topology and fault streams derive from it *)
+  n : int;  (** clusters *)
+  msg : int;  (** message size, bytes *)
+  root : int;  (** root cluster *)
+  policy : string;  (** resolvable by {!Gridb_sched.Policy.by_name} *)
+  transport : string;  (** parsed by {!Gridb_des.Exec.transport_of_string} *)
+  faults : string;  (** parsed by {!Gridb_des.Faults.of_string} *)
+}
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val generate : Gridb_util.Rng.t -> t
+(** One random scenario: [n] in 2-8, message size from a four-point menu,
+    any of the seven paper policies plus a [Mixed] form, any transport,
+    faults from a menu that is "none" about half the time. *)
+
+(** {1 Derived pipeline inputs} *)
+
+val grid : t -> Gridb_topology.Grid.t
+(** The scenario's topology, drawn from a stream derived from [seed]
+    (clusters of 1-8 machines so DES runs stay small). *)
+
+val fault_seed : t -> int
+(** Seed for {!Gridb_des.Faults.create}, derived from [seed] but distinct
+    from the topology stream. *)
+
+val perm_seed : t -> int
+(** Seed for the relabeling law's permutation. *)
+
+val policy : t -> (Gridb_sched.Policy.t, string) result
+val transport : t -> (Gridb_des.Exec.transport, string) result
+val faults_spec : t -> (Gridb_des.Faults.spec, string) result
+
+(** {1 Reproducer codec} *)
+
+val to_json : ?extra:(string * string) list -> t -> string
+(** One-line JSON object, ["format":"gridsched-check/1"] first.  [extra]
+    appends further string fields (e.g. the violation) after the scenario
+    fields. *)
+
+val of_json : string -> (t, string) result
+(** Parse one {!to_json} line.  Unknown fields are ignored; missing
+    scenario fields, a wrong [format] tag or out-of-range values are
+    errors. *)
+
+val string_field : key:string -> string -> string option
+(** [string_field ~key line] extracts a top-level string field from a
+    reproducer line without decoding the whole scenario — how {!Fuzz}
+    reads back the recorded violation name. *)
+
+(** {1 Shrinking} *)
+
+val shrink_candidates : t -> t list
+(** Strictly simpler variants, most aggressive first: drop faults, fix the
+    transport, fall back to FlatTree, re-root at 0, shrink [n] (to 2, then
+    by 1, clamping the root), shrink the message, zero the seed.  Every
+    candidate differs from the input, so greedy shrinking terminates. *)

@@ -83,7 +83,7 @@ let test_karn_exclusion () =
    invisible to SRTT/RTTVAR/samples (they only touch the breaker). *)
 let karn_exclusion_property =
   let sample = QCheck.(pair (float_range 1. 1e6) bool) in
-  QCheck.Test.make ~name:"Karn: retransmitted samples never enter the estimator" ~count:200
+  QCheck.Test.make ~name:"Karn: retransmitted samples never enter the estimator" ~count:(Testutil.count 200)
     QCheck.(list_of_size Gen.(int_range 0 40) sample)
     (fun samples ->
       let full = Adaptive.create ~n:2 () in
@@ -105,7 +105,7 @@ let karn_exclusion_property =
    R: RTTVAR decays geometrically from R/2, so after 64 samples
    RTO = R + 4 * (R/2) * 0.75^63 is R to within a fraction of a percent. *)
 let rto_convergence_property =
-  QCheck.Test.make ~name:"RTO converges to R on a stable link" ~count:50
+  QCheck.Test.make ~name:"RTO converges to R on a stable link" ~count:(Testutil.count 50)
     QCheck.(float_range 10. 1e6)
     (fun r ->
       let t = Adaptive.create ~n:2 () in

@@ -153,7 +153,7 @@ let test_lowekamp_rejects () =
       ignore (Lowekamp.detect [||]))
 
 let lowekamp_partition_sound =
-  QCheck.Test.make ~name:"detected non-singleton blocks are homogeneous" ~count:40
+  QCheck.Test.make ~name:"detected non-singleton blocks are homogeneous" ~count:(Testutil.count 40)
     QCheck.(int_bound 10_000)
     (fun seed ->
       let rng = Rng.create seed in

@@ -18,7 +18,7 @@ let params = Params.linear ~latency:50. ~g0:20. ~bandwidth_mb_s:100.
 (* --- Tree shapes -------------------------------------------------------- *)
 
 let test_trees_spanning =
-  QCheck.Test.make ~name:"every shape spans 0..n-1 exactly once" ~count:100
+  QCheck.Test.make ~name:"every shape spans 0..n-1 exactly once" ~count:(Testutil.count 100)
     QCheck.(int_range 1 200)
     (fun n ->
       List.for_all (fun shape -> Tree.is_spanning ~n (Tree.build shape n)) Tree.all_shapes)
@@ -99,14 +99,14 @@ let test_cost_binomial_power_of_two () =
   check_feq "first child" (Params.gap params 1000 +. 50.) (List.assoc 4 arrivals)
 
 let test_cost_monotone_in_size =
-  QCheck.Test.make ~name:"broadcast time monotone in cluster size" ~count:50
+  QCheck.Test.make ~name:"broadcast time monotone in cluster size" ~count:(Testutil.count 50)
     QCheck.(int_range 1 100)
     (fun n ->
       Cost.broadcast_time ~params ~size:n ~msg:10_000 ()
       <= Cost.broadcast_time ~params ~size:(n + 1) ~msg:10_000 () +. 1e-9)
 
 let test_cost_binomial_beats_flat_and_chain =
-  QCheck.Test.make ~name:"binomial <= flat and <= chain for n >= 3" ~count:50
+  QCheck.Test.make ~name:"binomial <= flat and <= chain for n >= 3" ~count:(Testutil.count 50)
     QCheck.(int_range 3 150)
     (fun n ->
       let b = Cost.broadcast_time ~shape:Tree.Binomial ~params ~size:n ~msg:100_000 () in
@@ -184,7 +184,7 @@ let test_pipeline_rejects () =
 module Tuned = Gridb_collectives.Tuned
 
 let test_tuned_never_worse_than_binomial =
-  QCheck.Test.make ~name:"tuned time <= binomial time" ~count:100
+  QCheck.Test.make ~name:"tuned time <= binomial time" ~count:(Testutil.count 100)
     QCheck.(pair (int_range 1 64) (int_range 1 22))
     (fun (size, msg_exp) ->
       let msg = 1 lsl msg_exp in

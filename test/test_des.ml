@@ -92,7 +92,7 @@ let test_noise_exact () =
   done
 
 let test_noise_positive =
-  QCheck.Test.make ~name:"noise factors are positive" ~count:500 QCheck.(int_bound 1_000)
+  QCheck.Test.make ~name:"noise factors are positive" ~count:(Testutil.count 500) QCheck.(int_bound 1_000)
     (fun seed ->
       let rng = Rng.create seed in
       Noise.factor (Noise.Lognormal 0.3) rng > 0.
@@ -180,7 +180,7 @@ let test_plan_of_flat_schedule () =
   check_feq "DES = analytic" (Schedule.makespan inst schedule) r.Exec.makespan
 
 let plan_of_schedule_spans_random =
-  QCheck.Test.make ~name:"hierarchical plans span random grids" ~count:40
+  QCheck.Test.make ~name:"hierarchical plans span random grids" ~count:(Testutil.count 40)
     QCheck.(pair (int_range 1 8) (int_bound 1_000))
     (fun (n, seed) ->
       let rng = Rng.create seed in
@@ -262,7 +262,7 @@ let test_exec_mean_makespan_reasonable () =
     (Float.abs (mean -. exact) /. exact < 0.1)
 
 let exec_arrival_monotone_along_tree =
-  QCheck.Test.make ~name:"children always arrive after parents" ~count:30
+  QCheck.Test.make ~name:"children always arrive after parents" ~count:(Testutil.count 30)
     QCheck.(pair (int_range 1 6) (int_bound 1_000))
     (fun (n, seed) ->
       let rng = Rng.create seed in

@@ -47,7 +47,7 @@ let test_scatter_evaluate_rejects_bad_order () =
     (fun () -> ignore (Scatter.evaluate grid ~root:0 ~msg_per_proc:100 [ 1; 2; 3 ]))
 
 let jackson_is_optimal =
-  QCheck.Test.make ~name:"Jackson LDF matches brute-force optimum" ~count:40
+  QCheck.Test.make ~name:"Jackson LDF matches brute-force optimum" ~count:(Testutil.count 40)
     QCheck.(pair (int_range 3 7) (int_bound 10_000))
     (fun (n, seed) ->
       let grid = random_grid ~n seed in
@@ -63,7 +63,7 @@ let jackson_is_optimal =
       feq ~eps:1e-9 ldf.Scatter.makespan opt.Scatter.makespan)
 
 let scatter_orders_never_beat_optimal =
-  QCheck.Test.make ~name:"no order beats the brute-force optimum" ~count:30
+  QCheck.Test.make ~name:"no order beats the brute-force optimum" ~count:(Testutil.count 30)
     QCheck.(pair (int_range 3 7) (int_bound 10_000))
     (fun (n, seed) ->
       let grid = random_grid ~n seed in
@@ -155,7 +155,7 @@ let test_alltoall_simulation_close_to_prediction () =
 (* --- Reduce by duality ---------------------------------------------------------- *)
 
 let reduce_duality_holds =
-  QCheck.Test.make ~name:"reversed broadcast has identical makespan" ~count:50
+  QCheck.Test.make ~name:"reversed broadcast has identical makespan" ~count:(Testutil.count 50)
     QCheck.(pair (int_range 2 15) (int_bound 10_000))
     (fun (n, seed) ->
       let grid = random_grid ~n seed in
@@ -303,7 +303,7 @@ let test_representatives () =
   Alcotest.(check int) "site 2 rep" 6 reps.(2)
 
 let multilevel_plans_span =
-  QCheck.Test.make ~name:"multilevel plans span all ranks" ~count:20
+  QCheck.Test.make ~name:"multilevel plans span all ranks" ~count:(Testutil.count 20)
     QCheck.(pair (int_bound 1_000) (int_range 0 8))
     (fun (seed, root) ->
       let machines = multilevel_machines seed in

@@ -193,7 +193,7 @@ let test_spec_errors_name_keys () =
 (* to_string prints with %g (6 significant digits), so the round trip is
    exact only to that precision. *)
 let spec_roundtrip_property =
-  QCheck.Test.make ~name:"Faults.to_string/of_string round-trips every spec" ~count:200
+  QCheck.Test.make ~name:"Faults.to_string/of_string round-trips every spec" ~count:(Testutil.count 200)
     QCheck.(
       pair
         (pair (float_range 0. 0.999) (float_range 0. 1e-3))
@@ -245,7 +245,7 @@ let test_faults_deterministic () =
    before firing — and with or without an observability sink attached
    (sinks only watch; both topology generators via [random_grid]). *)
 let reliable_zero_fault_identity =
-  QCheck.Test.make ~name:"run_reliable with no faults is bit-identical to run" ~count:25
+  QCheck.Test.make ~name:"run_reliable with no faults is bit-identical to run" ~count:(Testutil.count 25)
     QCheck.(pair (int_range 2 9) (int_bound 10_000))
     (fun (n, seed) ->
       let rng = Rng.create seed in
@@ -567,7 +567,7 @@ let test_noise_uniform_rejects_bad_eps () =
 (* --- Schedule repair ----------------------------------------------------- *)
 
 let repair_zero_fault_identity =
-  QCheck.Test.make ~name:"repair under zero faults is the identity" ~count:30
+  QCheck.Test.make ~name:"repair under zero faults is the identity" ~count:(Testutil.count 30)
     QCheck.(pair (int_range 2 12) (int_bound 10_000))
     (fun (n, seed) ->
       let rng = Rng.create seed in

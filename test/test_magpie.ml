@@ -41,7 +41,7 @@ let test_size_class () =
     (fun () -> ignore (Tuning.size_class (-1)))
 
 let size_class_properties =
-  QCheck.Test.make ~name:"size class covers and is idempotent" ~count:200
+  QCheck.Test.make ~name:"size class covers and is idempotent" ~count:(Testutil.count 200)
     QCheck.(int_bound 10_000_000)
     (fun msg ->
       let c = Tuning.size_class msg in

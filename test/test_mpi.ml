@@ -276,7 +276,7 @@ let test_noise_reproducible () =
 
 let collective_roots_agree =
   QCheck.Test.make ~name:"bcast completion is root-invariant on homogeneous clusters"
-    ~count:30
+    ~count:(Testutil.count 30)
     QCheck.(pair (int_range 2 40) (int_range 0 1000))
     (fun (n, seed) ->
       let root = seed mod n in

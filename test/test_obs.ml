@@ -90,7 +90,7 @@ let float_gen =
 
 let test_json_float_bitexact =
   (* %.17g printing must reproduce every finite float bit for bit. *)
-  QCheck.Test.make ~name:"json floats round-trip bit-exactly" ~count:1000
+  QCheck.Test.make ~name:"json floats round-trip bit-exactly" ~count:(Testutil.count 1000)
     (QCheck.make float_gen) (fun t ->
       QCheck.assume (Float.is_finite t);
       match Event.of_json (Event.to_json (Event.Timer_fire { id = 0; time = t })) with
@@ -152,7 +152,7 @@ let multilevel_grid seed =
    with a Memory sink must not change the simulation either — over both
    topology generators. *)
 let test_exec_observation_is_transparent =
-  QCheck.Test.make ~name:"observed runs are bit-identical" ~count:30
+  QCheck.Test.make ~name:"observed runs are bit-identical" ~count:(Testutil.count 30)
     QCheck.(pair (int_bound 1000) bool)
     (fun (seed, use_multilevel) ->
       let grid = if use_multilevel then multilevel_grid seed else random_grid seed in
@@ -174,7 +174,7 @@ let test_exec_observation_is_transparent =
       && plain.Exec.transmissions = observed.Exec.transmissions)
 
 let test_reliable_observation_is_transparent =
-  QCheck.Test.make ~name:"observed reliable runs are bit-identical" ~count:20
+  QCheck.Test.make ~name:"observed reliable runs are bit-identical" ~count:(Testutil.count 20)
     QCheck.(int_bound 1000)
     (fun seed ->
       let grid = random_grid seed in

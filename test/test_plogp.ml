@@ -76,7 +76,7 @@ let test_pw_monotonic () =
     (Piecewise.is_monotonic (Piecewise.of_points [ (0, 2.); (10, 1.) ]))
 
 let test_pw_interpolation_bounds =
-  QCheck.Test.make ~name:"interpolation stays within segment bounds" ~count:300
+  QCheck.Test.make ~name:"interpolation stays within segment bounds" ~count:(Testutil.count 300)
     QCheck.(pair (int_bound 500) (int_bound 500))
     (fun (a, b) ->
       let lo = min a b and hi = max a b + 1 in
@@ -132,7 +132,7 @@ let test_params_equal () =
   Alcotest.(check bool) "different" false (Params.equal p r)
 
 let test_gap_monotonic_in_size =
-  QCheck.Test.make ~name:"linear gap is monotone in message size" ~count:200
+  QCheck.Test.make ~name:"linear gap is monotone in message size" ~count:(Testutil.count 200)
     QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
     (fun (a, b) ->
       let p = Params.linear ~latency:10. ~g0:50. ~bandwidth_mb_s:4. in

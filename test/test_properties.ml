@@ -37,7 +37,7 @@ let permute_instance perm inst =
 
 let permutation_invariance_of_optimal =
   QCheck.Test.make ~name:"optimal makespan is invariant under cluster relabeling"
-    ~count:30
+    ~count:(Testutil.count 30)
     QCheck.(pair (int_range 2 5) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -47,7 +47,7 @@ let permutation_invariance_of_optimal =
 
 let permutation_invariance_of_bounds =
   QCheck.Test.make ~name:"lower bounds are invariant under cluster relabeling"
-    ~count:50
+    ~count:(Testutil.count 50)
     QCheck.(pair (int_range 2 12) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -65,7 +65,7 @@ let scale_instance k inst =
     ~intra:(Array.map (fun x -> k *. x) inst.Instance.intra)
 
 let time_scaling =
-  QCheck.Test.make ~name:"makespans scale linearly with the time unit" ~count:40
+  QCheck.Test.make ~name:"makespans scale linearly with the time unit" ~count:(Testutil.count 40)
     QCheck.(pair (int_range 2 12) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -81,7 +81,7 @@ let time_scaling =
 (* DES/analytic agreement on arbitrary random topologies (not just the
    GRID5000 instance used by test_des). *)
 let des_agrees_on_random_topologies =
-  QCheck.Test.make ~name:"DES equals analytic prediction on random grids" ~count:25
+  QCheck.Test.make ~name:"DES equals analytic prediction on random grids" ~count:(Testutil.count 25)
     QCheck.(pair (int_range 1 7) (int_bound 10_000))
     (fun (n, seed) ->
       let rng = Rng.create seed in
@@ -101,7 +101,7 @@ let des_agrees_on_random_topologies =
 
 (* simMPI and the DES plan executor agree on any plan. *)
 let simmpi_agrees_with_des =
-  QCheck.Test.make ~name:"simMPI bcast_plan equals DES executor" ~count:20
+  QCheck.Test.make ~name:"simMPI bcast_plan equals DES executor" ~count:(Testutil.count 20)
     QCheck.(pair (int_range 1 5) (int_bound 10_000))
     (fun (n, seed) ->
       let rng = Rng.create seed in
@@ -120,7 +120,7 @@ let simmpi_agrees_with_des =
 (* Monotonicity: shrinking every T can only shrink (or keep) the optimal
    makespan. *)
 let optimal_monotone_in_t =
-  QCheck.Test.make ~name:"optimal makespan monotone in intra times" ~count:30
+  QCheck.Test.make ~name:"optimal makespan monotone in intra times" ~count:(Testutil.count 30)
     QCheck.(pair (int_range 2 5) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -134,7 +134,7 @@ let optimal_monotone_in_t =
 (* Message-size monotonicity end to end: larger broadcasts never finish
    earlier, whatever the heuristic. *)
 let makespan_monotone_in_message_size =
-  QCheck.Test.make ~name:"makespan monotone in message size" ~count:20
+  QCheck.Test.make ~name:"makespan monotone in message size" ~count:(Testutil.count 20)
     QCheck.(pair (int_range 2 8) (int_bound 10_000))
     (fun (n, seed) ->
       let rng = Rng.create seed in
@@ -150,7 +150,7 @@ let makespan_monotone_in_message_size =
    never worse than the mixed strategy, which is one of its members'
    dispatch. *)
 let portfolio_beats_mixed =
-  QCheck.Test.make ~name:"portfolio <= mixed strategy" ~count:40
+  QCheck.Test.make ~name:"portfolio <= mixed strategy" ~count:(Testutil.count 40)
     QCheck.(pair (int_range 2 15) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -159,7 +159,7 @@ let portfolio_beats_mixed =
       <= Heuristics.makespan mixed inst +. 1e-9)
 
 let gantt_width_invariance =
-  QCheck.Test.make ~name:"gantt renders at any width >= 10" ~count:20
+  QCheck.Test.make ~name:"gantt renders at any width >= 10" ~count:(Testutil.count 20)
     QCheck.(pair (int_range 10 120) (int_bound 1_000))
     (fun (width, seed) ->
       let inst = random_instance ~n:5 seed in

@@ -55,7 +55,7 @@ let test_instance_copies_inputs () =
   check_feq "defensive copy" 1. inst.Instance.latency.(0).(1)
 
 let test_instance_random_ranges =
-  QCheck.Test.make ~name:"random instances respect Table 2 ranges" ~count:100
+  QCheck.Test.make ~name:"random instances respect Table 2 ranges" ~count:(Testutil.count 100)
     QCheck.(int_range 2 30)
     (fun n ->
       let rng = Rng.create n in
@@ -168,7 +168,7 @@ let test_state_iterators_match_lists () =
 (* --- Schedules: validity for every heuristic on random instances ------- *)
 
 let all_heuristics_valid =
-  QCheck.Test.make ~name:"every heuristic emits a valid schedule" ~count:150
+  QCheck.Test.make ~name:"every heuristic emits a valid schedule" ~count:(Testutil.count 150)
     QCheck.(pair (int_range 1 24) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -183,7 +183,7 @@ let all_heuristics_valid =
         Heuristics.all)
 
 let schedules_are_deterministic =
-  QCheck.Test.make ~name:"heuristics are deterministic" ~count:50
+  QCheck.Test.make ~name:"heuristics are deterministic" ~count:(Testutil.count 50)
     QCheck.(pair (int_range 2 15) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -196,7 +196,7 @@ let schedules_are_deterministic =
 let makespan_lower_bound =
   (* Any schedule's makespan is at least the best single-hop reach of the
      farthest cluster plus its T, and at least max T. *)
-  QCheck.Test.make ~name:"makespan respects trivial lower bounds" ~count:100
+  QCheck.Test.make ~name:"makespan respects trivial lower bounds" ~count:(Testutil.count 100)
     QCheck.(pair (int_range 2 20) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -208,7 +208,7 @@ let makespan_lower_bound =
         Heuristics.all)
 
 let flat_tree_has_depth_one =
-  QCheck.Test.make ~name:"flat tree never relays" ~count:50
+  QCheck.Test.make ~name:"flat tree never relays" ~count:(Testutil.count 50)
     QCheck.(pair (int_range 2 20) (int_bound 1_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -312,7 +312,7 @@ let test_lookahead_last_member_zero () =
     Lookahead.all
 
 let test_lookahead_max_dominates_min =
-  QCheck.Test.make ~name:"max-edge+T >= min-edge+T pointwise" ~count:100
+  QCheck.Test.make ~name:"max-edge+T >= min-edge+T pointwise" ~count:(Testutil.count 100)
     QCheck.(pair (int_range 3 15) (int_bound 1_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -394,7 +394,7 @@ let test_optimal_schedule_count () =
   Alcotest.(check int) "n=5" 576 (Optimal.schedule_count 5)
 
 let optimal_not_beaten =
-  QCheck.Test.make ~name:"no heuristic beats the optimal" ~count:60
+  QCheck.Test.make ~name:"no heuristic beats the optimal" ~count:(Testutil.count 60)
     QCheck.(pair (int_range 2 6) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -402,7 +402,7 @@ let optimal_not_beaten =
       List.for_all (fun h -> Heuristics.makespan h inst >= opt -. 1e-6) Heuristics.all)
 
 let optimal_schedule_is_valid_and_matches =
-  QCheck.Test.make ~name:"optimal schedule valid and achieves its makespan" ~count:40
+  QCheck.Test.make ~name:"optimal schedule valid and achieves its makespan" ~count:(Testutil.count 40)
     QCheck.(pair (int_range 2 6) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -470,7 +470,7 @@ let test_hit_rate_rejects () =
 (* --- Bounds -------------------------------------------------------------- *)
 
 let bounds_below_every_heuristic =
-  QCheck.Test.make ~name:"combined bound never exceeds any heuristic" ~count:80
+  QCheck.Test.make ~name:"combined bound never exceeds any heuristic" ~count:(Testutil.count 80)
     QCheck.(pair (int_range 2 20) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -478,7 +478,7 @@ let bounds_below_every_heuristic =
       List.for_all (fun h -> Heuristics.makespan h inst >= lb -. 1e-6) Heuristics.all)
 
 let bounds_below_optimal =
-  QCheck.Test.make ~name:"combined bound never exceeds the optimum" ~count:40
+  QCheck.Test.make ~name:"combined bound never exceeds the optimum" ~count:(Testutil.count 40)
     QCheck.(pair (int_range 2 6) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -525,7 +525,7 @@ let test_refine_replay_rejects_invalid () =
   Alcotest.(check bool) "valid" true (Gridb_sched.Refine.replay inst [ (0, 1); (1, 2) ] <> None)
 
 let refine_never_worse =
-  QCheck.Test.make ~name:"local search never degrades a schedule" ~count:40
+  QCheck.Test.make ~name:"local search never degrades a schedule" ~count:(Testutil.count 40)
     QCheck.(pair (int_range 2 10) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -538,7 +538,7 @@ let refine_never_worse =
         [ Heuristics.flat_tree; Heuristics.fef; Heuristics.ecef_lat_max ])
 
 let refine_never_beats_optimal =
-  QCheck.Test.make ~name:"local search stays above the optimum" ~count:30
+  QCheck.Test.make ~name:"local search stays above the optimum" ~count:(Testutil.count 30)
     QCheck.(pair (int_range 2 6) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -557,7 +557,7 @@ let test_refine_improves_flat_tree () =
     (Gridb_sched.Refine.improvement_ratio inst flat < 0.25)
 
 let anneal_never_worse =
-  QCheck.Test.make ~name:"annealing never degrades a schedule" ~count:20
+  QCheck.Test.make ~name:"annealing never degrades a schedule" ~count:(Testutil.count 20)
     QCheck.(pair (int_range 2 8) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -584,7 +584,7 @@ let test_anneal_deterministic_per_seed () =
 module Genetic = Gridb_sched.Genetic
 
 let test_random_schedule_valid =
-  QCheck.Test.make ~name:"random schedules are valid" ~count:50
+  QCheck.Test.make ~name:"random schedules are valid" ~count:(Testutil.count 50)
     QCheck.(pair (int_range 1 15) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -592,7 +592,7 @@ let test_random_schedule_valid =
       Result.is_ok (Schedule.validate inst (Genetic.random_schedule ~rng inst)))
 
 let ga_never_worse_than_best_seed =
-  QCheck.Test.make ~name:"GA result <= best seeded heuristic" ~count:15
+  QCheck.Test.make ~name:"GA result <= best seeded heuristic" ~count:(Testutil.count 15)
     QCheck.(pair (int_range 2 9) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -607,7 +607,7 @@ let ga_never_worse_than_best_seed =
       && Schedule.makespan inst s <= best_heuristic +. 1e-6)
 
 let ga_respects_optimal =
-  QCheck.Test.make ~name:"GA never beats the brute-force optimum" ~count:10
+  QCheck.Test.make ~name:"GA never beats the brute-force optimum" ~count:(Testutil.count 10)
     QCheck.(pair (int_range 2 5) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -642,7 +642,7 @@ let test_ga_rejects_bad_config () =
 (* --- Portfolio -------------------------------------------------------------- *)
 
 let portfolio_dominates_members =
-  QCheck.Test.make ~name:"portfolio achieves the member minimum" ~count:40
+  QCheck.Test.make ~name:"portfolio achieves the member minimum" ~count:(Testutil.count 40)
     QCheck.(pair (int_range 2 12) (int_bound 10_000))
     (fun (n, seed) ->
       let inst = random_instance ~n seed in
@@ -667,7 +667,46 @@ let test_portfolio_fields () =
   Alcotest.(check bool) "evaluation cost positive" true
     (Gridb_sched.Portfolio.scheduling_evaluations 10 > 0.)
 
+let test_portfolio_tie_break () =
+  (* With two clusters every heuristic emits the single possible event, so
+     all seven tie and the winner must be the first heuristic in list order. *)
+  let inst = random_instance ~n:2 4 in
+  let c = Gridb_sched.Portfolio.run inst in
+  Alcotest.(check string) "first member wins ties"
+    (List.hd Heuristics.all).Heuristics.name c.Gridb_sched.Portfolio.heuristic;
+  check_feq "tie makespan" (Heuristics.makespan (List.hd Heuristics.all) inst)
+    c.Gridb_sched.Portfolio.makespan
+
 (* --- Gantt -------------------------------------------------------------- *)
+
+let test_gantt_golden () =
+  let inst =
+    Instance.v ~root:0
+      ~latency:[| [| 0.; 10.; 10. |]; [| 10.; 0.; 10. |]; [| 10.; 10.; 0. |] |]
+      ~gap:[| [| 0.; 100.; 100. |]; [| 100.; 0.; 100. |]; [| 100.; 100.; 0. |] |]
+      ~intra:[| 50.; 50.; 50. |]
+  in
+  let ev ~round ~src ~dst ~start =
+    { Schedule.round; src; dst; start; sender_free = start +. 100.; arrival = start +. 110. }
+  in
+  let s =
+    { Schedule.root = 0; n = 3;
+      events = [ ev ~round:0 ~src:0 ~dst:1 ~start:0.; ev ~round:1 ~src:0 ~dst:2 ~start:100. ];
+      ready = [| 0.; 110.; 210. |];
+      busy_until = [| 200.; 110.; 210. |] }
+  in
+  let expected =
+    String.concat "\n"
+      [ "schedule gantt (root 0, makespan 260 us)";
+        "c0   |>>>>>>>>>>>>>>>>>>>>>>>>>>>>>>########  |";
+        "c1   |................########                |";
+        "c2   |................................####### |";
+        "      0                                  260 us";
+        "      . waiting   > sending   # intra-cluster broadcast";
+        "" ]
+  in
+  Alcotest.(check string) "exact render" expected
+    (Gridb_sched.Gantt.render ~width:40 inst s)
 
 let test_gantt_renders () =
   let inst = random_instance ~n:5 9 in
@@ -772,9 +811,11 @@ let () =
         [
           QCheck_alcotest.to_alcotest portfolio_dominates_members;
           quick "fields" test_portfolio_fields;
+          quick "tie break" test_portfolio_tie_break;
         ] );
       ( "gantt",
         [
+          quick "golden" test_gantt_golden;
           quick "renders" test_gantt_renders;
           quick "flat tree structure" test_gantt_flat_tree_structure;
         ] );

@@ -229,7 +229,7 @@ let test_serialize_roundtrip () =
       done
 
 let test_serialize_random_roundtrip =
-  QCheck.Test.make ~name:"serialize roundtrip preserves random grids" ~count:20
+  QCheck.Test.make ~name:"serialize roundtrip preserves random grids" ~count:(Testutil.count 20)
     QCheck.(int_range 1 9)
     (fun n ->
       let rng = Gridb_util.Rng.create (n * 17) in
@@ -249,6 +249,18 @@ let test_serialize_random_roundtrip =
           done;
           !ok)
 
+let test_serialize_print_fixpoint =
+  (* print . parse . print = print: the textual form itself round-trips, a
+     stronger check than comparing sampled link parameters. *)
+  QCheck.Test.make ~name:"serialize text is a fixpoint" ~count:(Testutil.count 20)
+    QCheck.(int_range 1 9)
+    (fun n ->
+      let g = Testutil.random_grid ~n (n * 31) in
+      let text = Serialize.to_string g in
+      match Serialize.of_string text with
+      | Error _ -> false
+      | Ok g2 -> String.equal text (Serialize.to_string g2))
+
 let test_serialize_rejects_garbage () =
   Alcotest.(check bool) "empty" true (Result.is_error (Serialize.of_string ""));
   Alcotest.(check bool) "bad header" true
@@ -259,6 +271,56 @@ let test_serialize_rejects_garbage () =
           "grid 2\ncluster 0 a 1 L 1 G 0:1\ncluster 1 b 1 L 1 G 0:1\n"));
   Alcotest.(check bool) "comments ok" true
     (Result.is_error (Serialize.of_string "# only a comment\n"))
+
+(* --- Dot ---------------------------------------------------------------- *)
+
+let dot_grid () =
+  Generators.homogeneous ~n:3 ~cluster_size:2
+    ~inter:(Params.linear ~latency:5000. ~g0:100. ~bandwidth_mb_s:5.)
+    ~intra:(Params.linear ~latency:50. ~g0:10. ~bandwidth_mb_s:500.)
+
+let test_dot_golden () =
+  let expected =
+    String.concat "\n"
+      [ "graph grid {";
+        "  node [shape=box, fontname=\"sans-serif\"];";
+        "  c0 [label=\"homog-0\\n2 machines\"];";
+        "  c1 [label=\"homog-1\\n2 machines\"];";
+        "  c2 [label=\"homog-2\\n2 machines\"];";
+        "  c0 -- c1 [label=\"5 ms\", style=bold, color=red];";
+        "  c0 -- c2 [label=\"5 ms\", style=bold, color=red];";
+        "  c1 -- c2 [label=\"5 ms\", style=bold, color=red];";
+        "}";
+        "" ]
+  in
+  Alcotest.(check string) "exact dot" expected (Gridb_topology.Dot.to_dot (dot_grid ()))
+
+let test_dot_name_and_structure () =
+  let g = dot_grid () in
+  let named = Gridb_topology.Dot.to_dot ~name:"mygrid" g in
+  Alcotest.(check bool) "graph identifier" true
+    (String.length named > 14 && String.sub named 0 14 = "graph mygrid {");
+  (* one node line per cluster, one edge line per unordered pair *)
+  let lines = String.split_on_char '\n' named in
+  let count p = List.length (List.filter p lines) in
+  let has_sub sub line =
+    let ls = String.length sub and ll = String.length line in
+    let rec go i = i + ls <= ll && (String.sub line i ls = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check int) "node lines" 3 (count (has_sub "machines"));
+  Alcotest.(check int) "edge lines" 3 (count (has_sub " -- "))
+
+let test_dot_save () =
+  let path = Filename.temp_file "gridb_dot" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Gridb_topology.Dot.save path (dot_grid ());
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "save writes to_dot" (Gridb_topology.Dot.to_dot (dot_grid ())) text)
 
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
@@ -299,6 +361,13 @@ let () =
         [
           quick "grid5000 roundtrip" test_serialize_roundtrip;
           QCheck_alcotest.to_alcotest test_serialize_random_roundtrip;
+          QCheck_alcotest.to_alcotest test_serialize_print_fixpoint;
           quick "rejects garbage" test_serialize_rejects_garbage;
+        ] );
+      ( "dot",
+        [
+          quick "golden" test_dot_golden;
+          quick "name and structure" test_dot_name_and_structure;
+          quick "save" test_dot_save;
         ] );
     ]

@@ -215,7 +215,7 @@ let test_heap_peek_pop () =
   Alcotest.(check bool) "cleared" true (Heap.is_empty h)
 
 let test_heap_invariant_random =
-  QCheck.Test.make ~name:"heap invariant after random ops" ~count:200
+  QCheck.Test.make ~name:"heap invariant after random ops" ~count:(Testutil.count 200)
     QCheck.(list (int_bound 1000))
     (fun xs ->
       let h = Heap.create ~key:int_key () in
@@ -239,7 +239,7 @@ let test_heap_stability_order () =
    stable reference model.  This pins down both the shared sift core and
    the FIFO tie-break the DES engine relies on. *)
 let test_heap_differential =
-  QCheck.Test.make ~name:"binary heap vs stable reference model" ~count:300
+  QCheck.Test.make ~name:"binary heap vs stable reference model" ~count:(Testutil.count 300)
     QCheck.(list (pair bool (int_bound 20)))
     (fun ops ->
       (* Elements are (key, unique insertion seq): equal keys abound (keys
@@ -319,7 +319,7 @@ let test_score_heap_top_and_drop () =
   Alcotest.(check bool) "cleared" true (Score_heap.is_empty h)
 
 let test_score_heap_invariant_random =
-  QCheck.Test.make ~name:"score heap invariant after random ops" ~count:200
+  QCheck.Test.make ~name:"score heap invariant after random ops" ~count:(Testutil.count 200)
     QCheck.(list (pair (int_bound 100) (int_bound 50)))
     (fun ops ->
       let h = Score_heap.create ~order:Score_heap.Min () in
@@ -375,6 +375,46 @@ let test_plot_renders () =
   let empty = Gridb_util.Ascii_plot.plot ~title:"none" [] in
   Alcotest.(check bool) "no data marker" true (contains empty "no data")
 
+let test_plot_golden () =
+  (* Exact frame: two series sharing two points ('*' marks the overlap),
+     auto-scaled y axis, legend glyph assignment in series order.  Body
+     rows are padded to the full frame width, hence the trailing spaces. *)
+  let rendered =
+    Gridb_util.Ascii_plot.plot ~width:30 ~height:8 ~x_label:"x" ~y_label:"y" ~title:"t"
+      [ { Gridb_util.Ascii_plot.label = "lin"; points = [ (0., 0.); (1., 1.); (2., 2.) ] };
+        { Gridb_util.Ascii_plot.label = "sq"; points = [ (0., 0.); (1., 1.); (2., 4.) ] } ]
+  in
+  let expected =
+    String.concat "\n"
+      [ "t";
+        "y";
+        "       4 |                             b";
+        "         |                              ";
+        "         |                              ";
+        "         |                             a";
+        "   1.714 |                              ";
+        "         |               *              ";
+        "         |                              ";
+        "       0 |*                             ";
+        "         +------------------------------";
+        "          0                            2";
+        "          x";
+        "legend: a=lin b=sq";
+        "" ]
+  in
+  Alcotest.(check string) "exact plot" expected rendered
+
+let test_testutil_count () =
+  (* QCHECK_COUNT is a multiplier (>= 1); recompute it here so the test
+     also holds when CI scales the suite up. *)
+  let m =
+    match Option.bind (Sys.getenv_opt "QCHECK_COUNT") int_of_string_opt with
+    | Some m when m >= 1 -> m
+    | _ -> 1
+  in
+  Alcotest.(check int) "scales linearly" (40 * m) (Testutil.count 40);
+  Alcotest.(check int) "clamped to 1" 1 (Testutil.count 0)
+
 let test_csv_escape () =
   Alcotest.(check string) "plain" "abc" (Gridb_util.Csv.escape "abc");
   Alcotest.(check string) "comma" "\"a,b\"" (Gridb_util.Csv.escape "a,b");
@@ -402,7 +442,7 @@ let test_csv_roundtrip =
   (* parse . row_to_string = singleton, on fields stuffed with commas,
      quotes and newlines.  The one exception is [ "" ]: a lone empty field
      serialises to the empty string, which parses as zero records. *)
-  QCheck.Test.make ~name:"csv escape/parse round trip" ~count:500
+  QCheck.Test.make ~name:"csv escape/parse round trip" ~count:(Testutil.count 500)
     (QCheck.make QCheck.Gen.(list_size (int_range 1 8) csv_field_gen))
     (fun row ->
       QCheck.assume (row <> [ "" ]);
@@ -473,6 +513,8 @@ let () =
           quick "table renders" test_table_renders;
           quick "table rejects bad row" test_table_rejects_bad_row;
           quick "plot renders" test_plot_renders;
+          quick "plot golden" test_plot_golden;
+          quick "testutil count" test_testutil_count;
           quick "csv escape" test_csv_escape;
           quick "csv parse" test_csv_parse;
           QCheck_alcotest.to_alcotest test_csv_roundtrip;
