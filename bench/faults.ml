@@ -4,7 +4,7 @@
    reroute, emitting machine-readable results to BENCH_faults.json.
 
    Usage: dune exec bench/faults.exe -- [--reps N] [--max-n N] [-o FILE]
-                                        [--seed S] [--assert-total]
+                                        [--seed S] [--jobs J] [--assert-total]
 
    Each cell is a (clusters, loss, crash-rate) point averaged over --reps
    independently generated random grids (Table 2 parameter ranges) and
@@ -58,15 +58,17 @@ let transports =
   ]
 
 (* Repetitions of adaptive+reroute where a rank stayed undelivered with no
-   crash anywhere: (n, loss, crash_rate, rep seed, delivered, total). *)
-let totality_violations = ref []
-
+   crash anywhere: (n, loss, crash_rate, rep seed, delivered, total).
+   Returned per cell (not accumulated globally) so cells are independent
+   tasks a Pool can run on any domain; the caller concatenates in grid
+   order, reproducing the sequential report exactly. *)
 let bench_cell ~seed ~reps n loss crash_rate =
   let spec = Faults.v ~loss ~crash_rate () in
   let acc =
     List.map (fun (name, _) -> (name, ref 0., ref 0., ref 0., ref 0, ref 0, ref 0)) transports
   in
   let crashed = ref 0 and invocations = ref 0 and replanned = ref 0 in
+  let violations = ref [] in
   for rep = 0 to reps - 1 do
     let cell_seed = seed + (1_000 * n) + (100 * rep) in
     let rng = Rng.create cell_seed in
@@ -89,10 +91,10 @@ let bench_cell ~seed ~reps n loss crash_rate =
           name = "adaptive,reroute" && m.Robustness.crashed_ranks = 0
           && m.Robustness.delivered <> m.Robustness.total_ranks
         then
-          totality_violations :=
+          violations :=
             (n, loss, crash_rate, cell_seed, m.Robustness.delivered,
              m.Robustness.total_ranks)
-            :: !totality_violations)
+            :: !violations)
       transports acc
   done;
   let mean r = !r /. float_of_int reps in
@@ -108,18 +110,19 @@ let bench_cell ~seed ~reps n loss crash_rate =
   in
   match acc with
   | [ f; a; ar ] ->
-      {
-        n;
-        loss;
-        crash_rate;
-        reps;
-        fixed = tcell f;
-        adaptive = tcell a;
-        adaptive_reroute = tcell ar;
-        crashed_ranks = !crashed;
-        repair_invocations = !invocations;
-        replanned = !replanned;
-      }
+      ( {
+          n;
+          loss;
+          crash_rate;
+          reps;
+          fixed = tcell f;
+          adaptive = tcell a;
+          adaptive_reroute = tcell ar;
+          crashed_ranks = !crashed;
+          repair_invocations = !invocations;
+          replanned = !replanned;
+        },
+        List.rev !violations )
   | _ -> assert false
 
 (* Handwritten JSON writer, same rationale as bench/scaling.ml. *)
@@ -148,9 +151,19 @@ let json_of_cells buf cells =
     cells;
   add "]"
 
+let print_cell c =
+  Printf.printf
+    "n=%-3d loss=%-5g crash=%-6g | fixed: delivery %6.4f infl %6.3fx | \
+     adaptive: %6.4f %6.3fx | +reroute: %6.4f %6.3fx (%d reroutes)\n\
+     %!"
+    c.n c.loss c.crash_rate c.fixed.delivery_ratio c.fixed.inflation
+    c.adaptive.delivery_ratio c.adaptive.inflation
+    c.adaptive_reroute.delivery_ratio c.adaptive_reroute.inflation
+    c.adaptive_reroute.reroutes
+
 let () =
   let reps = ref 5 and max_n = ref 20 and out = ref "BENCH_faults.json" and seed = ref 2006 in
-  let assert_total = ref false in
+  let assert_total = ref false and jobs = ref 1 in
   let rec parse = function
     | [] -> ()
     | "--reps" :: v :: rest ->
@@ -165,37 +178,45 @@ let () =
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
         parse rest
+    | ("-j" | "--jobs") :: v :: rest ->
+        jobs := int_of_string v;
+        parse rest
     | "--assert-total" :: rest ->
         assert_total := true;
         parse rest
     | other :: _ ->
         prerr_endline
           ("unknown option " ^ other
-         ^ " (known: --reps N, --max-n N, -o FILE, --seed S, --assert-total)");
+         ^ " (known: --reps N, --max-n N, -o FILE, --seed S, --jobs J, --assert-total)");
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   let sizes = List.filter (fun n -> n <= !max_n) sizes in
-  let cells =
-    List.concat_map
-      (fun n ->
-        List.concat_map
-          (fun loss ->
-            List.map
-              (fun crash_rate ->
-                let c = bench_cell ~seed:!seed ~reps:!reps n loss crash_rate in
-                Printf.printf
-                  "n=%-3d loss=%-5g crash=%-6g | fixed: delivery %6.4f infl %6.3fx | \
-                   adaptive: %6.4f %6.3fx | +reroute: %6.4f %6.3fx (%d reroutes)\n\
-                   %!"
-                  n loss crash_rate c.fixed.delivery_ratio c.fixed.inflation
-                  c.adaptive.delivery_ratio c.adaptive.inflation
-                  c.adaptive_reroute.delivery_ratio c.adaptive_reroute.inflation
-                  c.adaptive_reroute.reroutes;
-                c)
-              crash_rates)
-          loss_levels)
-      sizes
+  (* Every cell derives its seeds from (seed, n, rep) alone, so cells are
+     independent and Pool.map keeps the sweep bit-identical at any --jobs;
+     unlike the timing bench, these numbers are simulation outputs, so
+     parallel cells cannot perturb them. *)
+  let work =
+    Array.of_list
+      (List.concat_map
+         (fun n ->
+           List.concat_map
+             (fun loss -> List.map (fun crash_rate -> (n, loss, crash_rate)) crash_rates)
+             loss_levels)
+         sizes)
+  in
+  let results =
+    Gridb_util.Pool.map ~jobs:!jobs
+      (fun (n, loss, crash_rate) ->
+        let c, violations = bench_cell ~seed:!seed ~reps:!reps n loss crash_rate in
+        if !jobs <= 1 then print_cell c;
+        (c, violations))
+      work
+  in
+  if !jobs > 1 then Array.iter (fun (c, _) -> print_cell c) results;
+  let cells = Array.to_list (Array.map fst results) in
+  let totality_violations =
+    List.concat_map snd (Array.to_list results)
   in
   (* Sanity: the fault-free cells must show a bit-exact baseline under every
      transport. *)
@@ -222,7 +243,7 @@ let () =
         bad;
       exit 1);
   if !assert_total then begin
-    match List.rev !totality_violations with
+    match totality_violations with
     | [] -> print_endline "assert-total: adaptive+reroute delivered everywhere no rank crashed"
     | vs ->
         List.iter
@@ -239,12 +260,14 @@ let () =
     "{\n\
     \  \"benchmark\": \"fault-injection\",\n\
     \  \"seed\": %d,\n\
+    \  %s,\n\
     \  \"instance\": \"Generators.uniform_random default_random_spec, fresh grid per rep\",\n\
     \  \"protocol\": \"stop-and-wait ACK, 5 retries, exponential backoff; transports: \
      fixed RTO / adaptive (Jacobson-Karn RTO, circuit breakers) / adaptive with in-flight \
      reroute\",\n\
     \  \"units\": {\"loss\": \"per-transmission probability\", \"crash_rate\": \"1/us per rank\"},\n\
-    \  \"results\": " !seed;
+    \  \"results\": " !seed
+    (Gridb_util.Provenance.json_fields ~jobs:!jobs);
   json_of_cells buf cells;
   Buffer.add_string buf "\n}\n";
   let oc = open_out !out in

@@ -3,7 +3,7 @@
    emitting machine-readable results to BENCH_scaling.json.
 
    Usage: dune exec bench/scaling.exe -- [--max-n N] [--max-naive-n N]
-                                         [-o FILE] [--seed S]
+                                         [-o FILE] [--seed S] [--jobs J]
 
    The two modes are verified to produce identical schedules on every
    (heuristic, n) cell they both run, so the speedup column compares like
@@ -29,8 +29,11 @@ type cell = {
 
 let sizes = [ 16; 32; 64; 128; 256; 512; 1024 ]
 
-(* Wall-clock one run; repeat short runs until ~50 ms of total work and
-   average, so small-n cells aren't pure timer noise. *)
+(* Wall-clock one run; repeat (short runs until ~50 ms of total work, long
+   runs at least 3 times) and report the MINIMUM.  On a shared box a single
+   300 ms run can read anywhere up to 3x its true cost; the minimum over a
+   few repetitions is the standard robust floor estimator and makes the
+   committed JSON comparable across runs. *)
 let time_run f =
   let once () =
     let t0 = Unix.gettimeofday () in
@@ -38,16 +41,16 @@ let time_run f =
     (r, (Unix.gettimeofday () -. t0) *. 1e3)
   in
   let r, first = once () in
-  if first >= 50. then (r, first)
-  else begin
-    let reps = min 1_000 (1 + int_of_float (50. /. Float.max first 0.001)) in
-    let total = ref first in
-    for _ = 2 to reps do
-      let _, t = once () in
-      total := !total +. t
-    done;
-    (r, !total /. float_of_int reps)
-  end
+  let reps =
+    if first >= 50. then 3
+    else min 1_000 (1 + int_of_float (50. /. Float.max first 0.001))
+  in
+  let best = ref first in
+  for _ = 2 to reps do
+    let _, t = once () in
+    if t < !best then best := t
+  done;
+  (r, !best)
 
 let bench_cell ~max_naive_n ~seed policy n =
   let rng = Rng.create (seed + n) in
@@ -106,11 +109,22 @@ let json_of_cells buf cells =
     cells;
   add "]"
 
+let print_cell c =
+  Printf.printf "%-10s n=%-5d incremental %8.2f ms%s%s\n%!" c.heuristic c.n
+    c.incremental_ms
+    (match c.naive_ms with
+    | Some v ->
+        Printf.sprintf "   naive %8.2f ms   speedup %6.2fx" v
+          (v /. Float.max c.incremental_ms 1e-9)
+    | None -> "   naive skipped")
+    (match c.identical with Some false -> "   SCHEDULES DIFFER" | _ -> "")
+
 let () =
   let max_n = ref 1024
   and max_naive_n = ref 1024
   and out = ref "BENCH_scaling.json"
-  and seed = ref 2006 in
+  and seed = ref 2006
+  and jobs = ref 1 in
   let rec parse = function
     | [] -> ()
     | "--max-n" :: v :: rest ->
@@ -125,35 +139,37 @@ let () =
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
         parse rest
+    | ("-j" | "--jobs") :: v :: rest ->
+        jobs := int_of_string v;
+        parse rest
     | other :: _ ->
         prerr_endline
           ("unknown option " ^ other
-         ^ " (known: --max-n N, --max-naive-n N, -o FILE, --seed S)");
+         ^ " (known: --max-n N, --max-naive-n N, -o FILE, --seed S, --jobs J)");
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   let sizes = List.filter (fun n -> n <= !max_n) sizes in
   let policies = List.filter_map (fun h -> h.Heuristics.policy) Heuristics.all in
-  let cells =
-    List.concat_map
-      (fun n ->
-        List.map
-          (fun p ->
-            let c = bench_cell ~max_naive_n:!max_naive_n ~seed:!seed p n in
-            Printf.printf "%-10s n=%-5d incremental %8.2f ms%s%s\n%!" c.heuristic n
-              c.incremental_ms
-              (match c.naive_ms with
-              | Some v ->
-                  Printf.sprintf "   naive %8.2f ms   speedup %6.2fx" v
-                    (v /. Float.max c.incremental_ms 1e-9)
-              | None -> "   naive skipped")
-              (match c.identical with
-              | Some false -> "   SCHEDULES DIFFER"
-              | _ -> "");
-            c)
-          policies)
-      sizes
+  (* --jobs fans cells out over a Pool — useful for a quick CI sweep where
+     throughput matters more than timing fidelity.  The default stays 1:
+     concurrent cells contend for cores and caches, so committed timing
+     runs should be sequential.  Cells print as they complete under
+     jobs=1, all together (in deterministic grid order) otherwise. *)
+  let work =
+    Array.of_list
+      (List.concat_map (fun n -> List.map (fun p -> (p, n)) policies) sizes)
   in
+  let cells_arr =
+    Gridb_util.Pool.map ~jobs:!jobs
+      (fun (p, n) ->
+        let c = bench_cell ~max_naive_n:!max_naive_n ~seed:!seed p n in
+        if !jobs <= 1 then print_cell c;
+        c)
+      work
+  in
+  if !jobs > 1 then Array.iter print_cell cells_arr;
+  let cells = Array.to_list cells_arr in
   (match List.filter (fun c -> c.identical = Some false) cells with
   | [] -> ()
   | bad ->
@@ -166,9 +182,12 @@ let () =
     "{\n\
     \  \"benchmark\": \"engine-scaling\",\n\
     \  \"seed\": %d,\n\
+    \  %s,\n\
     \  \"instance\": \"Instance.random table2_ranges, one per n\",\n\
+    \  \"timing\": \"min over repetitions\",\n\
     \  \"units\": {\"time\": \"ms\", \"evals\": \"pair scores + lookahead terms\"},\n\
-    \  \"results\": " !seed;
+    \  \"results\": " !seed
+    (Gridb_util.Provenance.json_fields ~jobs:!jobs);
   json_of_cells buf cells;
   Buffer.add_string buf "\n}\n";
   let oc = open_out !out in

@@ -39,6 +39,16 @@ let msg_arg =
 let seed_arg =
   Arg.(value & opt int 2006 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Gridb_util.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for batch work (default: the runtime's recommended \
+           domain count).  Results are bit-identical for every $(docv); \
+           $(b,--jobs 1) runs fully sequentially.")
+
 let topology_arg =
   Arg.(
     value
@@ -428,7 +438,7 @@ let trace_arg =
            line; read back with $(b,Gridb_obs.Sink.read)).")
 
 let simulate_cmd =
-  let run heuristic topology msg seed faults retries transport reps jitter trace =
+  let run heuristic topology msg seed faults retries transport reps jitter jobs trace =
     match load_grid topology with
     | Error e ->
         prerr_endline e;
@@ -450,7 +460,7 @@ let simulate_cmd =
             let repetitions = if reps > 0 then Some reps else None in
             let robustness obs =
               Gridb_experiments.Robustness.run ~policy ~msg ~retries ~seed ~noise ?obs
-                ~transport ?repetitions ~spec:faults grid
+                ~transport ?repetitions ~jobs ~spec:faults grid
             in
             let metrics, traced =
               match trace with
@@ -520,7 +530,7 @@ let simulate_cmd =
        ~doc:"Reliable broadcast under fault injection (delivery ratio, inflation, repair)")
     Term.(
       const run $ heuristic $ topology_arg $ msg_arg $ seed_arg $ faults $ retries
-      $ transport $ reps $ jitter $ trace_arg)
+      $ transport $ reps $ jitter $ jobs_arg $ trace_arg)
 
 (* --- profile: per-phase rollup of one schedule-and-execute pipeline --- *)
 
@@ -581,7 +591,7 @@ let profile_cmd =
 (* --- check: conformance fuzzing of the whole pipeline --- *)
 
 let check_cmd =
-  let run seed count out replay list =
+  let run seed count out replay list jobs =
     if list then begin
       print_string (Gridb_check.Report.catalogue ());
       0
@@ -600,7 +610,7 @@ let check_cmd =
           let on_progress i =
             if i mod 100 = 0 then Printf.eprintf "check: %d/%d scenarios...\n%!" i count
           in
-          match Gridb_check.Fuzz.run ~on_progress ~seed ~count () with
+          match Gridb_check.Fuzz.run ~on_progress ~jobs ~seed ~count () with
           | Ok count ->
               print_endline (Gridb_check.Report.render_success ~seed ~count);
               0
@@ -638,7 +648,7 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Fuzz the scheduling/DES pipeline against its invariant and metamorphic catalogue")
-    Term.(const run $ seed_arg $ count $ out $ replay $ list)
+    Term.(const run $ seed_arg $ count $ out $ replay $ list $ jobs_arg)
 
 let main_cmd =
   let doc = "broadcast scheduling heuristics for grid environments (PMEO-PDS'06 reproduction)" in

@@ -27,24 +27,52 @@ let shrink ?(budget = 100) (property : property) sc violation =
   in
   fixpoint sc violation 0
 
-let run ?(property = Run.check) ?(on_progress = fun _ -> ()) ~seed ~count () =
+let run ?(property = Run.check) ?(on_progress = fun _ -> ()) ?(jobs = 1) ~seed
+    ~count () =
   if count < 0 then invalid_arg "Fuzz.run: count must be >= 0";
   let rng = Rng.create seed in
-  let rec go i =
-    if i > count then Ok count
-    else begin
-      on_progress i;
-      let sc = Scenario.generate rng in
-      match property sc with
-      | Ok () -> go (i + 1)
-      | Error violation ->
-          let scenario, violation, shrink_steps =
-            shrink property sc violation
-          in
-          Error { original = sc; scenario; violation; shrink_steps; tested = i - 1 }
-    end
-  in
-  go 1
+  if jobs <= 1 then
+    (* Sequential path: generate lazily, stop at the first failure. *)
+    let rec go i =
+      if i > count then Ok count
+      else begin
+        on_progress i;
+        let sc = Scenario.generate rng in
+        match property sc with
+        | Ok () -> go (i + 1)
+        | Error violation ->
+            let scenario, violation, shrink_steps =
+              shrink property sc violation
+            in
+            Error { original = sc; scenario; violation; shrink_steps; tested = i - 1 }
+      end
+    in
+    go 1
+  else begin
+    (* Parallel path: scenario generation consumes the single sequential
+       [rng], so draw the whole sequence up front (identical to the
+       scenarios the lazy loop would have seen), then fan the checks out.
+       [Pool.find_first] returns exactly the sequential scan's first
+       failure, so the result — and the reproducer shrunk from it — is
+       independent of [jobs].  Shrinking stays sequential: each candidate
+       depends on whether the previous one failed. *)
+    let scenarios =
+      Array.init count (fun i ->
+          on_progress (i + 1);
+          Scenario.generate rng)
+    in
+    match
+      Gridb_util.Pool.find_first ~jobs
+        (fun _ sc ->
+          match property sc with Ok () -> None | Error v -> Some v)
+        scenarios
+    with
+    | None -> Ok count
+    | Some (i, violation) ->
+        let sc = scenarios.(i) in
+        let scenario, violation, shrink_steps = shrink property sc violation in
+        Error { original = sc; scenario; violation; shrink_steps; tested = i }
+  end
 
 let write_reproducer path failure =
   let oc = open_out path in

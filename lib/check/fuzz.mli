@@ -36,6 +36,7 @@ val shrink :
 val run :
   ?property:property ->
   ?on_progress:(int -> unit) ->
+  ?jobs:int ->
   seed:int ->
   count:int ->
   unit ->
@@ -44,6 +45,13 @@ val run :
     if all pass; [Error failure] at the first violation, already shrunk.
     [on_progress] is called with each 1-based index before checking.
     Equal seeds test equal scenario sequences.
+
+    [jobs] (default 1) fans the checks out over a {!Gridb_util.Pool}; the
+    scenario sequence, the failure found (always the sequence's {e first}),
+    the shrunk reproducer and [tested] are identical for every [jobs] —
+    only wall-clock changes.  With [jobs > 1] the whole sequence is
+    generated up front ([on_progress] fires during generation) and
+    shrinking runs sequentially on the calling domain.
     @raise Invalid_argument if [count < 0]. *)
 
 val write_reproducer : string -> failure -> unit

@@ -82,17 +82,20 @@ let run ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_000)
   { arrival; makespan; transmissions = !transmissions; trace }
 
 let mean_makespan ?(noise = Noise.default_measured) ?(msg = 1_000_000)
-    ?(repetitions = 10) ~seed machines plan =
+    ?(repetitions = 10) ?(jobs = 1) ~seed machines plan =
   if repetitions < 1 then invalid_arg "Exec.mean_makespan: repetitions < 1";
-  (* One split stream per repetition: equal seeds give equal means, and no
-     repetition's draw count can bleed into the next one's stream. *)
-  let rng = Gridb_util.Rng.create seed in
-  let total = ref 0. in
-  for _ = 1 to repetitions do
-    let r = run ~noise ~rng:(Gridb_util.Rng.split rng) ~msg machines plan in
-    total := !total +. r.makespan
-  done;
-  !total /. float_of_int repetitions
+  (* One indexed stream per repetition ([Rng.split] is pure in the base
+     state and the index): equal seeds give equal means, no repetition's
+     draw count can bleed into another's stream, and every repetition is a
+     self-contained task the pool may run on any worker in any order. *)
+  let base = Gridb_util.Rng.create seed in
+  let makespans =
+    Gridb_util.Pool.mapi ~jobs
+      (fun rep () ->
+        (run ~noise ~rng:(Gridb_util.Rng.split base rep) ~msg machines plan).makespan)
+      (Array.make repetitions ())
+  in
+  Array.fold_left ( +. ) 0. makespans /. float_of_int repetitions
 
 type transport = Fixed | Adaptive of { config : Adaptive.config; reroute : bool }
 
@@ -515,34 +518,39 @@ type reliable_summary = {
 
 let mean_reliable ?(noise = Noise.default_measured) ?(msg = 1_000_000)
     ?(repetitions = 10) ?(retries = 5) ?(rto_mult = 2.) ?(rto_min = 1.)
-    ?(rto_max = 1e9) ?(transport = Fixed) ~seed ~spec machines plan =
+    ?(rto_max = 1e9) ?(transport = Fixed) ?(jobs = 1) ~seed ~spec machines plan =
   if repetitions < 1 then invalid_arg "Exec.mean_reliable: repetitions < 1";
   let n = Machines.count machines in
-  (* Same split-stream discipline as [mean_makespan]: equal seeds give equal
-     summaries, and no repetition's draw count bleeds into the next one's
-     stream.  Each repetition burns one raw draw for its fault seed and one
-     split for its noise stream. *)
-  let rng = Gridb_util.Rng.create seed in
-  let makespans = Array.make repetitions 0. in
+  (* Same indexed-stream discipline as [mean_makespan]: repetition [rep]
+     runs entirely on [Rng.split base rep], burning the stream's first raw
+     draw for its fault seed.  Equal seeds give equal summaries, no
+     repetition's draw count bleeds into another's stream, and the pool may
+     execute repetitions on any worker in any order. *)
+  let base = Gridb_util.Rng.create seed in
+  let results =
+    Gridb_util.Pool.mapi ~jobs
+      (fun rep () ->
+        let stream = Gridb_util.Rng.split base rep in
+        let fseed = Int64.to_int (Gridb_util.Rng.bits64 stream) land max_int in
+        let faults = Faults.create ~seed:fseed ~n spec in
+        run_reliable ~noise ~rng:stream ~msg ~faults ~retries ~rto_mult ~rto_min
+          ~rto_max ~transport machines plan)
+      (Array.make repetitions ())
+  in
+  let makespans = Array.map (fun r -> r.r_makespan) results in
   let delivered = ref 0 in
   let retrans = ref 0 in
   let reroutes = ref 0 in
   let gave = ref 0 in
   let all = ref true in
-  for rep = 0 to repetitions - 1 do
-    let fseed = Int64.to_int (Gridb_util.Rng.bits64 rng) land max_int in
-    let faults = Faults.create ~seed:fseed ~n spec in
-    let r =
-      run_reliable ~noise ~rng:(Gridb_util.Rng.split rng) ~msg ~faults ~retries
-        ~rto_mult ~rto_min ~rto_max ~transport machines plan
-    in
-    makespans.(rep) <- r.r_makespan;
-    delivered := !delivered + r.delivered;
-    retrans := !retrans + r.retransmissions;
-    reroutes := !reroutes + List.length r.reroutes;
-    gave := !gave + List.length r.gave_up;
-    if r.delivered <> n then all := false
-  done;
+  Array.iter
+    (fun r ->
+      delivered := !delivered + r.delivered;
+      retrans := !retrans + r.retransmissions;
+      reroutes := !reroutes + List.length r.reroutes;
+      gave := !gave + List.length r.gave_up;
+      if r.delivered <> n then all := false)
+    results;
   let reps = float_of_int repetitions in
   let mean = Array.fold_left ( +. ) 0. makespans /. reps in
   let var =

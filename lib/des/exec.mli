@@ -53,15 +53,18 @@ val mean_makespan :
   ?noise:Noise.t ->
   ?msg:int ->
   ?repetitions:int ->
+  ?jobs:int ->
   seed:int ->
   Gridb_topology.Machines.t ->
   Plan.t ->
   float
 (** Average makespan over independent noisy runs (default 10), the
-    "measured" value reported by Figure 6.  Each repetition runs on its own
-    {!Gridb_util.Rng.split} stream derived from [seed]: equal seeds give
-    equal means, and the repetitions' streams are pairwise independent (one
-    run's draw count cannot shift the next run's draws). *)
+    "measured" value reported by Figure 6.  Repetition [rep] runs on the
+    indexed stream {!Gridb_util.Rng.split}[ (create seed) rep]: equal
+    seeds give equal means, the repetitions' streams are pairwise
+    independent (one run's draw count cannot shift another's draws), and
+    the mean is bit-identical for every [jobs] setting ([jobs], default 1,
+    fans repetitions out over a {!Gridb_util.Pool}). *)
 
 type transport =
   | Fixed  (** model-derived RTO, exponential backoff, no reroute *)
@@ -184,15 +187,19 @@ val mean_reliable :
   ?rto_min:float ->
   ?rto_max:float ->
   ?transport:transport ->
+  ?jobs:int ->
   seed:int ->
   spec:Faults.spec ->
   Gridb_topology.Machines.t ->
   Plan.t ->
   reliable_summary
 (** {!run_reliable} aggregated over independent repetitions (default 10),
-    mirroring {!mean_makespan}'s split-stream discipline: each repetition
-    draws a fault seed and splits a noise stream from the master [seed], so
-    equal seeds give equal summaries and no repetition's draw count bleeds
-    into the next one's.  The faults are re-drawn per repetition from
-    [spec].  @raise Invalid_argument if [repetitions < 1] (plus everything
+    mirroring {!mean_makespan}'s indexed-stream discipline: repetition
+    [rep] runs entirely on {!Gridb_util.Rng.split}[ (create seed) rep],
+    burning that stream's first raw draw for its fault seed.  Equal seeds
+    give equal summaries, no repetition's draw count bleeds into
+    another's, and the summary is bit-identical for every [jobs] setting
+    ([jobs], default 1, fans repetitions out over a {!Gridb_util.Pool}).
+    The faults are re-drawn per repetition from [spec].
+    @raise Invalid_argument if [repetitions < 1] (plus everything
     {!run_reliable} raises). *)

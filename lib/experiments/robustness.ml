@@ -56,7 +56,7 @@ let estimated_instance est machines inst =
 
 let run ?(policy = Policy.ecef_la) ?(msg = 1_000_000) ?(retries = 5) ?(seed = 0)
     ?(noise = Noise.Exact) ?(obs = Sink.null) ?(transport = Exec.Fixed) ?repetitions
-    ~spec grid =
+    ?(jobs = 1) ~spec grid =
   let inst = Instance.of_grid ~root:0 ~msg grid in
   let schedule = Sched_engine.run ~obs policy inst in
   let machines = Machines.expand grid in
@@ -107,8 +107,8 @@ let run ?(policy = Policy.ecef_la) ?(msg = 1_000_000) ?(retries = 5) ?(seed = 0)
   let summary =
     Option.map
       (fun repetitions ->
-        Exec.mean_reliable ~noise ~msg ~repetitions ~retries ~transport ~seed ~spec
-          machines plan)
+        Exec.mean_reliable ~noise ~msg ~repetitions ~retries ~transport ~jobs ~seed
+          ~spec machines plan)
       repetitions
   in
   {

@@ -56,6 +56,7 @@ val run :
   ?obs:Gridb_obs.Sink.t ->
   ?transport:Gridb_des.Exec.transport ->
   ?repetitions:int ->
+  ?jobs:int ->
   spec:Gridb_des.Faults.spec ->
   Gridb_topology.Grid.t ->
   metrics
@@ -65,7 +66,9 @@ val run :
     is not [Exact]) the jitter stream of the reliable run; the baseline is
     always noise-free.  With [repetitions] the scorecard also carries a
     {!Gridb_des.Exec.mean_reliable} summary over that many independent
-    fault draws (seeded from [seed]).
+    fault draws (seeded from [seed]); [jobs] (default 1) fans those
+    repetitions out over a {!Gridb_util.Pool} with a bit-identical
+    summary at every worker count.
 
     [obs] (default {!Gridb_obs.Sink.null}) observes the scheduling pass and
     the {e faulty reliable} run (not the fault-free baseline, which would

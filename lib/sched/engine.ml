@@ -16,7 +16,7 @@ let finished_msg = "Engine: selection on a finished state"
 
 let eval_score (score : Policy.pair_score) state inst i j =
   match score with
-  | Policy.Latency -> inst.Instance.latency.(i).(j)
+  | Policy.Latency -> inst.Instance.lat_flat.((i * inst.Instance.n) + j)
   | Policy.Transmission -> Instance.send_time inst i j
   | Policy.Arrival -> State.score_arrival state i j
 
@@ -97,21 +97,22 @@ let naive_select policy state =
    A (so [dst] gains one candidate entry per remaining receiver, and fold
    lookahead entries naming [dst] die lazily on pop). *)
 
-(* Per-receiver candidate heap over senders, keyed by (pair score, id). *)
+(* Per-receiver candidate heaps over senders, keyed by (pair score, id) —
+   one bank row per receiver, all rows sharing two flat arrays
+   ({!Gridb_util.Score_heap.Bank}).  A receiver's row holds at most one
+   entry per member of A, and A never exceeds [n - 1] while the receiver is
+   still in B, so [cap = n] can never overflow. *)
 let init_senders stats state pair ~n ~root =
-  let empty = Heap.create ~capacity:1 ~order:Heap.Min () in
-  let senders = Array.make n empty in
+  let senders = Heap.Bank.create ~rows:n ~cap:(max 1 n) ~order:Heap.Min in
   State.iter_b state (fun j ->
-      let h = Heap.create ~order:Heap.Min () in
       stats.pair_evaluations <- stats.pair_evaluations + 1;
-      Heap.push h (pair root j) root;
-      senders.(j) <- h);
-  (empty, senders)
+      Heap.Bank.push senders j (pair root j) root);
+  senders
 
 let push_new_sender stats state senders pair dst =
   State.iter_b state (fun j ->
       stats.pair_evaluations <- stats.pair_evaluations + 1;
-      Heap.push senders.(j) (pair dst j) dst)
+      Heap.Bank.push senders j (pair dst j) dst)
 
 let incremental_loop ~obs stats (shape : Policy.shape) state =
   let inst = State.instance state in
@@ -142,30 +143,68 @@ let incremental_loop ~obs stats (shape : Policy.shape) state =
             note_round ~src:root ~dst:j
         | None -> assert false
       done
+  | Policy.Select_min { score; lookahead }
+    when (not (Policy.score_depends_on_avail score))
+         && (match lookahead.Lookahead.shape with
+            | Lookahead.Zero -> true
+            | Lookahead.Fold _ | Lookahead.Dynamic -> false) ->
+      (* Static fast path: the pair score never changes once evaluated and
+         no lookahead term enters the total, so each receiver needs only
+         its running best (score, sender) — no heap at all.  The update
+         rule [s < best || (s = best && id < best_id)] is exactly the
+         heap's (score, id) ordering, and evaluation counts match the heap
+         path one for one: one per receiver at init, one per (surviving
+         receiver, new sender) per round. *)
+      let pair i j = eval_score score state inst i j in
+      let best_s = Array.make n infinity in
+      let best_i = Array.make n (-1) in
+      State.iter_b state (fun j ->
+          stats.pair_evaluations <- stats.pair_evaluations + 1;
+          best_s.(j) <- pair root j;
+          best_i.(j) <- root);
+      while not (State.finished state) do
+        let best_total = ref infinity and bi = ref (-1) and bj = ref (-1) in
+        State.iter_b state (fun j ->
+            let s = best_s.(j) and i = best_i.(j) in
+            if !bj < 0 || s < !best_total || (s = !best_total && i < !bi)
+            then begin
+              best_total := s;
+              bi := i;
+              bj := j
+            end);
+        let dst = !bj in
+        State.send state ~src:!bi ~dst;
+        note_round ~src:!bi ~dst;
+        State.iter_b state (fun j ->
+            stats.pair_evaluations <- stats.pair_evaluations + 1;
+            let s = pair dst j in
+            if s < best_s.(j) || (s = best_s.(j) && dst < best_i.(j))
+            then begin
+              best_s.(j) <- s;
+              best_i.(j) <- dst
+            end)
+      done
   | Policy.Select_min { score; lookahead } ->
       let depends = Policy.score_depends_on_avail score in
       let pair i j = eval_score score state inst i j in
-      let empty, senders = init_senders stats state pair ~n ~root in
+      let senders = init_senders stats state pair ~n ~root in
       let la_folds =
         match lookahead.Lookahead.shape with
         | Lookahead.Fold { order; term } ->
             (* Terms are static; only B-membership invalidates an entry, and
                B only shrinks, so dead entries are dropped for good when
                they surface at the top. *)
-            let heaps = Array.make n empty in
+            let bank =
+              Heap.Bank.create ~rows:n ~cap:(max 1 (n - 1))
+                ~order:(match order with `Min -> Heap.Min | `Max -> Heap.Max)
+            in
             State.iter_b state (fun j ->
-                let h =
-                  Heap.create
-                    ~order:(match order with `Min -> Heap.Min | `Max -> Heap.Max)
-                    ()
-                in
                 State.iter_b state (fun k ->
                     if k <> j then begin
                       stats.lookahead_terms <- stats.lookahead_terms + 1;
-                      Heap.push h (term inst j k) k
-                    end);
-                heaps.(j) <- h);
-            Some heaps
+                      Heap.Bank.push bank j (term inst j k) k
+                    end));
+            Some bank
         | Lookahead.Zero | Lookahead.Dynamic -> None
       in
       let is_dynamic =
@@ -175,19 +214,22 @@ let incremental_loop ~obs stats (shape : Policy.shape) state =
       in
       let f_of j =
         match la_folds with
-        | Some heaps ->
-            let h = heaps.(j) in
+        | Some bank ->
             let rec clean () =
-              if Heap.is_empty h then 0.
-              else if State.in_a state (Heap.top_id h) then begin
+              if Heap.Bank.is_empty bank j then 0.
+              else if State.in_a state (Heap.Bank.top_id bank j) then begin
                 if tracing then
                   Sink.emit obs
                     (Event.Heap_op
-                       { op = Event.Drop; receiver = j; sender = Heap.top_id h });
-                Heap.drop_top h;
+                       {
+                         op = Event.Drop;
+                         receiver = j;
+                         sender = Heap.Bank.top_id bank j;
+                       });
+                Heap.Bank.drop_top bank j;
                 clean ()
               end
-              else Heap.top_score h
+              else Heap.Bank.top_score bank j
             in
             clean ()
         | None ->
@@ -201,19 +243,19 @@ let incremental_loop ~obs stats (shape : Policy.shape) state =
       (* Re-score stale entries until the top is fresh: a stale entry
          under-estimates its true score (an avail only ever advances), so
          it surfaces early and sinks once re-scored. *)
-      let rec fresh_top h j =
-        let s = Heap.top_score h and i = Heap.top_id h in
+      let rec fresh_top j =
+        let s = Heap.Bank.top_score senders j and i = Heap.Bank.top_id senders j in
         if not depends then (s, i)
         else begin
           stats.pair_evaluations <- stats.pair_evaluations + 1;
           let cur = pair i j in
           if cur = s then (s, i)
           else begin
-            Heap.drop_top h;
-            Heap.push h cur i;
+            Heap.Bank.drop_top senders j;
+            Heap.Bank.push senders j cur i;
             stats.rescored <- stats.rescored + 1;
             note_rescore ~receiver:j ~sender:i;
-            fresh_top h j
+            fresh_top j
           end
         end
       in
@@ -226,16 +268,16 @@ let incremental_loop ~obs stats (shape : Policy.shape) state =
          re-score stale entries on the way) and push it back. *)
       let stash = ref [] in
       let best_of j f =
-        let h = senders.(j) in
-        let s, i = fresh_top h j in
+        let s, i = fresh_top j in
         let total = s +. f in
-        if Heap.second_score h +. f > total then (total, i)
+        if Heap.Bank.second_score senders j +. f > total then (total, i)
         else begin
           stash := [];
           let t_min = ref infinity and i_min = ref (-1) in
           let continue = ref true in
-          while !continue && not (Heap.is_empty h) do
-            let s = Heap.top_score h and i = Heap.top_id h in
+          while !continue && not (Heap.Bank.is_empty senders j) do
+            let s = Heap.Bank.top_score senders j
+            and i = Heap.Bank.top_id senders j in
             let fresh =
               (not depends)
               ||
@@ -245,8 +287,8 @@ let incremental_loop ~obs stats (shape : Policy.shape) state =
                 cur = s
                 ||
                 begin
-                  Heap.drop_top h;
-                  Heap.push h cur i;
+                  Heap.Bank.drop_top senders j;
+                  Heap.Bank.push senders j cur i;
                   stats.rescored <- stats.rescored + 1;
                   note_rescore ~receiver:j ~sender:i;
                   false
@@ -258,13 +300,13 @@ let incremental_loop ~obs stats (shape : Policy.shape) state =
               if !i_min < 0 || total = !t_min then begin
                 t_min := total;
                 if !i_min < 0 || i < !i_min then i_min := i;
-                Heap.drop_top h;
+                Heap.Bank.drop_top senders j;
                 stash := (s, i) :: !stash
               end
               else continue := false
             end
           done;
-          List.iter (fun (s, i) -> Heap.push h s i) !stash;
+          List.iter (fun (s, i) -> Heap.Bank.push senders j s i) !stash;
           (!t_min, !i_min)
         end
       in
@@ -284,26 +326,28 @@ let incremental_loop ~obs stats (shape : Policy.shape) state =
         let dst = !best_j in
         State.send state ~src:!best_i ~dst;
         note_round ~src:!best_i ~dst;
-        senders.(dst) <- empty;
-        (match la_folds with Some heaps -> heaps.(dst) <- empty | None -> ());
+        Heap.Bank.reset senders dst;
+        (match la_folds with
+        | Some bank -> Heap.Bank.reset bank dst
+        | None -> ());
         push_new_sender stats state senders pair dst
       done
   | Policy.Max_reach ->
       let pair i j = State.score_arrival state i j in
-      let empty, senders = init_senders stats state pair ~n ~root in
+      let senders = init_senders stats state pair ~n ~root in
       (* Within a receiver the heap already orders by (arrival, id); the
          receiver's T_j enters only the across-receiver comparison, so no
          tie drain is needed here. *)
       let best_of j =
-        let h = senders.(j) in
         let rec clean () =
-          let s = Heap.top_score h and i = Heap.top_id h in
+          let s = Heap.Bank.top_score senders j
+          and i = Heap.Bank.top_id senders j in
           stats.pair_evaluations <- stats.pair_evaluations + 1;
           let cur = pair i j in
           if cur = s then (s, i)
           else begin
-            Heap.drop_top h;
-            Heap.push h cur i;
+            Heap.Bank.drop_top senders j;
+            Heap.Bank.push senders j cur i;
             stats.rescored <- stats.rescored + 1;
             note_rescore ~receiver:j ~sender:i;
             clean ()
@@ -324,7 +368,7 @@ let incremental_loop ~obs stats (shape : Policy.shape) state =
         let dst = !best_j in
         State.send state ~src:!best_i ~dst;
         note_round ~src:!best_i ~dst;
-        senders.(dst) <- empty;
+        Heap.Bank.reset senders dst;
         push_new_sender stats state senders pair dst
       done
 

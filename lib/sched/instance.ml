@@ -3,10 +3,22 @@ type t = {
   root : int;
   latency : float array array;
   gap : float array array;
+  lat_flat : float array;
+  gap_flat : float array;
   intra : float array;
 }
 
 let copy_matrix m = Array.map Array.copy m
+
+(* Row-major copy: [flat.((i * n) + j) = m.(i).(j)].  The schedulers' hot
+   paths index the flat mirrors (one bounds check and no pointer chase per
+   entry); the nested matrices stay authoritative for everything else. *)
+let flatten n m =
+  let flat = Array.make (n * n) 0. in
+  for i = 0 to n - 1 do
+    Array.blit m.(i) 0 flat (i * n) n
+  done;
+  flat
 
 let v ~root ~latency ~gap ~intra =
   let n = Array.length intra in
@@ -25,7 +37,16 @@ let v ~root ~latency ~gap ~intra =
   check_matrix "latency" latency;
   check_matrix "gap" gap;
   Array.iter (fun x -> if x < 0. || Float.is_nan x then invalid_arg "Instance.v: bad intra entry") intra;
-  { n; root; latency = copy_matrix latency; gap = copy_matrix gap; intra = Array.copy intra }
+  let latency = copy_matrix latency and gap = copy_matrix gap in
+  {
+    n;
+    root;
+    latency;
+    gap;
+    lat_flat = flatten n latency;
+    gap_flat = flatten n gap;
+    intra = Array.copy intra;
+  }
 
 let of_grid ?(shape = Gridb_collectives.Tree.Binomial) ~root ~msg grid =
   let module Grid = Gridb_topology.Grid in
@@ -100,7 +121,9 @@ let random ~rng ~n ranges =
   let intra = Array.init n (fun _ -> draw ranges.intra_us) in
   v ~root:0 ~latency ~gap ~intra
 
-let send_time t i j = t.gap.(i).(j) +. t.latency.(i).(j)
+let send_time t i j =
+  let k = (i * t.n) + j in
+  t.gap_flat.(k) +. t.lat_flat.(k)
 
 let cluster_ids t = List.init t.n (fun i -> i)
 

@@ -13,6 +13,11 @@ type t = private {
   root : int;  (** cluster of the broadcast root *)
   latency : float array array;  (** [latency.(i).(j)] = [L_ij] in us *)
   gap : float array array;  (** [gap.(i).(j)] = [g_ij(m)] in us *)
+  lat_flat : float array;
+      (** row-major mirror of [latency]: [lat_flat.((i * n) + j) =
+          latency.(i).(j)] — the schedulers' hot paths index this (one
+          bounds check, no row pointer chase) *)
+  gap_flat : float array;  (** row-major mirror of [gap] *)
   intra : float array;  (** [intra.(k)] = [T_k] in us *)
 }
 

@@ -1,5 +1,13 @@
+(* Struct-of-arrays layout: every per-cluster quantity the selection loops
+   touch lives in its own flat array ([in_a]/[ready]/[avail] plus the
+   instance's row-major [gap_flat]/[lat_flat] mirrors cached here), so the
+   hot paths are plain float/int array reads with no record or row-pointer
+   chasing. *)
 type t = {
   inst : Instance.t;
+  n : int;  (* = inst.n, hoisted for flat indexing *)
+  gap_flat : float array;  (* = inst.gap_flat *)
+  lat_flat : float array;  (* = inst.lat_flat *)
   in_a : bool array;
   ready : float array;
   avail : float array;
@@ -19,6 +27,9 @@ let create inst =
   avail.(inst.Instance.root) <- 0.;
   {
     inst;
+    n;
+    gap_flat = inst.Instance.gap_flat;
+    lat_flat = inst.Instance.lat_flat;
     in_a;
     ready;
     avail;
@@ -48,6 +59,9 @@ let create_seeded inst ~sources =
     invalid_arg "State.create_seeded: the instance root must be a source";
   {
     inst;
+    n;
+    gap_flat = inst.Instance.gap_flat;
+    lat_flat = inst.Instance.lat_flat;
     in_a;
     ready;
     avail;
@@ -60,7 +74,7 @@ let create_seeded inst ~sources =
 let instance t = t.inst
 
 let in_a t i =
-  if i < 0 || i >= t.inst.Instance.n then invalid_arg "State.in_a: out of range";
+  if i < 0 || i >= t.n then invalid_arg "State.in_a: out of range";
   t.in_a.(i)
 
 let members_a t =
@@ -70,12 +84,12 @@ let members_b t =
   List.filter (fun i -> not t.in_a.(i)) (Instance.cluster_ids t.inst)
 
 let iter_a t f =
-  for i = 0 to t.inst.Instance.n - 1 do
+  for i = 0 to t.n - 1 do
     if t.in_a.(i) then f i
   done
 
 let iter_b t f =
-  for i = 0 to t.inst.Instance.n - 1 do
+  for i = 0 to t.n - 1 do
     if not t.in_a.(i) then f i
   done
 
@@ -87,7 +101,7 @@ let finished t = t.remaining_b = 0
    the run: resume the scan where the previous call stopped instead of
    walking the whole prefix (or allocating members_b) every round. *)
 let first_b t =
-  let n = t.inst.Instance.n in
+  let n = t.n in
   let rec scan i =
     if i >= n then None
     else if not t.in_a.(i) then begin
@@ -108,11 +122,12 @@ let avail t i =
   t.avail.(i)
 
 (* Same formula as [Policy.arrival_score] (a State -> Lookahead -> Policy
-   dependency cycle forbids calling it here). *)
+   dependency cycle forbids calling it here).  The addition order must stay
+   [(avail + g) + L] — the same left-association [send] uses — or seeded
+   schedules shift by rounding. *)
 let score_arrival t src dst =
-  t.avail.(src)
-  +. t.inst.Instance.gap.(src).(dst)
-  +. t.inst.Instance.latency.(src).(dst)
+  let k = (src * t.n) + dst in
+  t.avail.(src) +. t.gap_flat.(k) +. t.lat_flat.(k)
 
 let best_arrival_sender t ~dst =
   if in_a t dst then invalid_arg "State.best_arrival_sender: dst in A";
@@ -134,8 +149,9 @@ let send t ~src ~dst =
   if src = dst then invalid_arg "State.send: src = dst";
   if not (in_a t src) then invalid_arg "State.send: src in B";
   if in_a t dst then invalid_arg "State.send: dst already in A";
-  let g = t.inst.Instance.gap.(src).(dst) in
-  let l = t.inst.Instance.latency.(src).(dst) in
+  let k = (src * t.n) + dst in
+  let g = t.gap_flat.(k) in
+  let l = t.lat_flat.(k) in
   let start = t.avail.(src) in
   let sender_free = start +. g in
   let arrival = sender_free +. l in

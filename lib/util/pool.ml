@@ -1,0 +1,109 @@
+(* Deterministic multicore batch execution over OCaml 5 domains.
+
+   Work distribution is dynamic (a shared atomic cursor; each worker claims
+   the next unclaimed index, so a slow task never stalls the queue behind
+   it) but the *results* are a pure function of the inputs: slot i of the
+   output always holds [f i items.(i)], whatever worker computed it and in
+   whatever order.  Determinism across jobs settings is therefore the
+   caller's only obligation: tasks must not share mutable state (derive
+   per-task RNG streams with [Rng.split base i], buffer per-task obs events
+   in a private Memory sink and emit them in index order after the join). *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* The caller's domain is worker zero; [extra] more are spawned. *)
+let spawn_workers ~extra worker =
+  let domains = Array.init extra (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join domains
+
+let raise_first_error errors =
+  Array.iter (function Some e -> raise e | None -> ()) errors
+
+let mapi ?jobs f items =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let n = Array.length items in
+  if n = 0 then [||]
+  else if jobs = 1 || n = 1 then Array.mapi f items
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f i items.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    spawn_workers ~extra:(min jobs n - 1) worker;
+    raise_first_error errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map ?jobs f items = mapi ?jobs (fun _ x -> f x) items
+
+let map_list ?jobs f items =
+  Array.to_list (map ?jobs f (Array.of_list items))
+
+let find_first ?jobs f items =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let n = Array.length items in
+  if jobs = 1 || n <= 1 then begin
+    (* Sequential reference semantics: first index whose task returns
+       [Some], evaluating in order with early exit. *)
+    let rec go i =
+      if i >= n then None
+      else match f i items.(i) with Some v -> Some (i, v) | None -> go (i + 1)
+    in
+    go 0
+  end
+  else begin
+    let found = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    (* Lowest index so far whose task returned [Some] or raised; [n] while
+       none has.  Workers stop claiming past it — every claim is issued in
+       ascending order, so all indices below the final value have been
+       fully evaluated, which makes the winner the true first match no
+       matter how the domains were scheduled. *)
+    let best = Atomic.make n in
+    let rec lower_best i =
+      let cur = Atomic.get best in
+      if i < cur && not (Atomic.compare_and_set best cur i) then lower_best i
+    in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && i <= Atomic.get best then begin
+          (match f i items.(i) with
+          | Some v ->
+              found.(i) <- Some v;
+              lower_best i
+          | None -> ()
+          | exception e ->
+              errors.(i) <- Some e;
+              lower_best i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    spawn_workers ~extra:(min jobs n - 1) worker;
+    let rec walk i =
+      if i >= n then None
+      else
+        match errors.(i) with
+        | Some e -> raise e
+        | None -> (
+            match found.(i) with
+            | Some v -> Some (i, v)
+            | None -> walk (i + 1))
+    in
+    walk 0
+  end

@@ -1,0 +1,45 @@
+(** Deterministic multicore batch execution (OCaml 5 domains).
+
+    Every batch path in the repo — conformance fuzzing, repetition sweeps,
+    benchmark grids — runs thousands of {e independent} scenarios; this
+    pool fans them out over domains while keeping results bit-identical
+    regardless of worker count or scheduling order.  Work is claimed
+    dynamically off a shared atomic cursor (a slow task never blocks the
+    tasks queued behind it), results land in index order, and with
+    [jobs = 1] the batch runs inline on the calling domain with no spawns
+    at all — byte-for-byte today's sequential behaviour.
+
+    Determinism contract for tasks: they must not share mutable state.
+    Derive per-task randomness with {!Rng.split}[ base i] (pure in the
+    base state and the index), and if a task must emit observability
+    events, give it a private [Gridb_obs] Memory sink and emit the
+    buffered events in index order after the batch returns.
+
+    Exceptions: if any task raises, the batch completes (other tasks are
+    not cancelled) and then re-raises the exception of the {e lowest}
+    failing index — the same exception a sequential left-to-right run
+    would have surfaced first. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the physical parallelism the
+    runtime suggests; 1 on a single-core machine. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f items] is [Array.map f items] computed by up to [jobs]
+    domains (the caller's included).  Defaults to {!default_jobs};
+    [jobs <= 1] runs inline and spawns nothing. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Like {!map}, passing the index — the hook for per-task stream
+    derivation ([Rng.split base i]). *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists (converts through arrays). *)
+
+val find_first : ?jobs:int -> (int -> 'a -> 'b option) -> 'a array -> (int * 'b) option
+(** [find_first ~jobs f items] is the first index (and payload) for which
+    [f] returns [Some], or [None] — exactly what a sequential
+    left-to-right scan with early exit returns, for every [jobs].  Indices
+    are claimed in ascending order and claiming stops once every index at
+    or below the best match found so far has been evaluated, so the
+    parallel scan does bounded extra work past the first match. *)

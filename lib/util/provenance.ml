@@ -1,0 +1,76 @@
+(* Provenance stamps for benchmark JSON: which commit, how many cores, how
+   many jobs.  Reads the git metadata directly from the .git files so the
+   benches need neither the unix library nor a subprocess. *)
+
+let read_first_line path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> match input_line ic with exception End_of_file -> None | l -> Some (String.trim l))
+
+let is_hex40 s = String.length s = 40 && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+(* Resolve "ref: refs/heads/x" through the loose ref file or packed-refs. *)
+let resolve_ref git_dir name =
+  match read_first_line (Filename.concat git_dir name) with
+  | Some h when is_hex40 h -> Some h
+  | _ -> (
+      match open_in (Filename.concat git_dir "packed-refs") with
+      | exception Sys_error _ -> None
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () ->
+              let rec scan () =
+                match input_line ic with
+                | exception End_of_file -> None
+                | line ->
+                    let line = String.trim line in
+                    if
+                      String.length line > 41
+                      && line.[40] = ' '
+                      && String.sub line 41 (String.length line - 41) = name
+                      && is_hex40 (String.sub line 0 40)
+                    then Some (String.sub line 0 40)
+                    else scan ()
+              in
+              scan ()))
+
+let rec find_git_dir dir =
+  let candidate = Filename.concat dir ".git" in
+  if Sys.file_exists candidate then
+    if Sys.is_directory candidate then Some candidate
+    else
+      (* Worktree: ".git" is a file holding "gitdir: <path>". *)
+      Option.bind (read_first_line candidate) (fun line ->
+          let prefix = "gitdir:" in
+          if String.length line > String.length prefix && String.sub line 0 (String.length prefix) = prefix then
+            Some (String.trim (String.sub line (String.length prefix) (String.length line - String.length prefix)))
+          else None)
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then None else find_git_dir parent
+
+let git_commit () =
+  match find_git_dir (Sys.getcwd ()) with
+  | None -> None
+  | Some git_dir -> (
+      match read_first_line (Filename.concat git_dir "HEAD") with
+      | None -> None
+      | Some head ->
+          if is_hex40 head then Some head
+          else
+            let prefix = "ref:" in
+            if String.length head > String.length prefix && String.sub head 0 (String.length prefix) = prefix then
+              resolve_ref git_dir
+                (String.trim (String.sub head (String.length prefix) (String.length head - String.length prefix)))
+            else None)
+
+let cores () = Domain.recommended_domain_count ()
+
+let json_fields ~jobs =
+  Printf.sprintf "\"git_commit\": %s, \"cores\": %d, \"jobs\": %d"
+    (match git_commit () with Some h -> Printf.sprintf "%S" h | None -> "null")
+    (cores ()) jobs

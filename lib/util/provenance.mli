@@ -1,0 +1,20 @@
+(** Provenance stamps for benchmark artifacts.
+
+    BENCH_*.json files are compared across PRs to track the performance
+    trajectory; a number without its commit, core count and jobs setting
+    is uninterpretable.  This module reads the commit hash straight from
+    the [.git] metadata files (no subprocess, no unix dependency) and
+    formats the stamp the bench writers embed. *)
+
+val git_commit : unit -> string option
+(** The 40-hex commit HEAD points at, resolved through loose refs or
+    [packed-refs]; [None] outside a git checkout or on an unborn branch.
+    Searches for [.git] upward from the current directory (worktree
+    [gitdir:] indirection included). *)
+
+val cores : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val json_fields : jobs:int -> string
+(** [{|"git_commit": "...", "cores": C, "jobs": J|}] — splice into a JSON
+    object; [git_commit] is [null] when unknown. *)

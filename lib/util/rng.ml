@@ -6,18 +6,31 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
-(* SplitMix64 output function: advance by the golden gamma, then apply the
-   variant-13 mix of Stafford. *)
-let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  let z = t.state in
+(* Variant-13 mix of Stafford: a 64-bit bijection, so distinct inputs give
+   distinct outputs. *)
+let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let split t =
-  let seed = bits64 t in
-  { state = seed }
+(* SplitMix64 output function: advance by the golden gamma, then mix. *)
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+(* A second odd constant so indexed streams are not correlated with the
+   parent's own output sequence. *)
+let stream_gamma = 0xD1B54A32D192ED03L
+
+let split t i =
+  if i < 0 then invalid_arg "Rng.split: negative stream index";
+  (* Pure in (t's current state, i): the parent is not advanced, so any
+     worker can derive stream i without racing the others, and equal
+     (state, i) pairs always yield the equal stream.  [mix] is a bijection
+     and [stream_gamma] is odd, so for a fixed parent state the map
+     i -> seed is injective: no two indices collide on a stream. *)
+  let base = mix (Int64.add t.state golden_gamma) in
+  { state = mix (Int64.add base (Int64.mul (Int64.of_int i) stream_gamma)) }
 
 (* Top 53 bits, scaled to [0,1). *)
 let unit_float t =

@@ -14,9 +14,15 @@ val create : int -> t
 (** [create seed] builds a generator from a 63-bit seed.  Equal seeds yield
     equal streams. *)
 
-val split : t -> t
-(** [split t] returns a fresh generator statistically independent from the
-    future of [t], advancing [t]. *)
+val split : t -> int -> t
+(** [split t i] derives the [i]-th child stream of [t]'s current state —
+    SplitMix64 stream derivation, pure in [(state, i)].  [t] is {e not}
+    advanced: any number of workers may derive their streams from one
+    shared base generator in any order and obtain bit-identical results.
+    For a fixed parent state the map [i -> stream] is injective (the
+    Stafford mix is a 64-bit bijection over seeds stepped by an odd
+    gamma), so distinct indices never collide on a stream seed.
+    @raise Invalid_argument if [i < 0]. *)
 
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)

@@ -48,3 +48,50 @@ val pop : t -> (float * int) option
 
 val check_invariant : t -> bool
 (** True iff every parent sorts before-or-equal its children (for tests). *)
+
+(** A fixed grid of independent heaps packed into two flat arrays.
+
+    The engine keeps one candidate heap per receiver; allocating them as
+    separate growable heaps scatters [2n] small arrays across the minor
+    heap.  A bank stores all rows contiguously — row [r] owns slots
+    [r*cap .. r*cap + size r - 1] of one [float array] and one
+    [int array] — so a whole run touches two allocations and resetting a
+    row is one store.
+
+    A bank row fed the same push/drop sequence as a standalone heap holds
+    the {e same slot layout} (identical sift algorithms, identical
+    smaller-id tie-breaking), hence identical [top_score]/[top_id]/
+    [second_score]/drain answers — the engine's bitwise-identity suites
+    depend on this. *)
+module Bank : sig
+  type t
+
+  val create : rows:int -> cap:int -> order:order -> t
+  (** [rows] heaps of fixed capacity [cap] each.
+      @raise Invalid_argument if [rows < 0] or [cap < 1]. *)
+
+  val rows : t -> int
+  val size : t -> int -> int
+  val is_empty : t -> int -> bool
+
+  val reset : t -> int -> unit
+  (** Empty row [r] in O(1). *)
+
+  val push : t -> int -> float -> int -> unit
+  (** [push t r score id].
+      @raise Invalid_argument if row [r] already holds [cap] elements. *)
+
+  val top_score : t -> int -> float
+  val top_id : t -> int -> int
+
+  val second_score : t -> int -> float
+  (** As {!second_score} on the row: the better child of the root, or the
+      order's identity when fewer than two elements remain. *)
+
+  val drop_top : t -> int -> unit
+  val check_invariant : t -> int -> bool
+
+  (** All row-indexed operations
+      @raise Invalid_argument on an out-of-range row, and the top accessors
+      on an empty row. *)
+end

@@ -391,6 +391,32 @@ let fuzz_real_pipeline_smoke () =
   | Error f ->
       Alcotest.failf "real pipeline failed: %s" (Report.render_failure f)
 
+(* --jobs must be an implementation detail: the parallel battery generates
+   the identical scenario sequence and reports the sequential scan's first
+   failure, so both the passing and the failing outcome are equal across
+   worker counts — including the reproducer the user would be handed. *)
+let fuzz_jobs_invariant_pass () =
+  match (Fuzz.run ~seed:11 ~count:30 (), Fuzz.run ~jobs:4 ~seed:11 ~count:30 ()) with
+  | Ok a, Ok b -> Alcotest.(check int) "same count" a b
+  | _ -> Alcotest.fail "battery should pass under both jobs settings"
+
+let fuzz_jobs_invariant_fail () =
+  match
+    ( Fuzz.run ~property:planted_property ~seed:7 ~count:50 (),
+      Fuzz.run ~property:planted_property ~jobs:4 ~seed:7 ~count:50 () )
+  with
+  | Error a, Error b ->
+      Alcotest.(check int) "same tested" a.Fuzz.tested b.Fuzz.tested;
+      Alcotest.(check string)
+        "same invariant" a.Fuzz.violation.I.invariant b.Fuzz.violation.I.invariant;
+      Alcotest.(check string)
+        "same violation detail" a.Fuzz.violation.I.detail b.Fuzz.violation.I.detail;
+      Alcotest.(check bool)
+        "same shrunk scenario" true
+        (Scenario.equal a.Fuzz.scenario b.Fuzz.scenario);
+      Alcotest.(check int) "same shrink steps" a.Fuzz.shrink_steps b.Fuzz.shrink_steps
+  | _ -> Alcotest.fail "planted violation should surface under both jobs settings"
+
 let report_catalogue () =
   let cat = Report.catalogue () in
   let contains needle =
@@ -441,6 +467,10 @@ let () =
           Alcotest.test_case "shrink reaches a local minimum" `Quick
             fuzz_shrink_is_local_minimum;
           Alcotest.test_case "real pipeline fuzz smoke" `Quick fuzz_real_pipeline_smoke;
+          Alcotest.test_case "jobs-invariant on passing battery" `Quick
+            fuzz_jobs_invariant_pass;
+          Alcotest.test_case "jobs-invariant on planted failure" `Quick
+            fuzz_jobs_invariant_fail;
           Alcotest.test_case "report catalogue" `Quick report_catalogue;
         ] );
     ]

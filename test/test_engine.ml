@@ -80,6 +80,48 @@ let test_differential_topology () =
     check_instance ~what:(Printf.sprintf "topology #%d n=%d" i n) inst
   done
 
+(* Golden pin of the incremental engine's exact output on the full
+   differential corpus above (120 Table 2 + 90 topology instances, every
+   policy shape): an MD5 over every event of every schedule, all six fields
+   printed at full precision.  The constant was recorded from the
+   heap-of-records engine immediately BEFORE the struct-of-arrays state
+   refactor, so any bit drift the refactor (or a future "optimisation")
+   introduces — a reassociated float add, a changed tie-break — fails here
+   even if naive and incremental drift together. *)
+let golden_corpus_digest = "c41503ce355d6f12d3eaf9456937f173"
+let golden_corpus_bytes = 6_355_835
+
+let test_corpus_golden_digest () =
+  let buf = Buffer.create 65536 in
+  let feed inst =
+    List.iter
+      (fun p ->
+        let s = Engine.run ~mode:`Incremental p inst in
+        Buffer.add_string buf (Policy.name p);
+        List.iter
+          (fun (e : Schedule.event) ->
+            Buffer.add_string buf
+              (Printf.sprintf "|%d:%d>%d@%.17g,%.17g,%.17g" e.Schedule.round
+                 e.Schedule.src e.Schedule.dst e.Schedule.start e.Schedule.sender_free
+                 e.Schedule.arrival))
+          s.Schedule.events)
+      policies
+  in
+  for i = 0 to 119 do
+    let n = 2 + (i * 61 / 119) in
+    let rng = Rng.create (7_000 + i) in
+    feed (Instance.random ~rng ~n Instance.table2_ranges)
+  done;
+  for i = 0 to 89 do
+    let n = 2 + (i * 62 / 89) in
+    let rng = Rng.create (11_000 + i) in
+    let grid = Generators.uniform_random ~rng ~n Generators.default_random_spec in
+    feed (Instance.of_grid ~root:(i mod n) ~msg:1_000_000 grid)
+  done;
+  Alcotest.(check int) "corpus size" golden_corpus_bytes (Buffer.length buf);
+  Alcotest.(check string) "corpus digest" golden_corpus_digest
+    (Digest.to_hex (Digest.string (Buffer.contents buf)))
+
 (* Degenerate and tie-heavy corners: uniform matrices make every candidate
    tie every round, so any deviation from ascending-(i, j) resolution shows
    up immediately. *)
@@ -201,6 +243,7 @@ let () =
           quick "table2 instances" test_differential_random;
           quick "topology instances" test_differential_topology;
           quick "tie-heavy instances" test_differential_ties;
+          quick "pre-refactor golden digest" test_corpus_golden_digest;
         ] );
       ( "internals",
         [

@@ -523,7 +523,11 @@ let test_mean_reliable_discipline () =
       ~transport:(Exec.adaptive ~reroute:true ()) machines plan
   in
   Alcotest.(check bool) "reroute delivers in every repetition" true r.Exec.all_delivered;
-  check_feq ~eps:0. "full delivered fraction" 1. r.Exec.delivered_fraction
+  check_feq ~eps:0. "full delivered fraction" 1. r.Exec.delivered_fraction;
+  (* Fanning the repetitions over a pool must not move a single bit: each
+     rep's fault stream derives from (seed, rep) alone. *)
+  let par = Exec.mean_reliable ~repetitions:3 ~seed:5 ~spec ~jobs:4 machines plan in
+  Alcotest.(check bool) "jobs=4 bit-identical to sequential" true (a = par)
 
 (* --- Exec.mean_makespan stream discipline ------------------------------- *)
 
@@ -537,23 +541,35 @@ let test_mean_makespan_seed_determinism () =
   Alcotest.(check bool) "different seeds differ" true (mean 9 <> mean 10)
 
 let test_mean_makespan_split_streams () =
-  (* Repetition 0 runs on Rng.split of the seed stream, so a single-rep
-     mean must equal a direct run on that split — and stay put no matter
-     how many further repetitions follow it. *)
+  (* Repetition [rep] runs on the indexed stream [Rng.split base rep], so a
+     single-rep mean must equal a direct run on stream 0 — and every rep's
+     value is independent of how many repetitions surround it. *)
   let grid = Grid5000.grid () in
   let machines, plan = plan_of_grid ~msg:1_000_000 grid in
   let noise = Noise.Lognormal 0.08 in
   let rng = Rng.create 21 in
-  let direct = Exec.run ~noise ~rng:(Rng.split rng) machines plan in
+  let direct = Exec.run ~noise ~rng:(Rng.split rng 0) machines plan in
   let m1 = Exec.mean_makespan ~noise ~repetitions:1 ~seed:21 machines plan in
-  check_feq ~eps:0. "rep 0 is the first split stream" direct.Exec.makespan m1;
+  check_feq ~eps:0. "rep 0 is indexed stream 0" direct.Exec.makespan m1;
   let m2 = Exec.mean_makespan ~noise ~repetitions:2 ~seed:21 machines plan in
   let m3 = Exec.mean_makespan ~noise ~repetitions:3 ~seed:21 machines plan in
-  (* Prefix property: rep 1's value recovered from the 2- and 3-rep means
-     must agree, which fails if one rep's draw count shifted the next. *)
-  check_feq "rep 1 independent of later reps" ((2. *. m2) -. m1) ((2. *. m2) -. m1);
+  (* Prefix property: rep 1's value recovered from the 2-rep mean must be
+     exactly what the 3-rep mean implies for it, which fails if one rep's
+     draw count shifted another's stream. *)
+  let rep1_from_2 = (2. *. m2) -. m1 in
+  let direct1 = Exec.run ~noise ~rng:(Rng.split rng 1) machines plan in
+  check_feq "rep 1 is indexed stream 1" direct1.Exec.makespan rep1_from_2;
   let rep2_from_3 = (3. *. m3) -. (2. *. m2) in
-  Alcotest.(check bool) "rep 2 is a plausible makespan" true (rep2_from_3 > 0.)
+  let direct2 = Exec.run ~noise ~rng:(Rng.split rng 2) machines plan in
+  check_feq "rep 2 is indexed stream 2" direct2.Exec.makespan rep2_from_3;
+  (* The indexed derivation is pure: deriving streams above did not advance
+     [rng], so the means are reproducible from the same base. *)
+  check_feq ~eps:0. "split is pure in the base state" m1
+    (Exec.mean_makespan ~noise ~repetitions:1 ~seed:21 machines plan);
+  (* And the pool gives the identical mean at any worker count. *)
+  check_feq ~eps:0. "jobs=4 mean is bit-identical"
+    m3
+    (Exec.mean_makespan ~noise ~repetitions:3 ~jobs:4 ~seed:21 machines plan)
 
 let test_noise_uniform_rejects_bad_eps () =
   let rng = Rng.create 0 in

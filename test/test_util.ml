@@ -33,8 +33,136 @@ let test_rng_copy () =
 
 let test_rng_split_independent () =
   let a = Rng.create 9 in
-  let b = Rng.split a in
+  let b = Rng.split a 0 in
   Alcotest.(check bool) "split streams differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_split_pure () =
+  (* Deriving a stream must not advance the base generator: the pool hands
+     [split base i] to task [i] on whatever domain claims it, so any hidden
+     mutation of [base] would make results depend on claim order. *)
+  let a = Rng.create 31 and b = Rng.create 31 in
+  for i = 0 to 99 do
+    ignore (Rng.split a i)
+  done;
+  Alcotest.(check int64) "base state untouched" (Rng.bits64 b) (Rng.bits64 a)
+
+let test_rng_split_deterministic () =
+  let draw seed i = Rng.bits64 (Rng.split (Rng.create seed) i) in
+  for i = 0 to 49 do
+    Alcotest.(check int64)
+      (Printf.sprintf "stream %d reproducible" i)
+      (draw 7 i) (draw 7 i)
+  done;
+  Alcotest.(check bool) "base state enters the derivation" false
+    (draw 7 3 = draw 8 3)
+
+let test_rng_split_collision_free () =
+  (* Distinct indices from one base must give distinct streams — the
+     repetition fan-out depends on it.  Check the first draw of 4096
+     consecutive streams plus a spread of large indices: all distinct. *)
+  let base = Rng.create 2006 in
+  let seen = Hashtbl.create 8192 in
+  let check i =
+    let first = Rng.bits64 (Rng.split base i) in
+    (match Hashtbl.find_opt seen first with
+    | Some j -> Alcotest.failf "streams %d and %d share their first draw" j i
+    | None -> ());
+    Hashtbl.add seen first i
+  in
+  for i = 0 to 4095 do
+    check i
+  done;
+  List.iter check [ 10_000; 100_000; 1_000_000; 12_345_678; max_int ]
+
+let test_rng_split_rejects_negative () =
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.split: negative stream index") (fun () ->
+      ignore (Rng.split (Rng.create 1) (-1)))
+
+(* --- Pool -------------------------------------------------------------- *)
+
+module Pool = Gridb_util.Pool
+
+(* A task heavy enough to make domains interleave, deterministic per index. *)
+let pool_task i =
+  let rng = Rng.split (Rng.create 99) i in
+  let acc = ref 0L in
+  for _ = 1 to 50 do
+    acc := Int64.add !acc (Rng.bits64 rng)
+  done;
+  !acc
+
+let test_pool_map_matches_sequential () =
+  let items = Array.init 97 (fun i -> i) in
+  let expected = Array.map pool_task items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int64))
+        (Printf.sprintf "jobs=%d bit-identical" jobs)
+        expected
+        (Pool.map ~jobs pool_task items))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_mapi_passes_index () =
+  let items = Array.make 23 "x" in
+  let got = Pool.mapi ~jobs:4 (fun i s -> Printf.sprintf "%s%d" s i) items in
+  Alcotest.(check (array string)) "indices in order"
+    (Array.init 23 (Printf.sprintf "x%d"))
+    got
+
+let test_pool_empty_and_singleton () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.map ~jobs:8 (fun x -> x) [||]);
+  Alcotest.(check (array int)) "singleton" [| 6 |]
+    (Pool.map ~jobs:8 (fun x -> 2 * x) [| 3 |]);
+  Alcotest.(check (list int)) "map_list" [ 2; 4; 6 ]
+    (Pool.map_list ~jobs:4 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_pool_find_first_matches_scan =
+  QCheck.Test.make ~name:"pool find_first = sequential scan"
+    ~count:(Testutil.count 200)
+    QCheck.(pair (int_range 1 8) (list_of_size (QCheck.Gen.int_bound 40) bool))
+    (fun (jobs, flags) ->
+      let items = Array.of_list flags in
+      let f _ hit = if hit then Some () else None in
+      let expected =
+        let rec scan i =
+          if i >= Array.length items then None
+          else if items.(i) then Some (i, ())
+          else scan (i + 1)
+        in
+        scan 0
+      in
+      Pool.find_first ~jobs f items = expected)
+
+let test_pool_find_first_early_match () =
+  (* Match at index 0 with heavy tails: the parallel scan must still
+     return index 0, whatever workers did speculatively. *)
+  let items = Array.init 64 (fun i -> i) in
+  let f _ v =
+    if v = 0 then Some "first"
+    else begin
+      ignore (pool_task v);
+      if v mod 3 = 0 then Some "later" else None
+    end
+  in
+  Alcotest.(check (option (pair int string)))
+    "first index wins" (Some (0, "first"))
+    (Pool.find_first ~jobs:4 f items)
+
+exception Boom of int
+
+let test_pool_raises_lowest_index () =
+  let items = Array.init 40 (fun i -> i) in
+  let f v = if v = 31 || v = 17 then raise (Boom v) else pool_task v in
+  List.iter
+    (fun jobs ->
+      match Pool.map ~jobs f items with
+      | _ -> Alcotest.failf "jobs=%d: expected Boom" jobs
+      | exception Boom v ->
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d lowest failing index" jobs)
+            17 v)
+    [ 1; 4 ]
 
 let test_rng_int_bounds () =
   let rng = Rng.create 5 in
@@ -330,6 +458,69 @@ let test_score_heap_invariant_random =
         ops;
       Score_heap.check_invariant h)
 
+(* --- Score_heap.Bank --------------------------------------------------- *)
+
+(* The engine reads second_score straight out of a Bank row's slots, so a
+   row must hold the bit-identical slot layout a standalone heap would —
+   not merely the same multiset.  Replay random push/drop sequences into
+   both and compare every observation after every operation. *)
+let test_bank_matches_standalone =
+  QCheck.Test.make ~name:"bank row = standalone score heap"
+    ~count:(Testutil.count 200)
+    QCheck.(
+      pair (oneofl [ Score_heap.Min; Score_heap.Max ])
+        (list_of_size (Gen.int_bound 60) (pair (int_bound 40) (int_bound 20))))
+    (fun (order, ops) ->
+      let bank = Score_heap.Bank.create ~rows:3 ~cap:64 ~order in
+      let row = 1 in
+      let h = Score_heap.create ~order () in
+      let same () =
+        let n = Score_heap.length h in
+        Score_heap.Bank.size bank row = n
+        && Score_heap.Bank.check_invariant bank row
+        && (n = 0
+           || Score_heap.Bank.top_score bank row = Score_heap.top_score h
+              && Score_heap.Bank.top_id bank row = Score_heap.top_id h
+              && Score_heap.Bank.second_score bank row = Score_heap.second_score h)
+      in
+      List.for_all
+        (fun (s, id) ->
+          if s mod 3 = 2 && Score_heap.length h > 0 then begin
+            Score_heap.drop_top h;
+            Score_heap.Bank.drop_top bank row
+          end
+          else begin
+            Score_heap.push h (float_of_int s) id;
+            Score_heap.Bank.push bank row (float_of_int s) id
+          end;
+          same ())
+        ops)
+
+let test_bank_rows_independent () =
+  let bank = Score_heap.Bank.create ~rows:3 ~cap:4 ~order:Score_heap.Min in
+  Score_heap.Bank.push bank 0 5. 1;
+  Score_heap.Bank.push bank 2 3. 9;
+  Score_heap.Bank.push bank 2 1. 4;
+  Alcotest.(check int) "row 0 size" 1 (Score_heap.Bank.size bank 0);
+  Alcotest.(check bool) "row 1 empty" true (Score_heap.Bank.is_empty bank 1);
+  Alcotest.(check int) "row 2 top id" 4 (Score_heap.Bank.top_id bank 2);
+  Score_heap.Bank.reset bank 2;
+  Alcotest.(check bool) "row 2 reset" true (Score_heap.Bank.is_empty bank 2);
+  Alcotest.(check int) "row 0 survives reset of row 2" 1
+    (Score_heap.Bank.size bank 0)
+
+let test_bank_bounds () =
+  let bank = Score_heap.Bank.create ~rows:2 ~cap:2 ~order:Score_heap.Min in
+  Score_heap.Bank.push bank 0 1. 0;
+  Score_heap.Bank.push bank 0 2. 1;
+  Alcotest.check_raises "row full"
+    (Invalid_argument "Score_heap.Bank.push: row full") (fun () ->
+      Score_heap.Bank.push bank 0 3. 2);
+  Alcotest.check_raises "bad cap" (Invalid_argument "Score_heap.Bank.create: cap < 1")
+    (fun () -> ignore (Score_heap.Bank.create ~rows:1 ~cap:0 ~order:Score_heap.Min));
+  Alcotest.check_raises "bad row" (Invalid_argument "Score_heap.Bank.push: bad row")
+    (fun () -> Score_heap.Bank.push bank 2 1. 0)
+
 (* --- Units ------------------------------------------------------------ *)
 
 let test_units_conversions () =
@@ -467,6 +658,10 @@ let () =
           quick "seed sensitivity" test_rng_seed_sensitivity;
           quick "copy" test_rng_copy;
           quick "split" test_rng_split_independent;
+          quick "split pure" test_rng_split_pure;
+          quick "split deterministic" test_rng_split_deterministic;
+          quick "split collision-free" test_rng_split_collision_free;
+          quick "split rejects negative" test_rng_split_rejects_negative;
           quick "int bounds" test_rng_int_bounds;
           quick "int_in bounds" test_rng_int_in_bounds;
           quick "int rejects" test_rng_int_rejects;
@@ -499,12 +694,24 @@ let () =
           quick "ties" test_heap_stability_order;
           QCheck_alcotest.to_alcotest test_heap_differential;
         ] );
+      ( "pool",
+        [
+          quick "map matches sequential" test_pool_map_matches_sequential;
+          quick "mapi passes index" test_pool_mapi_passes_index;
+          quick "empty/singleton/list" test_pool_empty_and_singleton;
+          QCheck_alcotest.to_alcotest test_pool_find_first_matches_scan;
+          quick "find_first early match" test_pool_find_first_early_match;
+          quick "raises lowest index" test_pool_raises_lowest_index;
+        ] );
       ( "score-heap",
         [
           quick "orders" test_score_heap_orders;
           quick "ties to smaller id" test_score_heap_ties_to_smaller_id;
           quick "top/drop/grow" test_score_heap_top_and_drop;
           QCheck_alcotest.to_alcotest test_score_heap_invariant_random;
+          QCheck_alcotest.to_alcotest test_bank_matches_standalone;
+          quick "bank rows independent" test_bank_rows_independent;
+          quick "bank bounds" test_bank_bounds;
         ] );
       ( "units",
         [ quick "conversions" test_units_conversions; quick "pretty" test_units_pp ] );
