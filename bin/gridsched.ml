@@ -428,6 +428,13 @@ let transport_conv =
   Arg.conv
     (parse, fun ppf t -> Format.pp_print_string ppf (Gridb_des.Exec.transport_to_string t))
 
+let dynamics_conv =
+  let parse s =
+    match Gridb_des.Dynamics.of_string s with Ok spec -> Ok spec | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    (parse, fun ppf spec -> Format.pp_print_string ppf (Gridb_des.Dynamics.to_string spec))
+
 let trace_arg =
   Arg.(
     value
@@ -438,7 +445,7 @@ let trace_arg =
            line; read back with $(b,Gridb_obs.Sink.read)).")
 
 let simulate_cmd =
-  let run heuristic topology msg seed faults retries transport reps jitter jobs trace =
+  let run heuristic topology msg seed faults dynamics retries transport reps jitter jobs trace =
     match load_grid topology with
     | Error e ->
         prerr_endline e;
@@ -460,7 +467,7 @@ let simulate_cmd =
             let repetitions = if reps > 0 then Some reps else None in
             let robustness obs =
               Gridb_experiments.Robustness.run ~policy ~msg ~retries ~seed ~noise ?obs
-                ~transport ?repetitions ~jobs ~spec:faults grid
+                ~transport ~dyn:dynamics ?repetitions ~jobs ~spec:faults grid
             in
             let metrics, traced =
               match trace with
@@ -474,6 +481,14 @@ let simulate_cmd =
             (match traced with
             | Some (path, count) -> Printf.printf "trace: %d events -> %s\n" count path
             | None -> ());
+            (match metrics.Gridb_experiments.Robustness.partition_drift with
+            | Some d when d > 0. ->
+                Printf.eprintf
+                  "warning: live estimates re-cluster differently from planning time \
+                   (partition drift %.3f); the schedule's cluster map is stale — consider \
+                   replanning.\n"
+                  d
+            | _ -> ());
             0)
   in
   let heuristic =
@@ -491,6 +506,22 @@ let simulate_cmd =
              rate, 1/us), $(b,degrade-mean) (mean episode length, us), $(b,degrade-factor) \
              (slowdown multiplier).  Example: $(b,loss=0.05,crash=2e-8).  $(b,none) disables \
              fault injection.")
+  in
+  let dynamics =
+    Arg.(
+      value
+      & opt dynamics_conv Gridb_des.Dynamics.none
+      & info [ "dynamics" ] ~docv:"SPEC"
+          ~doc:
+            "Grid dynamics specification, comma-separated $(b,key=value) pairs: $(b,drift) \
+             (background-load walk-step rate per link, 1/us), $(b,drift-sigma) (lognormal \
+             step sigma), $(b,drift-max) (factor clamp), $(b,load-on)/$(b,load-off) (mean \
+             loaded/unloaded phase durations, us; $(b,load-off=0) keeps links loaded), \
+             $(b,leave) (permanent departure rate per rank, 1/us), $(b,join) (join arrival \
+             rate, 1/us), $(b,join-max) (cap on joins), $(b,churn=r) (shorthand for \
+             $(b,leave=r,join=r)), $(b,recluster) (online re-clustering period, us).  \
+             Example: $(b,drift=2e-5,churn=5e-8,recluster=2e5).  $(b,none) disables \
+             dynamics.")
   in
   let retries =
     Arg.(
@@ -527,10 +558,12 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate"
-       ~doc:"Reliable broadcast under fault injection (delivery ratio, inflation, repair)")
+       ~doc:
+         "Reliable broadcast under fault injection and grid dynamics (delivery ratio, \
+          inflation, repair)")
     Term.(
-      const run $ heuristic $ topology_arg $ msg_arg $ seed_arg $ faults $ retries
-      $ transport $ reps $ jitter $ jobs_arg $ trace_arg)
+      const run $ heuristic $ topology_arg $ msg_arg $ seed_arg $ faults $ dynamics
+      $ retries $ transport $ reps $ jitter $ jobs_arg $ trace_arg)
 
 (* --- profile: per-phase rollup of one schedule-and-execute pipeline --- *)
 

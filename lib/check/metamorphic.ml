@@ -180,6 +180,59 @@ let transport_equivalence ?(msg = 1_000_000) ?(seed = 0) machines plan =
   in
   go transports
 
+(* Entrywise, nan-aware: undelivered ranks record nan, and nan <> nan. *)
+let same_arrivals a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> (Float.is_nan x && Float.is_nan y) || x = y)
+       a b
+
+let dynamics_identity ?(msg = 1_000_000) ?(seed = 0) ?fault_seed
+    ?(transport = Gridb_des.Exec.Fixed) ?(spec = Gridb_des.Faults.none)
+    machines plan =
+  let open Gridb_des in
+  let name = "dynamics-identity" in
+  let n = Gridb_topology.Machines.count machines in
+  let fseed = Option.value fault_seed ~default:seed in
+  let run ?dynamics ?(on_tick = fun ~now:_ _ -> ()) ?(tick_every = 0.) () =
+    Exec.run_reliable
+      ~rng:(Gridb_util.Rng.create seed)
+      ~msg
+      ~faults:(Faults.create ~seed:fseed ~n spec)
+      ?dynamics ~on_tick ~tick_every ~transport machines plan
+  in
+  let base = run () in
+  let clusters =
+    Gridb_topology.Grid.size (Gridb_topology.Machines.grid machines)
+  in
+  let model = Dynamics.create ~seed:(seed lxor 0x64796e) ~n ~clusters Dynamics.none in
+  (* The tick hook is live on purpose: observation must not perturb. *)
+  let ticks = ref 0 in
+  let dyn = run ~dynamics:model ~on_tick:(fun ~now:_ _ -> incr ticks) ~tick_every:5e4 () in
+  if not (same_arrivals dyn.Exec.r_arrival base.Exec.r_arrival) then
+    fail name "arrival vector differs under a zero-dynamics model (transport %s)"
+      (Exec.transport_to_string transport)
+  else if dyn.Exec.r_makespan <> base.Exec.r_makespan then
+    fail name "makespan %.17g under a zero-dynamics model, %.17g without"
+      dyn.Exec.r_makespan base.Exec.r_makespan
+  else if dyn.Exec.r_transmissions <> base.Exec.r_transmissions then
+    fail name "%d transmissions under a zero-dynamics model, %d without"
+      dyn.Exec.r_transmissions base.Exec.r_transmissions
+  else if dyn.Exec.retransmissions <> base.Exec.retransmissions then
+    fail name "%d retransmissions under a zero-dynamics model, %d without"
+      dyn.Exec.retransmissions base.Exec.retransmissions
+  else if dyn.Exec.delivered <> base.Exec.delivered then
+    fail name "%d delivered under a zero-dynamics model, %d without"
+      dyn.Exec.delivered base.Exec.delivered
+  else if dyn.Exec.horizon <> base.Exec.horizon then
+    fail name "horizon %.17g under a zero-dynamics model, %.17g without"
+      dyn.Exec.horizon base.Exec.horizon
+  else if dyn.Exec.left <> [] || dyn.Exec.joined <> [] then
+    fail name "a zero-dynamics model reported %d departures and %d joins"
+      (List.length dyn.Exec.left)
+      (List.length dyn.Exec.joined)
+  else Ok ()
+
 let metamorphic_names =
   [
     "scaling";
@@ -187,4 +240,5 @@ let metamorphic_names =
     "size-dominance";
     "size-monotonicity";
     "transport-equivalence";
+    "dynamics-identity";
   ]

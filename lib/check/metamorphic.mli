@@ -23,7 +23,11 @@
     - {b transport equivalence}: with an empty fault spec, all three
       reliable transports must be bit-identical to the unreliable
       executor — same arrivals, makespan and transmission count, zero
-      retransmissions. *)
+      retransmissions.
+    - {b dynamics identity}: attaching a {!Gridb_des.Dynamics} model whose
+      spec is {!Gridb_des.Dynamics.none} — with a live observation tick —
+      must leave a reliable run bit-identical to the same run without a
+      model, faults and all. *)
 
 open Gridb_sched
 
@@ -58,6 +62,24 @@ val transport_equivalence :
     {!Gridb_des.Exec.run} — arrivals, makespan and transmission counts
     must be {e exactly} equal and no retransmission may fire.  [msg]
     defaults to 1 MB, [seed] to 0. *)
+
+val dynamics_identity :
+  ?msg:int ->
+  ?seed:int ->
+  ?fault_seed:int ->
+  ?transport:Gridb_des.Exec.transport ->
+  ?spec:Gridb_des.Faults.spec ->
+  Gridb_topology.Machines.t ->
+  Gridb_des.Plan.t ->
+  Invariant.outcome
+(** ["dynamics-identity"]: {!Gridb_des.Exec.run_reliable} with a
+    zero-dynamics {!Gridb_des.Dynamics} model attached (and an [on_tick]
+    observation hook firing every 50 ms) against the same run without one:
+    arrival vector (nan-aware), makespan, transmission / retransmission /
+    delivered counts and horizon must be {e exactly} equal, and the model
+    must report no churn.  [spec] (default no faults) and [transport]
+    (default fixed) select the baseline being perturbed; [fault_seed]
+    defaults to [seed]. *)
 
 val metamorphic_names : string list
 (** The invariant names the laws above can report. *)

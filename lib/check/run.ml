@@ -1,6 +1,7 @@
 open Gridb_sched
 module Exec = Gridb_des.Exec
 module Faults = Gridb_des.Faults
+module Dynamics = Gridb_des.Dynamics
 module Plan = Gridb_des.Plan
 module Machines = Gridb_topology.Machines
 module Rng = Gridb_util.Rng
@@ -79,10 +80,80 @@ let arrival_accounting (r : Exec.reliable) events =
         "max delivered arrival %.17g but recorded makespan %.17g" max_arrival
         r.Exec.r_makespan
 
+(* Delivery accounting under churn: the executor's [left] / [joined]
+   reports and its arrival vector must agree with the dynamics model it
+   ran under — departures are exactly the ranks whose pre-drawn leave time
+   fell inside the horizon, nothing is delivered to a rank after it left,
+   and joins outside the horizon never receive (or appear) at all. *)
+let churn_accounting (d : Dynamics.t) (r : Exec.reliable) =
+  let name = "churn-accounting" in
+  let n = Dynamics.size d in
+  let ntot = Dynamics.total d in
+  let horizon = r.Exec.horizon in
+  if Array.length r.Exec.r_arrival <> ntot then
+    fail name "arrival vector spans %d ranks, model population is %d"
+      (Array.length r.Exec.r_arrival) ntot
+  else begin
+    let expected_left = ref [] in
+    for k = n - 1 downto 0 do
+      if Dynamics.leave_time d k <= horizon then expected_left := k :: !expected_left
+    done;
+    if List.sort compare r.Exec.left <> !expected_left then
+      fail name "executor reports departures {%s}, model says {%s} by %.17g"
+        (String.concat "," (List.map string_of_int r.Exec.left))
+        (String.concat "," (List.map string_of_int !expected_left))
+        horizon
+    else begin
+      let expected_joined =
+        Array.to_list (Dynamics.joins d)
+        |> List.filter_map (fun (j : Dynamics.join) ->
+               if j.at <= horizon then Some j.rank else None)
+      in
+      if List.sort compare r.Exec.joined <> expected_joined then
+        fail name "executor reports joins {%s}, model says {%s} by %.17g"
+          (String.concat "," (List.map string_of_int r.Exec.joined))
+          (String.concat "," (List.map string_of_int expected_joined))
+          horizon
+      else begin
+        let bad = ref None in
+        for k = 0 to ntot - 1 do
+          let a = r.Exec.r_arrival.(k) in
+          if !bad = None && not (Float.is_nan a) then
+            if a >= Dynamics.leave_time d k then
+              bad :=
+                Some
+                  (Printf.sprintf
+                     "rank %d delivered at %.17g, at or after its departure at %.17g" k a
+                     (Dynamics.leave_time d k))
+        done;
+        Array.iter
+          (fun (j : Dynamics.join) ->
+            let a = r.Exec.r_arrival.(j.rank) in
+            if !bad = None && not (Float.is_nan a) then
+              if j.at > horizon then
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "join rank %d arrives at %.17g, beyond the horizon %.17g, yet \
+                        was delivered"
+                       j.rank j.at horizon)
+              else if a < j.at then
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "join rank %d delivered at %.17g before it even joined at %.17g"
+                       j.rank a j.at))
+          (Dynamics.joins d);
+        match !bad with None -> Ok () | Some detail -> fail name "%s" detail
+      end
+    end
+  end
+
 let check (sc : Scenario.t) =
   let* policy = resolve Scenario.policy sc in
   let* transport = resolve Scenario.transport sc in
   let* spec = resolve Scenario.faults_spec sc in
+  let* dspec = resolve Scenario.dynamics_spec sc in
   let grid = Scenario.grid sc in
   let inst = Instance.of_grid ~root:sc.root ~msg:sc.msg grid in
   (* Schedule-level checks. *)
@@ -109,21 +180,50 @@ let check (sc : Scenario.t) =
       ~expected:(Schedule.makespan inst s) ~got:res.Exec.makespan
   in
   let* () = Metamorphic.transport_equivalence ~msg:sc.msg ~seed:sc.seed machines plan in
+  (* Zero-dynamics identity, in the scenario's own fault/transport cell:
+     attaching an inert dynamics model may change nothing. *)
+  let* () =
+    Metamorphic.dynamics_identity ~msg:sc.msg ~seed:sc.seed
+      ~fault_seed:(Scenario.fault_seed sc) ~transport ~spec machines plan
+  in
   (* Faulty branch: reliable execution under the scenario's fault spec. *)
-  if Faults.is_none spec then Ok ()
+  let* () =
+    if Faults.is_none spec then Ok ()
+    else begin
+      let faults =
+        Faults.create ~seed:(Scenario.fault_seed sc) ~n:n_ranks spec
+      in
+      let sink = Sink.memory () in
+      let r =
+        Exec.run_reliable ~msg:sc.msg ~obs:sink ~faults ~transport machines plan
+      in
+      let events = Sink.events sink in
+      let* () =
+        Invariant.check_stream ~faulty:true ~n:n_ranks ~root:plan.Plan.root
+          events
+      in
+      arrival_accounting r events
+    end
+  in
+  (* Dynamic branch: the same reliable execution with the scenario's
+     dynamics model attached (faults included when the scenario has both),
+     checked against the stream invariants over the churned population and
+     against the model's own books. *)
+  if Dynamics.is_none dspec then Ok ()
   else begin
-    let faults =
-      Faults.create ~seed:(Scenario.fault_seed sc) ~n:n_ranks spec
-    in
+    let faults = Faults.create ~seed:(Scenario.fault_seed sc) ~n:n_ranks spec in
+    let d = Dynamics.create ~seed:(Scenario.dyn_seed sc) ~n:n_ranks ~clusters:sc.n dspec in
     let sink = Sink.memory () in
     let r =
-      Exec.run_reliable ~msg:sc.msg ~obs:sink ~faults ~transport machines plan
+      Exec.run_reliable ~msg:sc.msg ~obs:sink ~faults ~dynamics:d ~transport
+        ~tick_every:dspec.Dynamics.recluster_every machines plan
     in
     let events = Sink.events sink in
     let* () =
-      Invariant.check_stream ~faulty:true ~n:n_ranks ~root:plan.Plan.root
-        events
+      Invariant.check_stream ~faulty:true ~n:(Dynamics.total d)
+        ~root:plan.Plan.root events
     in
+    let* () = churn_accounting d r in
     arrival_accounting r events
   end
 
@@ -134,4 +234,5 @@ let run_invariant_names =
     "makespan-cross-check";
     "arrival-accounting";
     "delivered-accounting";
+    "churn-accounting";
   ]

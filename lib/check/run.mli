@@ -15,7 +15,12 @@
       executes;
     - ["arrival-accounting"] / ["delivered-accounting"]: under faults, the
       executor's arrival vector, its [delivered] counter and the [Arrival]
-      events of the stream must tell one consistent story. *)
+      events of the stream must tell one consistent story;
+    - ["churn-accounting"]: under dynamics, the executor's [left] /
+      [joined] reports must match the model's pre-drawn departures and
+      joins within the horizon, nothing may be delivered to a rank at or
+      after its departure, and joins outside the horizon must never
+      receive. *)
 
 val check : Scenario.t -> Invariant.outcome
 (** The full pipeline; first violation wins. *)

@@ -8,6 +8,7 @@ type t = {
   policy : string;
   transport : string;
   faults : string;
+  dynamics : string;
 }
 
 let equal (a : t) (b : t) = a = b
@@ -32,6 +33,18 @@ let fault_menu =
     "loss=0.1,degrade=1e-7,degrade-factor=4";
   |]
 
+(* Same shape as the fault menu: "none" half the time so the static
+   pipeline stays the hot path, then drift-only, churn-only and combined
+   cells, with rates sized for the ~1e6-us horizons of Table-2 grids. *)
+let dynamics_menu =
+  [|
+    "none"; "none"; "none"; "none";
+    "drift=2e-5,load-off=0";
+    "drift=1e-4,drift-sigma=0.5";
+    "churn=1e-7";
+    "drift=2e-5,churn=5e-8,recluster=2e5";
+  |]
+
 let sizes = [| 10_000; 65_536; 250_000; 1_000_000 |]
 
 let generate rng =
@@ -44,6 +57,7 @@ let generate rng =
     policy = Rng.pick rng policies;
     transport = Rng.pick rng transports;
     faults = Rng.pick rng fault_menu;
+    dynamics = Rng.pick rng dynamics_menu;
   }
 
 (* --- derived pipeline inputs ------------------------------------------- *)
@@ -53,6 +67,7 @@ let generate rng =
 let grid_seed t = t.seed lxor 0x67726964 (* "grid" *)
 let fault_seed t = t.seed lxor 0x666c74 (* "flt" *)
 let perm_seed t = t.seed lxor 0x7065726d (* "perm" *)
+let dyn_seed t = t.seed lxor 0x64796e (* "dyn" *)
 
 let grid t =
   let spec =
@@ -69,6 +84,7 @@ let policy t =
 
 let transport t = Gridb_des.Exec.transport_of_string t.transport
 let faults_spec t = Gridb_des.Faults.of_string t.faults
+let dynamics_spec t = Gridb_des.Dynamics.of_string t.dynamics
 
 (* --- codec ------------------------------------------------------------- *)
 
@@ -99,6 +115,7 @@ let to_json ?(extra = []) t =
   str "policy" t.policy;
   str "transport" t.transport;
   str "faults" t.faults;
+  str "dynamics" t.dynamics;
   List.iter (fun (k, v) -> str k v) extra;
   Buffer.add_char buf '}';
   Buffer.contents buf
@@ -242,6 +259,14 @@ let of_json line =
         | Some _ -> raise (Bad (Printf.sprintf "field %S: expected string" k))
         | None -> raise (Bad (Printf.sprintf "missing field %S" k))
       in
+      (* Optional so reproducers written before the field existed still
+         load; a pre-dynamics scenario is one with no dynamics. *)
+      let gets_opt k ~default =
+        match List.assoc_opt k fields with
+        | Some (Str s) -> s
+        | Some _ -> raise (Bad (Printf.sprintf "field %S: expected string" k))
+        | None -> default
+      in
       try
         let fmt = gets "format" in
         if fmt <> format_tag then
@@ -256,6 +281,7 @@ let of_json line =
               policy = gets "policy";
               transport = gets "transport";
               faults = gets "faults";
+              dynamics = gets_opt "dynamics" ~default:"none";
             }
           in
           if t.n < 1 then Error "n must be >= 1"
@@ -277,6 +303,7 @@ let shrink_candidates t =
   let clamp_root n root = min root (n - 1) in
   let candidates =
     [
+      { t with dynamics = "none" };
       { t with faults = "none" };
       { t with transport = "fixed" };
       { t with policy = "FlatTree" };

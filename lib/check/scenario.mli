@@ -18,6 +18,7 @@ type t = {
   policy : string;  (** resolvable by {!Gridb_sched.Policy.by_name} *)
   transport : string;  (** parsed by {!Gridb_des.Exec.transport_of_string} *)
   faults : string;  (** parsed by {!Gridb_des.Faults.of_string} *)
+  dynamics : string;  (** parsed by {!Gridb_des.Dynamics.of_string} *)
 }
 
 val equal : t -> t -> bool
@@ -26,7 +27,8 @@ val pp : Format.formatter -> t -> unit
 val generate : Gridb_util.Rng.t -> t
 (** One random scenario: [n] in 2-8, message size from a four-point menu,
     any of the seven paper policies plus a [Mixed] form, any transport,
-    faults from a menu that is "none" about half the time. *)
+    faults and dynamics each from a menu that is "none" about half the
+    time. *)
 
 (** {1 Derived pipeline inputs} *)
 
@@ -41,9 +43,14 @@ val fault_seed : t -> int
 val perm_seed : t -> int
 (** Seed for the relabeling law's permutation. *)
 
+val dyn_seed : t -> int
+(** Seed for {!Gridb_des.Dynamics.create} — the same [seed lxor 0x64796e]
+    tag the experiment layer uses, distinct from the fault stream. *)
+
 val policy : t -> (Gridb_sched.Policy.t, string) result
 val transport : t -> (Gridb_des.Exec.transport, string) result
 val faults_spec : t -> (Gridb_des.Faults.spec, string) result
+val dynamics_spec : t -> (Gridb_des.Dynamics.spec, string) result
 
 (** {1 Reproducer codec} *)
 
@@ -55,7 +62,8 @@ val to_json : ?extra:(string * string) list -> t -> string
 val of_json : string -> (t, string) result
 (** Parse one {!to_json} line.  Unknown fields are ignored; missing
     scenario fields, a wrong [format] tag or out-of-range values are
-    errors. *)
+    errors.  Exception: a missing [dynamics] field reads as ["none"], so
+    reproducers recorded before the field existed still load. *)
 
 val string_field : key:string -> string -> string option
 (** [string_field ~key line] extracts a top-level string field from a
@@ -65,7 +73,8 @@ val string_field : key:string -> string -> string option
 (** {1 Shrinking} *)
 
 val shrink_candidates : t -> t list
-(** Strictly simpler variants, most aggressive first: drop faults, fix the
-    transport, fall back to FlatTree, re-root at 0, shrink [n] (to 2, then
-    by 1, clamping the root), shrink the message, zero the seed.  Every
-    candidate differs from the input, so greedy shrinking terminates. *)
+(** Strictly simpler variants, most aggressive first: drop dynamics, drop
+    faults, fix the transport, fall back to FlatTree, re-root at 0, shrink
+    [n] (to 2, then by 1, clamping the root), shrink the message, zero the
+    seed.  Every candidate differs from the input, so greedy shrinking
+    terminates. *)

@@ -212,3 +212,9 @@ let quality t ~src ~dst =
 let estimated_params t ~src ~dst nominal =
   let q = quality t ~src ~dst in
   if q = 1. then nominal else Params.rescale ~gap_factor:q ~latency_factor:q nominal
+
+let estimated_latency_matrix ?(symmetric = false) t ~nominal =
+  let e i j = if i = j then 0. else quality t ~src:i ~dst:j *. nominal ~src:i ~dst:j in
+  Array.init t.n (fun i ->
+      Array.init t.n (fun j ->
+          if symmetric && i <> j then Float.max (e i j) (e j i) else e i j))

@@ -143,3 +143,13 @@ val estimated_params : t -> src:int -> dst:int -> Gridb_plogp.Params.t -> Gridb_
     set by {!quality} (gap and latency alike) — a
     {!Gridb_plogp.Params.t}-shaped view of the live estimate that
     {!Gridb_sched.Repair} and the policies can replan on. *)
+
+val estimated_latency_matrix :
+  ?symmetric:bool -> t -> nominal:(src:int -> dst:int -> float) -> float array array
+(** Full [n x n] estimated latency matrix: entry [(i, j)] is
+    {!quality}[ ~src:i ~dst:j] times [nominal ~src:i ~dst:j] (zero on the
+    diagonal) — entry-by-entry equal to the per-link {!estimated_params}
+    latencies.  With [symmetric] (default [false]) off-diagonal entries
+    take the {e max} of the two directions, the conservative symmetric
+    view {!Gridb_clustering.Lowekamp.detect} consumes directly: the slower
+    direction decides whether a pair still looks homogeneous. *)

@@ -126,6 +126,9 @@ type reliable = {
   delivered : int;
   gave_up : (int * int) list;
   crashed : int list;
+  left : int list;
+  joined : int list;
+  horizon : float;
   reroutes : (int * int * int) list;
   circuit_opens : int;
   estimator : Adaptive.t option;
@@ -160,7 +163,8 @@ type reliable = {
    before firing — which is why the zero-fault adaptive run stays
    bit-identical to [run] too. *)
 let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_000)
-    ?(record_trace = false) ?(obs = Sink.null) ?faults ?(retries = 5) ?(rto_mult = 2.)
+    ?(record_trace = false) ?(obs = Sink.null) ?faults ?dynamics
+    ?(on_tick = fun ~now:_ _ -> ()) ?(tick_every = 0.) ?(retries = 5) ?(rto_mult = 2.)
     ?(rto_min = 1.) ?(rto_max = 1e9) ?(transport = Fixed) machines plan =
   let n = Machines.count machines in
   if Plan.size plan <> n then invalid_arg "Exec.run_reliable: plan size mismatch";
@@ -168,6 +172,7 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
   if rto_mult < 1. then invalid_arg "Exec.run_reliable: rto_mult < 1";
   if rto_min <= 0. then invalid_arg "Exec.run_reliable: rto_min must be positive";
   if rto_max < rto_min then invalid_arg "Exec.run_reliable: rto_max < rto_min";
+  if tick_every < 0. then invalid_arg "Exec.run_reliable: negative tick_every";
   let faults =
     match faults with
     | Some f ->
@@ -176,11 +181,58 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
         f
     | None -> Faults.create ~n Faults.none
   in
+  (match dynamics with
+  | Some d when Dynamics.size d <> n ->
+      invalid_arg "Exec.run_reliable: dynamics model size mismatch"
+  | _ -> ());
+  (* Joins extend the rank space above the planning-time population: every
+     per-rank array is sized [ntot], and ranks >= n exist from time 0 as
+     far as the arrays are concerned but only become reachable once their
+     join event fires (the adoption below). *)
+  let joins = match dynamics with Some d -> Dynamics.joins d | None -> [||] in
+  let ntot = n + Array.length joins in
+  let grid = Machines.grid machines in
+  let cluster_of r =
+    if r < n then (Machines.machine machines r).Machines.cluster
+    else joins.(r - n).Dynamics.cluster
+  in
+  (* Link parameters generalised to join ranks: a joining machine gets
+     fresh links with its cluster's nominal intra parameters, and the
+     nominal inter-cluster parameters towards everyone else. *)
+  let params_for src dst =
+    if src < n && dst < n then Machines.link_params machines src dst
+    else
+      let cs = cluster_of src and cd = cluster_of dst in
+      if cs = cd then (Gridb_topology.Grid.cluster grid cs).Gridb_topology.Cluster.intra
+      else Gridb_topology.Grid.link grid cs cd
+  in
+  (* A rank halts at its fault-model crash or its dynamics departure,
+     whichever comes first; join ranks never halt. *)
+  let halt r =
+    let crash = if r < n then Faults.crash_time faults r else infinity in
+    match dynamics with
+    | None -> crash
+    | Some d -> Float.min crash (Dynamics.leave_time d r)
+  in
+  (* Fault processes are drawn over the planning-time population only; a
+     join's fresh links are loss-free, cut-free and undegraded (and
+     {!Dynamics.factor} is exactly 1. on them too). *)
+  let fresh_link src dst = src >= n || dst >= n in
+  let lose_on src dst =
+    (not (fresh_link src dst)) && Faults.lose faults ~src ~dst
+  in
+  let link_up src dst ~at =
+    fresh_link src dst || Faults.link_up faults ~src ~dst ~at
+  in
+  let slowdown src dst ~at =
+    let f = if fresh_link src dst then 1. else Faults.slowdown faults ~src ~dst ~at in
+    match dynamics with None -> f | Some d -> f *. Dynamics.factor d ~src ~dst ~at
+  in
   let rng = match rng with Some r -> r | None -> Gridb_util.Rng.create 0 in
   let engine = Engine.create ~obs () in
-  let arrival = Array.make n nan in
-  let nic_free = Array.make n 0. in
-  let has_msg = Array.make n false in
+  let arrival = Array.make ntot nan in
+  let nic_free = Array.make ntot 0. in
+  let has_msg = Array.make ntot false in
   let transmissions = ref 0 in
   let retransmissions = ref 0 in
   let acks = ref 0 in
@@ -194,25 +246,25 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
   let est, reroute =
     match transport with
     | Fixed -> (None, false)
-    | Adaptive { config; reroute } -> (Some (Adaptive.create ~config ~n ()), reroute)
+    | Adaptive { config; reroute } -> (Some (Adaptive.create ~config ~n:ntot ()), reroute)
   in
   let max_reroutes =
     match est with
     | None -> 0
     | Some est ->
         let m = (Adaptive.config est).Adaptive.max_reroutes in
-        if m = 0 then 2 * n else m
+        if m = 0 then 2 * ntot else m
   in
   (* Per-edge protocol state, indexed by the child (each non-root rank has a
      unique parent in the plan; under reroute the parent can change, but a
      child still has at most one live edge at a time). *)
-  let acked = Array.make n false in
-  let timers = Array.make n None in
-  let cur_parent = Array.make n (-1) in
-  let cur_try = Array.make n 0 in
-  let last_start = Array.make n nan in
-  let reroutes_used = Array.make n 0 in
-  let failed = Array.make (n * n) false in
+  let acked = Array.make ntot false in
+  let timers = Array.make ntot None in
+  let cur_parent = Array.make ntot (-1) in
+  let cur_try = Array.make ntot 0 in
+  let last_start = Array.make ntot nan in
+  let reroutes_used = Array.make ntot 0 in
+  let failed = Array.make (ntot * ntot) false in
   (* Orphans with no delivered alive candidate yet, retried on the next
      delivery: (dst, parent that last failed it). *)
   let pending = ref [] in
@@ -222,8 +274,8 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
      inflates it by rto_mult and floors it at rto_min; the estimator's
      nominal (the quality denominator SRTT converges to) must stay raw. *)
   let model_round_trip src dst =
-    let p = Machines.link_params machines src dst in
-    let pb = Machines.link_params machines dst src in
+    let p = params_for src dst in
+    let pb = params_for dst src in
     Params.gap p msg +. Params.latency p +. Params.latency pb
   in
   let model_rto src dst = Float.max rto_min (rto_mult *. model_round_trip src dst) in
@@ -244,7 +296,7 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
     | None -> None
     | Some est ->
         let best = ref None in
-        for p = 0 to n - 1 do
+        for p = 0 to ntot - 1 do
           (* Liveness must be judged at the moment the parent could actually
              start sending — max(now, nic_free) — not at [now]: a backlogged
              parent that crashes before its NIC frees would fail the attempt
@@ -252,22 +304,16 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
              would churn the whole reroute budget in one instant.  Judged at
              the send horizon, doomed parents are no candidates at all and
              the orphan parks until a later delivery provides a live one. *)
-          if
-            p <> dst && has_msg.(p)
-            && Faults.crash_time faults p > Float.max now nic_free.(p)
-          then begin
+          if p <> dst && has_msg.(p) && halt p > Float.max now nic_free.(p) then begin
             (* Pure breaker read: scoring must not half-open circuits of
                candidates no probe will cross; the winner's transition is
                applied in [try_reroute]. *)
             let tier =
-              if failed.((dst * n) + p) then 2
+              if failed.((dst * ntot) + p) then 2
               else if Adaptive.usable_now est ~src:p ~dst ~now then 0
               else 1
             in
-            let ep =
-              Adaptive.estimated_params est ~src:p ~dst
-                (Machines.link_params machines p dst)
-            in
+            let ep = Adaptive.estimated_params est ~src:p ~dst (params_for p dst) in
             let score =
               Gridb_sched.Policy.arrival_score
                 ~avail:(Float.max now nic_free.(p))
@@ -280,17 +326,46 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
         done;
         Option.map (fun ((_ : int), (_ : float), p) -> p) !best
   in
-  let rec attempt ~src ~dst ~try_no ~rto engine =
+  (* Join arrivals and estimator-snapshot ticks are processed
+     opportunistically from the protocol handlers instead of being
+     scheduled as engine events: the estimator's state only changes at
+     those handlers anyway, and pre-scheduled ticks would keep the engine
+     alive long past quiescence.  A join (or tick) later than the last
+     protocol event is outside the simulated horizon and never happened. *)
+  let next_join = ref 0 in
+  let next_tick = ref (if tick_every > 0. then start_delay +. tick_every else infinity) in
+  let dyn_on = Array.length joins > 0 || tick_every > 0. in
+  let rec dyn_tick engine =
+    let now = Engine.now engine in
+    (if reroute then
+       while !next_join < Array.length joins && joins.(!next_join).Dynamics.at <= now do
+         let j = joins.(!next_join) in
+         incr next_join;
+         (* The new rank announces itself to its cluster's coordinator and
+            is adopted through the ordinary reroute machinery — parked
+            until a delivered alive parent exists. *)
+         if not has_msg.(j.Dynamics.rank) then
+           try_reroute
+             ~old_parent:(Machines.coordinator machines j.Dynamics.cluster)
+             ~dst:j.Dynamics.rank engine
+       done);
+    if now >= !next_tick then begin
+      while !next_tick <= now do
+        next_tick := !next_tick +. tick_every
+      done;
+      on_tick ~now est
+    end
+  and attempt ~src ~dst ~try_no ~rto engine =
     let now = Engine.now engine in
     let start = Float.max now nic_free.(src) in
     (* A halted sender transmits nothing more; its pending edges die here
        (under reroute the child becomes an orphan instead). *)
-    if Faults.crash_time faults src > start then begin
+    if halt src > start then begin
       cur_parent.(dst) <- src;
       cur_try.(dst) <- try_no;
       last_start.(dst) <- start;
-      let p = Machines.link_params machines src dst in
-      let d = Faults.slowdown faults ~src ~dst ~at:start in
+      let p = params_for src dst in
+      let d = slowdown src dst ~at:start in
       let g = Noise.apply noise rng (Params.gap p msg) *. d in
       let l = Noise.apply noise rng (Params.latency p) *. d in
       nic_free.(src) <- start +. g;
@@ -305,15 +380,13 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
                dst;
                time = start;
                msg;
-               intra = intra machines src dst;
+               intra = cluster_of src = cluster_of dst;
                try_no;
              });
         emit (Event.Send_end { src; dst; time = start +. g; arrival = arr })
       end;
       let lost =
-        Faults.lose faults ~src ~dst
-        || (not (Faults.link_up faults ~src ~dst ~at:start))
-        || Faults.crash_time faults dst <= arr
+        lose_on src dst || (not (link_up src dst ~at:start)) || halt dst <= arr
       in
       if not lost then Engine.schedule engine ~time:arr (data_arrives ~src ~dst);
       let tm =
@@ -324,6 +397,7 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
     end
     else if reroute then orphaned ~old_parent:src ~dst engine
   and data_arrives ~src ~dst engine =
+    if dyn_on then dyn_tick engine;
     let now = Engine.now engine in
     if not has_msg.(dst) then begin
       has_msg.(dst) <- true;
@@ -337,20 +411,16 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
        reverse link is) but does not seize the receiver's NIC, so the ACK
        never perturbs data timing.  Duplicated deliveries are re-ACKed so a
        sender that lost an ACK eventually stops retransmitting. *)
-    let pb = Machines.link_params machines dst src in
-    let l_back =
-      Noise.apply noise rng (Params.latency pb)
-      *. Faults.slowdown faults ~src:dst ~dst:src ~at:now
-    in
+    let pb = params_for dst src in
+    let l_back = Noise.apply noise rng (Params.latency pb) *. slowdown dst src ~at:now in
     let ack_at = now +. l_back in
     let ack_lost =
-      Faults.lose faults ~src:dst ~dst:src
-      || (not (Faults.link_up faults ~src:dst ~dst:src ~at:now))
-      || Faults.crash_time faults src <= ack_at
+      lose_on dst src || (not (link_up dst src ~at:now)) || halt src <= ack_at
     in
     if not ack_lost then
       Engine.schedule engine ~time:ack_at (ack_arrives ~parent:src ~child:dst)
   and ack_arrives ~parent ~child engine =
+    if dyn_on then dyn_tick engine;
     incr acks;
     let now = Engine.now engine in
     if tracing then emit (Event.Ack { src = child; dst = parent; time = now });
@@ -381,10 +451,11 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
       | None -> ()
     end
   and timeout ~src ~dst ~try_no ~rto engine =
+    if dyn_on then dyn_tick engine;
     timers.(dst) <- None;
     if not acked.(dst) then begin
       let now = Engine.now engine in
-      if Faults.crash_time faults src <= now then begin
+      if halt src <= now then begin
         if reroute then orphaned ~old_parent:src ~dst engine
       end
       else begin
@@ -418,7 +489,7 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
     (* A duplicate delivery may already have landed; then there is nothing
        to reroute (the timer is gone either way). *)
     if not has_msg.(dst) then begin
-      failed.((dst * n) + old_parent) <- true;
+      failed.((dst * ntot) + old_parent) <- true;
       try_reroute ~old_parent ~dst engine
     end
   and try_reroute ~old_parent ~dst engine =
@@ -427,17 +498,19 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
       (* A halted destination can never deliver (burning the reroute budget
          on it would only inflate the sweep); past the budget the orphan is
          abandoned for good. *)
-      Faults.crash_time faults dst <= now || reroutes_used.(dst) >= max_reroutes
+      halt dst <= now || reroutes_used.(dst) >= max_reroutes
     in
     if lost then begin
       gave_up := (old_parent, dst) :: !gave_up;
       if tracing then emit (Event.Give_up { src = old_parent; dst; time = now });
       (* The subtree planned under a permanently lost child is stranded
          with it — its members never saw an attempt, so re-parent each of
-         them onto the delivered set too. *)
-      List.iter
-        (fun gc -> orphaned ~old_parent:dst ~dst:gc engine)
-        plan.Plan.children.(dst)
+         them onto the delivered set too.  (Join ranks have no planned
+         subtree: the plan predates them.) *)
+      if dst < n then
+        List.iter
+          (fun gc -> orphaned ~old_parent:dst ~dst:gc engine)
+          plan.Plan.children.(dst)
     end
     else
       match pick_parent ~dst ~now with
@@ -465,14 +538,16 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
             if not has_msg.(dst) then try_reroute ~old_parent ~dst engine)
           (List.rev parked)
   and forward rank engine =
-    List.iter
-      (fun child ->
-        attempt ~src:rank ~dst:child ~try_no:0 ~rto:(initial_rto rank child) engine)
-      plan.Plan.children.(rank)
+    (* A delivered join rank forwards nothing: the plan predates it. *)
+    if rank < n then
+      List.iter
+        (fun child ->
+          attempt ~src:rank ~dst:child ~try_no:0 ~rto:(initial_rto rank child) engine)
+        plan.Plan.children.(rank)
   in
   Engine.schedule engine ~time:start_delay (fun engine ->
       let now = Engine.now engine in
-      if Faults.crash_time faults plan.Plan.root > now then begin
+      if halt plan.Plan.root > now then begin
         has_msg.(plan.Plan.root) <- true;
         arrival.(plan.Plan.root) <- now;
         nic_free.(plan.Plan.root) <- Float.max nic_free.(plan.Plan.root) now;
@@ -488,6 +563,17 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
   let crashed =
     List.filter (fun r -> Faults.crash_time faults r <= horizon) (List.init n Fun.id)
   in
+  let left =
+    match dynamics with
+    | None -> []
+    | Some d ->
+        List.filter (fun r -> Dynamics.leave_time d r <= horizon) (List.init n Fun.id)
+  in
+  let joined =
+    Array.to_list joins
+    |> List.filter_map (fun j ->
+           if j.Dynamics.at <= horizon then Some j.Dynamics.rank else None)
+  in
   let delivered = Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 has_msg in
   let trace = if record_trace then trace_of_mem mem else [] in
   {
@@ -499,6 +585,9 @@ let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_0
     delivered;
     gave_up = List.rev !gave_up;
     crashed;
+    left;
+    joined;
+    horizon;
     reroutes = List.rev !reroute_log;
     circuit_opens = !circuit_opens;
     estimator = est;

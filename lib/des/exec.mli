@@ -97,6 +97,13 @@ type reliable = {
       (** [(parent, child)] edges abandoned for good: retry budget exhausted
           (fixed/adaptive), or reroute budget exhausted (reroute) *)
   crashed : int list;  (** ranks that halted within the simulated horizon *)
+  left : int list;
+      (** ranks whose {!Dynamics} departure fired within the horizon; []
+          without a dynamics model *)
+  joined : int list;
+      (** join ranks (ids >= the planning-time population) whose arrival
+          fell within the horizon, ascending; [] without dynamics *)
+  horizon : float;  (** simulated time at quiescence, us *)
   reroutes : (int * int * int) list;
       (** [(dst, old_parent, new_parent)] re-parentings, chronological;
           [] unless the transport reroutes *)
@@ -116,6 +123,9 @@ val run_reliable :
   ?record_trace:bool ->
   ?obs:Gridb_obs.Sink.t ->
   ?faults:Faults.t ->
+  ?dynamics:Dynamics.t ->
+  ?on_tick:(now:float -> Adaptive.t option -> unit) ->
+  ?tick_every:float ->
   ?retries:int ->
   ?rto_mult:float ->
   ?rto_min:float ->
@@ -157,15 +167,36 @@ val run_reliable :
     episodes multiply both gap and latency of transmissions injected while
     they are active.
 
+    [dynamics] adds time-varying topology on top.  {!Dynamics.factor}
+    multiplies gap and latency of every transmission (the fault slowdown
+    composes with it); a rank {e halts} at the earlier of its fault-model
+    crash and its dynamics departure ([left] reports the latter); join
+    ranks extend the rank space ([r_arrival] has one slot per join above
+    the planning-time population) and are adopted through the reroute
+    machinery when their arrival falls inside the simulated horizon — a
+    join under a non-rerouting transport exists but is unreachable (the
+    static plan predates it), and joins arriving after quiescence never
+    happened.  Join links are fresh: loss-free, cut-free, undrifted,
+    carrying the cluster's nominal parameters.
+
+    [on_tick] (with [tick_every] > 0, us) is a pure observation hook: it
+    receives the live estimator (if any) at the first protocol event at or
+    past each tick boundary — the online re-clustering loop of
+    {!Gridb_experiments}.  It runs between protocol events and must not
+    mutate executor state.
+
     With an empty fault spec ({!Faults.is_none}) and the same [noise],
     [rng] and [start_delay], the data path is {e bit-identical} to {!run}
     {e for every transport}: same arrivals, same makespan, same
     transmission count — the estimator draws no randomness and every timer
-    is cancelled by its ACK before firing.  The zero-fault identity the
-    property tests pin down.
-    @raise Invalid_argument on plan/machine/fault-model size mismatch,
-    [retries < 0], [rto_mult < 1.], [rto_min <= 0.] or
-    [rto_max < rto_min]. *)
+    is cancelled by its ACK before firing.  The identity extends to
+    [dynamics] models built from {!Dynamics.is_none} specs: their factor
+    is exactly [1.] (an exact float multiply), they halt and join nobody,
+    and tick callbacks never touch the data path.  The zero-fault identity
+    the property tests pin down.
+    @raise Invalid_argument on plan/machine/fault-model/dynamics-model size
+    mismatch, [retries < 0], [rto_mult < 1.], [rto_min <= 0.],
+    [rto_max < rto_min] or negative [tick_every]. *)
 
 type reliable_summary = {
   reps : int;

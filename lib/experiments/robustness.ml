@@ -4,16 +4,20 @@ module Instance = Gridb_sched.Instance
 module Repair = Gridb_sched.Repair
 module Machines = Gridb_topology.Machines
 module Faults = Gridb_des.Faults
+module Dyn = Gridb_des.Dynamics
 module Adaptive = Gridb_des.Adaptive
 module Plan = Gridb_des.Plan
 module Exec = Gridb_des.Exec
 module Noise = Gridb_des.Noise
+module Lowekamp = Gridb_clustering.Lowekamp
+module Partition = Gridb_clustering.Partition
 module Sink = Gridb_obs.Sink
 module Event = Gridb_obs.Event
 
 type metrics = {
   policy : string;
   spec : Faults.spec;
+  dyn : Dyn.spec;
   transport : string;
   retries : int;
   seed : int;
@@ -21,6 +25,9 @@ type metrics = {
   delivered : int;
   delivery_ratio : float;
   crashed_ranks : int;
+  left_ranks : int;
+  joined_ranks : int;
+  partition_drift : float option;
   baseline_makespan : float;
   makespan : float;
   inflation : float;
@@ -54,9 +61,27 @@ let estimated_instance est machines inst =
   Instance.v ~root:inst.Instance.root ~latency:(scale inst.Instance.latency)
     ~gap:(scale inst.Instance.gap) ~intra:inst.Instance.intra
 
+(* Machine-level partition drift: Lowekamp re-run on the estimator's live
+   latency matrix (planning-time ranks only — joins have no planning-time
+   pairing to diff against), compared by Rand index against the partition
+   the same detector finds on the nominal matrix. *)
+let partition_drift est machines =
+  let n = Machines.count machines in
+  let nominal ~src ~dst =
+    if src >= n || dst >= n then 0. else Machines.latency machines src dst
+  in
+  let full = Adaptive.estimated_latency_matrix ~symmetric:true est ~nominal in
+  let estimated =
+    if Array.length full = n then full
+    else Array.init n (fun i -> Array.sub full.(i) 0 n)
+  in
+  let plan_time = Lowekamp.detect (Machines.latency_matrix machines) in
+  let live = Lowekamp.detect estimated in
+  1. -. Partition.rand_index plan_time live
+
 let run ?(policy = Policy.ecef_la) ?(msg = 1_000_000) ?(retries = 5) ?(seed = 0)
-    ?(noise = Noise.Exact) ?(obs = Sink.null) ?(transport = Exec.Fixed) ?repetitions
-    ?(jobs = 1) ~spec grid =
+    ?(noise = Noise.Exact) ?(obs = Sink.null) ?(transport = Exec.Fixed)
+    ?(dyn = Dyn.none) ?repetitions ?(jobs = 1) ~spec grid =
   let inst = Instance.of_grid ~root:0 ~msg grid in
   let schedule = Sched_engine.run ~obs policy inst in
   let machines = Machines.expand grid in
@@ -64,20 +89,40 @@ let run ?(policy = Policy.ecef_la) ?(msg = 1_000_000) ?(retries = 5) ?(seed = 0)
   let baseline = Exec.run ~msg machines plan in
   let n = Machines.count machines in
   let faults = Faults.create ~seed ~n spec in
+  (* The dynamics model draws from its own tagged stream so adding churn
+     to a faulty scenario never perturbs the fault draws (and vice
+     versa). *)
+  let dmodel =
+    if Dyn.is_none dyn then None
+    else
+      Some
+        (Dyn.create
+           ~seed:(seed lxor 0x64796e)
+           ~n
+           ~clusters:(Gridb_topology.Grid.size grid)
+           dyn)
+  in
   let rng = Gridb_util.Rng.create seed in
   (* Only the faulty reliable run is observed: the baseline exists purely
      as a reference makespan and would double every send on the stream. *)
   let rel =
-    Exec.run_reliable ~noise ~rng ~msg ~faults ~retries ~obs ~transport machines plan
+    Exec.run_reliable ~noise ~rng ~msg ~faults ?dynamics:dmodel ~retries ~obs ~transport
+      machines plan
   in
-  (* Cluster-level crash vector: a cluster halts (as a schedule node) when
-     its coordinator does.  Only crashes inside the simulated horizon count
-     ([rel.crashed]); a draw beyond it is a future fault, not this run's. *)
+  (* Cluster-level halt vector: a cluster halts (as a schedule node) when
+     its coordinator does — by crash or by departure.  Only halts inside
+     the simulated horizon count ([rel.crashed] / [rel.left]); a draw
+     beyond it is a future fault, not this run's. *)
   let crash =
     Array.init (Gridb_topology.Grid.size grid) (fun c ->
         let coord = Machines.coordinator machines c in
-        if List.mem coord rel.Exec.crashed then Faults.crash_time faults coord
-        else infinity)
+        let t = ref infinity in
+        if List.mem coord rel.Exec.crashed then t := Faults.crash_time faults coord;
+        (match dmodel with
+        | Some d when List.mem coord rel.Exec.left ->
+            t := Float.min !t (Dyn.leave_time d coord)
+        | _ -> ());
+        !t)
   in
   let repair_invoked = Array.exists Float.is_finite crash in
   let repairs, repaired_makespan, estimated_repaired_makespan =
@@ -111,16 +156,24 @@ let run ?(policy = Policy.ecef_la) ?(msg = 1_000_000) ?(retries = 5) ?(seed = 0)
           ~spec machines plan)
       repetitions
   in
+  (* The reachable population: planning-time ranks plus joins whose
+     arrival fell inside the simulated horizon (later joins never
+     happened as far as this run is concerned). *)
+  let ntot = n + List.length rel.Exec.joined in
   {
     policy = Policy.name policy;
     spec;
+    dyn;
     transport = Exec.transport_to_string transport;
     retries;
     seed;
-    total_ranks = n;
+    total_ranks = ntot;
     delivered = rel.Exec.delivered;
-    delivery_ratio = float_of_int rel.Exec.delivered /. float_of_int n;
+    delivery_ratio = float_of_int rel.Exec.delivered /. float_of_int ntot;
     crashed_ranks = List.length rel.Exec.crashed;
+    left_ranks = List.length rel.Exec.left;
+    joined_ranks = List.length rel.Exec.joined;
+    partition_drift = Option.map (fun est -> partition_drift est machines) rel.Exec.estimator;
     baseline_makespan = baseline.Exec.makespan;
     makespan = rel.Exec.r_makespan;
     inflation =
@@ -144,6 +197,7 @@ let render m =
   let add label value = Gridb_util.Text_table.add_row table [ label; value ] in
   add "policy" m.policy;
   add "fault spec" (Faults.to_string m.spec);
+  add "dynamics spec" (Dyn.to_string m.dyn);
   add "transport" m.transport;
   add "retry budget" (string_of_int m.retries);
   add "seed" (string_of_int m.seed);
@@ -152,6 +206,11 @@ let render m =
   add "delivered" (string_of_int m.delivered);
   add "delivery ratio" (Printf.sprintf "%.4f" m.delivery_ratio);
   add "crashed ranks" (string_of_int m.crashed_ranks);
+  add "ranks departed" (string_of_int m.left_ranks);
+  add "ranks joined" (string_of_int m.joined_ranks);
+  (match m.partition_drift with
+  | None -> ()
+  | Some d -> add "partition drift" (Printf.sprintf "%.4f" d));
   add "edges given up" (string_of_int m.gave_up);
   add "reroutes" (string_of_int m.reroutes);
   add "circuits opened" (string_of_int m.circuit_opens);

@@ -17,13 +17,21 @@
 type metrics = {
   policy : string;
   spec : Gridb_des.Faults.spec;
+  dyn : Gridb_des.Dynamics.spec;  (** dynamics model, {!Gridb_des.Dynamics.none} if off *)
   transport : string;  (** {!Gridb_des.Exec.transport_to_string} *)
   retries : int;
   seed : int;
   total_ranks : int;
+      (** planning-time ranks plus joins that arrived within the horizon *)
   delivered : int;  (** ranks holding the message at quiescence *)
   delivery_ratio : float;  (** delivered / total_ranks *)
   crashed_ranks : int;
+  left_ranks : int;  (** ranks departed (dynamics) within the horizon *)
+  joined_ranks : int;  (** joins that arrived within the horizon *)
+  partition_drift : float option;
+      (** [1 - Rand index] between Lowekamp partitions of the nominal and
+          the estimator's live machine latency matrices; [None] for
+          non-adaptive transports (no estimator) *)
   baseline_makespan : float;  (** fault-free DES makespan, us *)
   makespan : float;  (** reliable-run makespan over delivered ranks, us *)
   inflation : float;  (** makespan / baseline_makespan *)
@@ -47,6 +55,23 @@ type metrics = {
           fault draws; [None] unless [repetitions] was given *)
 }
 
+val estimated_instance :
+  Gridb_des.Adaptive.t ->
+  Gridb_topology.Machines.t ->
+  Gridb_sched.Instance.t ->
+  Gridb_sched.Instance.t
+(** Cluster-level estimated instance: the estimator's per-link quality on
+    the coordinator-to-coordinator links rescales the nominal
+    inter-cluster gap and latency matrices — the live measured view lifted
+    to the scheduling layer, which {!Gridb_sched.Repair} and
+    {!Dynamics.run} replan on. *)
+
+val partition_drift : Gridb_des.Adaptive.t -> Gridb_topology.Machines.t -> float
+(** [1 - Rand index] between the Lowekamp partition of the nominal machine
+    latency matrix and that of the estimator's live
+    {!Gridb_des.Adaptive.estimated_latency_matrix} (planning-time ranks
+    only).  0. when the estimated clustering still matches plan time. *)
+
 val run :
   ?policy:Gridb_sched.Policy.t ->
   ?msg:int ->
@@ -55,6 +80,7 @@ val run :
   ?noise:Gridb_des.Noise.t ->
   ?obs:Gridb_obs.Sink.t ->
   ?transport:Gridb_des.Exec.transport ->
+  ?dyn:Gridb_des.Dynamics.spec ->
   ?repetitions:int ->
   ?jobs:int ->
   spec:Gridb_des.Faults.spec ->
@@ -64,7 +90,12 @@ val run :
     {!Gridb_sched.Policy.ecef_la}, 1 MB, 5 retries, seed 0, [Exact] noise,
     [Fixed] transport.  [seed] seeds both the fault model and (when [noise]
     is not [Exact]) the jitter stream of the reliable run; the baseline is
-    always noise-free.  With [repetitions] the scorecard also carries a
+    always noise-free.  [dyn] (default {!Gridb_des.Dynamics.none}) adds a
+    {!Gridb_des.Dynamics} model on a stream tagged off [seed] (adding
+    churn never perturbs the fault draws): drift multiplies the link
+    parameters, departures halt ranks like crashes (and count into the
+    repair crash vector when a coordinator leaves), joins extend the
+    population and are adopted under rerouting transports.  With [repetitions] the scorecard also carries a
     {!Gridb_des.Exec.mean_reliable} summary over that many independent
     fault draws (seeded from [seed]); [jobs] (default 1) fans those
     repetitions out over a {!Gridb_util.Pool} with a bit-identical

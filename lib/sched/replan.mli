@@ -1,0 +1,82 @@
+(** Replan-vs-ride-out decisions for broadcasts on drifting grids.
+
+    When the grid changes mid-run — background load moves the link
+    parameters, machines depart — the planning-time schedule goes stale.
+    Three responses are on the table:
+
+    - {b ride out}: finish the original schedule as planned;
+    - {b splice}: keep what already executed and {!Repair.repair} the
+      orphans on estimated parameters;
+    - {b replan}: discard the original tree and broadcast afresh from the
+      root on estimated parameters, routing around departed clusters —
+      mechanically, {!Repair.repair} applied to {!fresh} (an event-free
+      schedule where only the root holds the message).
+
+    {!decide} picks between them from two online signals — the partition
+    drift of the live re-clustering against the planning-time partition,
+    and the estimator's divergence from the nominal parameters — plus the
+    count of departed coordinators.  {!evaluate} is the analytic judge: it
+    re-times a candidate schedule's transmission tree under a {e true}
+    (drifted) instance and a halt vector, yielding the delivered set and
+    makespan the candidate would actually achieve.  The replan-vs-ride-out
+    sweep of [bench/dynamics.exe] is this module applied cell by cell. *)
+
+type decision = Ride_out | Splice | Replan
+
+val decision_to_string : decision -> string
+(** ["ride-out"], ["splice"], ["replan"]. *)
+
+type thresholds = {
+  drift : float;
+      (** partition drift (1 - Rand index vs the planning-time partition)
+          at or above which a full replan is triggered *)
+  divergence : float;
+      (** mean estimator divergence (mean |quality - 1| over observed
+          links) at or above which a full replan is triggered *)
+}
+
+val default : thresholds
+(** [drift = 0.3] (the Lowekamp tolerance band, reused: a third of the
+    pairings changed), [divergence = 0.25]. *)
+
+val v : ?drift:float -> ?divergence:float -> unit -> thresholds
+(** @raise Invalid_argument on thresholds outside (0, infinity). *)
+
+val decide :
+  thresholds -> drift:float -> divergence:float -> departed:int -> decision
+(** Full replan when either signal crosses its threshold (the cluster map
+    or the parameters are wrong enough that the old tree's {e shape} is
+    suspect); otherwise splice when any coordinator departed (the tree is
+    right but has holes); otherwise ride out.  Pass {!default} for the
+    stock thresholds (the record is re-validated). *)
+
+val fresh : root:int -> n:int -> Schedule.t
+(** The event-free schedule in which only [root] holds the message
+    ([ready]/[busy_until] are [0.] at the root, [infinity] elsewhere).
+    [Repair.repair fresh] replans the whole broadcast from estimates.
+    @raise Invalid_argument unless [0 <= root < n]. *)
+
+type verdict = {
+  delivered : bool array;  (** per cluster, after the retimed replay *)
+  delivered_count : int;
+  alive : int;  (** clusters with [halt] beyond their service time *)
+  stranded : int;  (** alive clusters the schedule never delivers to *)
+  makespan : float;
+      (** After_sends completion ([busy + T]) over delivered clusters under
+          the true parameters; 0. when nothing beyond the root delivers *)
+}
+
+val evaluate : Instance.t -> halt:float array -> Schedule.t -> verdict
+(** [evaluate truth ~halt schedule] re-times [schedule]'s transmission
+    tree under the [truth] instance: events are replayed in round order
+    with each send starting as soon as its sender holds the message and
+    its previous send's gap ended ([max ready busy]), but taking gap and
+    latency from [truth] rather than from the times baked into the events.
+    A send executes iff the sender holds the message and [halt.(src)]
+    exceeds the start (the sender pays the gap even into a dead receiver);
+    it delivers iff [halt.(dst)] exceeds the arrival, first delivery wins.
+    This judges a candidate {e tree} (with its per-sender send orders) on
+    what the grid actually looks like — the planning-time timestamps are
+    exactly what drift made stale.
+    @raise Invalid_argument if [halt] length differs from [truth.n] or the
+    schedule size mismatches. *)

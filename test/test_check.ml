@@ -299,6 +299,7 @@ let minimal_scenario =
     policy = "FlatTree";
     transport = "fixed";
     faults = "none";
+    dynamics = "none";
   }
 
 let scenario_shrink_candidates () =
