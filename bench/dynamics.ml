@@ -216,15 +216,14 @@ let () =
              drift_rates)
          sizes)
   in
+  (* Cell lines stream out in index order as results land — no buffering
+     until the join, same bytes at any --jobs. *)
   let results =
-    Gridb_util.Pool.map ~jobs:!jobs
-      (fun (n, drift, churn) ->
-        let c, sanity = bench_cell ~seed:!seed ~reps:!reps n drift churn in
-        if !jobs <= 1 then print_cell c;
-        (c, sanity))
+    Gridb_util.Pool.mapi_stream ~jobs:!jobs
+      ~consume:(fun _ (c, _) -> print_cell c)
+      (fun _ (n, drift, churn) -> bench_cell ~seed:!seed ~reps:!reps n drift churn)
       work
   in
-  if !jobs > 1 then Array.iter (fun (c, _) -> print_cell c) results;
   let cells = Array.to_list (Array.map fst results) in
   (* Sanity: with nothing drifting and nobody leaving, all three candidates
      deliver everywhere and the decision is ride-out. *)

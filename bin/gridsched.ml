@@ -624,7 +624,16 @@ let profile_cmd =
 (* --- check: conformance fuzzing of the whole pipeline --- *)
 
 let check_cmd =
-  let run seed count out replay list jobs =
+  let run seed count out replay list jobs family =
+    let property =
+      match family with
+      | `Pipeline -> Gridb_check.Run.check
+      | `Service -> Gridb_check.Run.check_service
+      | `All ->
+          fun sc ->
+            Result.bind (Gridb_check.Run.check sc) (fun () ->
+                Gridb_check.Run.check_service sc)
+    in
     if list then begin
       print_string (Gridb_check.Report.catalogue ());
       0
@@ -632,7 +641,7 @@ let check_cmd =
     else
       match replay with
       | Some path -> (
-          match Gridb_check.Fuzz.replay path with
+          match Gridb_check.Fuzz.replay ~property path with
           | Error e ->
               prerr_endline e;
               1
@@ -643,7 +652,7 @@ let check_cmd =
           let on_progress i =
             if i mod 100 = 0 then Printf.eprintf "check: %d/%d scenarios...\n%!" i count
           in
-          match Gridb_check.Fuzz.run ~on_progress ~jobs ~seed ~count () with
+          match Gridb_check.Fuzz.run ~property ~on_progress ~jobs ~seed ~count () with
           | Ok count ->
               print_endline (Gridb_check.Report.render_success ~seed ~count);
               0
@@ -677,11 +686,132 @@ let check_cmd =
   let list =
     Arg.(value & flag & info [ "list" ] ~doc:"Print the invariant catalogue and exit.")
   in
+  let family =
+    Arg.(
+      value
+      & opt (enum [ ("pipeline", `Pipeline); ("service", `Service); ("all", `All) ])
+          `Pipeline
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Which property family each scenario runs through: the single-broadcast \
+             $(b,pipeline) (default), the multi-session $(b,service) checks, or \
+             $(b,all) (pipeline, then service).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Fuzz the scheduling/DES pipeline against its invariant and metamorphic catalogue")
-    Term.(const run $ seed_arg $ count $ out $ replay $ list $ jobs_arg)
+    Term.(const run $ seed_arg $ count $ out $ replay $ list $ jobs_arg $ family)
+
+(* --- serve: broadcast-as-a-service over a seeded open-loop workload --- *)
+
+let serve_cmd =
+  let run topology rate duration seed jobs transport max_concurrent max_backlog smoke
+      profile trace =
+    match load_grid topology with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok grid ->
+        let machines = Topology.Machines.expand grid in
+        let requests =
+          Gridb_service.Workload.generate ~seed ~rate:(rate /. 1e6)
+            ~duration machines
+        in
+        let admission =
+          Gridb_service.Admission.create ~max_concurrent
+            ?max_backlog_us:max_backlog ()
+        in
+        let mem =
+          if profile || trace <> None then Gridb_obs.Sink.memory ()
+          else Gridb_obs.Sink.null
+        in
+        let report =
+          Gridb_service.Server.run ~jobs ~transport ~admission ~obs:mem
+            ~seed:(seed + 1) machines requests
+        in
+        List.iter print_endline (Gridb_service.Server.smoke_lines report);
+        if not smoke then
+          Printf.printf
+            "throughput %.0f plans/s, plan latency p50 %.1f us p99 %.1f us (wall %.3f s)\n"
+            report.Gridb_service.Server.plans_per_sec
+            report.Gridb_service.Server.plan_p50_us
+            report.Gridb_service.Server.plan_p99_us
+            report.Gridb_service.Server.plan_wall_s;
+        let events = Gridb_obs.Sink.events mem in
+        if profile then
+          (* The per-request rows come from the sid tags the sessions put
+             on every event they publish. *)
+          print_string (Gridb_obs.Profile.render (Gridb_obs.Profile.of_events events));
+        (match trace with
+        | Some path ->
+            Gridb_obs.Sink.with_jsonl path (fun js ->
+                List.iter (Gridb_obs.Sink.emit js) events);
+            Printf.printf "trace: %d events -> %s\n" (List.length events) path
+        | None -> ());
+        0
+  in
+  let rate =
+    Arg.(
+      value
+      & opt float 50.
+      & info [ "rate" ] ~docv:"REQ_S"
+          ~doc:"Open-loop request arrival rate, requests per simulated second.")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt float 2e6
+      & info [ "duration" ] ~docv:"US"
+          ~doc:"Length of the arrival window, simulated microseconds.")
+  in
+  let max_concurrent =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "max-concurrent" ] ~docv:"N"
+          ~doc:"Admission cap on predicted-concurrent sessions.")
+  in
+  let max_backlog =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-backlog" ] ~docv:"US"
+          ~doc:"Admission cap on predicted backlog (default: unbounded).")
+  in
+  let transport =
+    Arg.(
+      value
+      & opt transport_conv Gridb_des.Exec.Fixed
+      & info [ "transport" ] ~docv:"KIND"
+          ~doc:"Session transport: $(b,fixed), $(b,adaptive) or $(b,adaptive,reroute).")
+  in
+  let smoke =
+    Arg.(
+      value
+      & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Deterministic output only (no host-clock throughput/latency lines); \
+             byte-identical for every $(b,--jobs), which CI compares.")
+  in
+  let profile =
+    Arg.(
+      value
+      & flag
+      & info [ "profile" ]
+          ~doc:
+            "Collect the multi-session event stream and print the per-phase rollup, \
+             including the per-request session rows (sid attribution).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a seeded open-loop broadcast workload: memoized planning, admission \
+          control, concurrent sessions on one shared wire")
+    Term.(
+      const run $ topology_arg $ rate $ duration $ seed_arg $ jobs_arg $ transport
+      $ max_concurrent $ max_backlog $ smoke $ profile $ trace_arg)
 
 let main_cmd =
   let doc = "broadcast scheduling heuristics for grid environments (PMEO-PDS'06 reproduction)" in
@@ -699,6 +829,7 @@ let main_cmd =
       simulate_cmd;
       profile_cmd;
       check_cmd;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -445,10 +445,124 @@ let stream_no_spontaneous_delivery ~root events =
   in
   go events
 
+(* --- multi-session streams --------------------------------------------- *)
+
+(* A service run interleaves many sessions on one engine; the session layer
+   wraps everything it publishes in [Tagged { sid; _ }].  Split on sid to
+   apply the single-broadcast invariants above per session, then check the
+   one property that only exists ACROSS sessions: the shared wire must
+   serialize injections per NIC over the whole merged stream. *)
+
+let split_sessions events =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      match Event.sid e with
+      | None -> ()
+      | Some sid ->
+          let slot =
+            match Hashtbl.find_opt tbl sid with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.add tbl sid r;
+                order := sid :: !order;
+                r
+          in
+          slot := Event.untag e :: !slot)
+    events;
+  List.rev !order
+  |> List.map (fun sid -> (sid, List.rev !(Hashtbl.find tbl sid)))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let sessions_nic_serialization ~n events =
+  let name = "sessions-nic-serialization" in
+  (* Injection intervals keyed by (sid, src, dst): within one session the
+     executors emit each start/end pair back to back, and distinct sessions
+     never share a key, so sequential pairing is unambiguous even though
+     the merged stream interleaves sessions. *)
+  let pending = Hashtbl.create 64 in
+  let per_src = Array.make n [] in
+  let rec collect = function
+    | [] ->
+        if Hashtbl.length pending > 0 then
+          let (sid, src, dst), _ =
+            Hashtbl.fold (fun k v _ -> (k, v)) pending ((-1, -1, -1), 0.)
+          in
+          Error
+            (Printf.sprintf "session %d: send %d -> %d has a start but no end" sid src
+               dst)
+        else Ok per_src
+    | e :: rest -> (
+        match Event.sid e with
+        | None -> collect rest
+        | Some sid -> (
+            match Event.untag e with
+            | Event.Send_start { src; dst; time; _ } ->
+                if src < 0 || src >= n then
+                  Error
+                    (Printf.sprintf "session %d: send from out-of-range rank %d" sid src)
+                else if Hashtbl.mem pending (sid, src, dst) then
+                  Error
+                    (Printf.sprintf
+                       "session %d: send %d -> %d started twice without ending" sid src
+                       dst)
+                else begin
+                  Hashtbl.add pending (sid, src, dst) time;
+                  collect rest
+                end
+            | Event.Send_end { src; dst; time; _ } -> (
+                match Hashtbl.find_opt pending (sid, src, dst) with
+                | None ->
+                    Error
+                      (Printf.sprintf "session %d: send %d -> %d ends without a start"
+                         sid src dst)
+                | Some start ->
+                    Hashtbl.remove pending (sid, src, dst);
+                    per_src.(src) <- (start, time, sid, dst) :: per_src.(src);
+                    collect rest)
+            | _ -> collect rest))
+  in
+  match collect events with
+  | Error d -> fail name "%s" d
+  | Ok per_src ->
+      let bad = ref None in
+      Array.iteri
+        (fun src intervals ->
+          if !bad = None then begin
+            let sorted =
+              List.sort
+                (fun (a, _, _, _) (b, _, _, _) -> Float.compare a b)
+                intervals
+            in
+            let rec scan = function
+              | (s0, e0, sid0, d0) :: ((s1, _, sid1, d1) :: _ as rest) ->
+                  if e0 < s0 then
+                    bad :=
+                      Some
+                        (Printf.sprintf
+                           "session %d: send %d -> %d ends at %g before it starts at %g"
+                           sid0 src d0 e0 s0)
+                  else if s1 < e0 then
+                    bad :=
+                      Some
+                        (Printf.sprintf
+                           "rank %d: session %d injects to %d at %g while the NIC is \
+                            busy until %g with session %d's send to %d"
+                           src sid1 d1 s1 e0 sid0 d0)
+                  else scan rest
+              | _ -> ()
+            in
+            scan sorted
+          end)
+        per_src;
+      (match !bad with None -> Ok () | Some d -> fail name "%s" d)
+
 let stream_invariant_names =
   [ "stream-receive-once"; "stream-receive-at-most-once"; "stream-causality";
     "stream-nic-serialization"; "stream-gap-conformance";
-    "stream-no-spontaneous-delivery" ]
+    "stream-no-spontaneous-delivery"; "sessions-nic-serialization" ]
 
 let check_stream ?(faulty = false) ~n ~root events =
   let* () =

@@ -140,4 +140,22 @@ val check_stream : ?faulty:bool -> n:int -> root:int -> Gridb_obs.Event.t list -
     defaults to false), causality, NIC serialization and no-spontaneous-
     delivery, in that order. *)
 
+(** {1 Multi-session streams}
+
+    A service run interleaves many broadcast sessions on one engine, every
+    published event wrapped in [Tagged { sid; _ }] by the session layer. *)
+
+val split_sessions : Gridb_obs.Event.t list -> (int * Gridb_obs.Event.t list) list
+(** Partition a merged stream by session id: one [(sid, events)] group per
+    sid seen, events untagged with their original order preserved, groups
+    sorted by sid.  Untagged events (cache counters, engine bookkeeping)
+    belong to no session and are dropped. *)
+
+val sessions_nic_serialization : n:int -> Gridb_obs.Event.t list -> outcome
+(** ["sessions-nic-serialization"]: pairing each session's [Send_start]
+    with its [Send_end] (keys are [(sid, src, dst)]), the injection
+    intervals of any one sender NIC never overlap {e across} sessions —
+    the shared-wire one-port discipline that only exists in multi-session
+    runs.  Untagged events are ignored. *)
+
 val stream_invariant_names : string list

@@ -41,4 +41,5 @@ let catalogue () =
   section "stream invariants" Invariant.stream_invariant_names;
   section "metamorphic laws" Metamorphic.metamorphic_names;
   section "pipeline checks" Run.run_invariant_names;
+  section "service checks" Run.service_invariant_names;
   Buffer.contents b

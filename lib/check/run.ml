@@ -236,3 +236,154 @@ let run_invariant_names =
     "delivered-accounting";
     "churn-accounting";
   ]
+
+(* --- service family ----------------------------------------------------- *)
+
+module Workload = Gridb_service.Workload
+module Server = Gridb_service.Server
+module Plan_cache = Gridb_service.Plan_cache
+
+(* A session's root is the one rank whose arrival the session injects
+   itself (src = dst). *)
+let session_root evs =
+  let rec go = function
+    | [] -> None
+    | Event.Arrival { src; dst; _ } :: _ when src = dst -> Some dst
+    | _ :: rest -> go rest
+  in
+  go evs
+
+let event_time = function
+  | Event.Send_start { time; _ }
+  | Event.Send_end { time; _ }
+  | Event.Arrival { time; _ }
+  | Event.Ack { time; _ }
+  | Event.Retransmit { time; _ }
+  | Event.Give_up { time; _ }
+  | Event.Circuit_open { time; _ }
+  | Event.Circuit_close { time; _ }
+  | Event.Reroute { time; _ } -> Some time
+  | _ -> None
+
+let in_session sid = function
+  | Ok () -> Ok ()
+  | Error v ->
+      Error
+        {
+          v with
+          Invariant.detail = Printf.sprintf "session %d: %s" sid v.Invariant.detail;
+        }
+
+let check_service (sc : Scenario.t) =
+  let* transport = resolve Scenario.transport sc in
+  let grid = Scenario.grid sc in
+  let machines = Machines.expand grid in
+  let n_ranks = Machines.count machines in
+  (* A modest open-loop stream over the scenario's own grid: ~40 requests
+     in a 1e6-us window, default mix — enough concurrency to exercise the
+     shared wire and the admission queue while staying cheap per
+     scenario. *)
+  let requests =
+    Workload.generate ~seed:(Scenario.service_seed sc) ~rate:4e-5 ~duration:1e6
+      machines
+  in
+  let sink = Sink.memory () in
+  let report =
+    Server.run ~transport ~obs:sink ~seed:sc.Scenario.seed machines requests
+  in
+  let events = Sink.events sink in
+  (* Books: every request is admitted or rejected, and charges the cache
+     exactly one lookup. *)
+  let* () =
+    if report.Server.admitted + report.Server.rejected = report.Server.requests
+    then Ok ()
+    else
+      fail "service-accounting" "admitted %d + rejected %d <> %d requests"
+        report.Server.admitted report.Server.rejected report.Server.requests
+  in
+  let stats = report.Server.cache_stats in
+  let* () =
+    if stats.Plan_cache.hits + stats.Plan_cache.misses = report.Server.requests
+    then Ok ()
+    else
+      fail "service-accounting" "%d cache lookups for %d requests"
+        (stats.Plan_cache.hits + stats.Plan_cache.misses)
+        report.Server.requests
+  in
+  let sessions = Invariant.split_sessions events in
+  let by_sid = Hashtbl.create 16 in
+  List.iter (fun (sid, evs) -> Hashtbl.replace by_sid sid evs) sessions;
+  (* Attribution: the tagged sids of the stream are exactly the admitted
+     request ids (rids are dense from 0, so sid indexes [outcomes]). *)
+  let* () =
+    let rec outcomes i =
+      if i >= Array.length report.Server.outcomes then Ok ()
+      else
+        let o = report.Server.outcomes.(i) in
+        let rid = o.Server.request.Workload.rid in
+        match (o.Server.result, Hashtbl.mem by_sid rid) with
+        | Some _, true | None, false -> outcomes (i + 1)
+        | Some _, false ->
+            fail "session-attribution" "admitted request %d produced no tagged events"
+              rid
+        | None, true ->
+            fail "session-attribution" "rejected request %d produced tagged events" rid
+    in
+    let* () = outcomes 0 in
+    let rec extras = function
+      | [] -> Ok ()
+      | (sid, _) :: rest ->
+          if sid >= 0 && sid < Array.length report.Server.outcomes then extras rest
+          else fail "session-attribution" "stream carries unknown session id %d" sid
+    in
+    extras sessions
+  in
+  (* Per-session single-broadcast invariants over each session's own
+     (untagged) slice: at-most-once delivery (contention can time sends
+     out), causality, per-session NIC discipline, gap conformance, and the
+     executor-vs-stream arrival books.  Nothing in a session may precede
+     its request's arrival time. *)
+  let rec per_session = function
+    | [] -> Ok ()
+    | (sid, evs) :: rest ->
+        let o = report.Server.outcomes.(sid) in
+        let r =
+          match o.Server.result with Some r -> r | None -> assert false
+        in
+        let* root =
+          match session_root evs with
+          | Some root -> Ok root
+          | None ->
+              fail "session-attribution" "session %d has no root self-arrival" sid
+        in
+        let* () =
+          in_session sid (Invariant.check_stream ~faulty:true ~n:n_ranks ~root evs)
+        in
+        let* () =
+          in_session sid
+            (Invariant.stream_gap_conformance ~machines
+               ~msg:o.Server.request.Workload.msg evs)
+        in
+        let at = o.Server.request.Workload.at in
+        let* () =
+          let rec times = function
+            | [] -> Ok ()
+            | e :: tl -> (
+                match event_time e with
+                | Some t when t < at ->
+                    fail "session-clock"
+                      "session %d event at %g precedes its arrival at %g" sid t at
+                | _ -> times tl)
+          in
+          times evs
+        in
+        let* () = in_session sid (arrival_accounting r evs) in
+        per_session rest
+  in
+  let* () = per_session sessions in
+  (* The property only multi-session runs have: one-port serialization of
+     the shared wire across concurrent sessions. *)
+  Invariant.sessions_nic_serialization ~n:n_ranks events
+
+let service_invariant_names =
+  [ "service-accounting"; "session-attribution"; "session-clock" ]

@@ -28,3 +28,27 @@ val check : Scenario.t -> Invariant.outcome
 val run_invariant_names : string list
 (** The checks [check] itself contributes (the {!Invariant} and
     {!Metamorphic} catalogues list theirs). *)
+
+val check_service : Scenario.t -> Invariant.outcome
+(** The service family: derive a seeded open-loop request stream over the
+    scenario's grid ({!Scenario.service_seed}, default mix, ~40 requests
+    in a 1e6-us window), serve it through {!Gridb_service.Server.run} with
+    the scenario's transport, and validate the multi-session run:
+
+    - ["service-accounting"]: admitted + rejected = requests, and every
+      request charges the plan cache exactly one lookup;
+    - ["session-attribution"]: the stream's tagged sids are exactly the
+      admitted request ids, and each session announces its root;
+    - per-session, on each sid's slice of the stream: at-most-once
+      delivery, causality, NIC serialization, pLogP gap conformance and
+      the arrival/delivered books (the {!Invariant} stream catalogue plus
+      ["arrival-accounting"], details prefixed with the session id);
+    - ["session-clock"]: nothing in a session precedes its request's
+      arrival time;
+    - ["sessions-nic-serialization"]: one-port discipline of the shared
+      wire across concurrent sessions. *)
+
+val service_invariant_names : string list
+(** The checks only [check_service] contributes
+    (["sessions-nic-serialization"] is listed with the stream
+    invariants). *)

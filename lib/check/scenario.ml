@@ -68,6 +68,7 @@ let grid_seed t = t.seed lxor 0x67726964 (* "grid" *)
 let fault_seed t = t.seed lxor 0x666c74 (* "flt" *)
 let perm_seed t = t.seed lxor 0x7065726d (* "perm" *)
 let dyn_seed t = t.seed lxor 0x64796e (* "dyn" *)
+let service_seed t = t.seed lxor 0x737663 (* "svc" *)
 
 let grid t =
   let spec =

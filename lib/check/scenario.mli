@@ -47,6 +47,10 @@ val dyn_seed : t -> int
 (** Seed for {!Gridb_des.Dynamics.create} — the same [seed lxor 0x64796e]
     tag the experiment layer uses, distinct from the fault stream. *)
 
+val service_seed : t -> int
+(** Seed for the service family's {!Gridb_service.Workload} stream,
+    distinct from all of the above. *)
+
 val policy : t -> (Gridb_sched.Policy.t, string) result
 val transport : t -> (Gridb_des.Exec.transport, string) result
 val faults_spec : t -> (Gridb_des.Faults.spec, string) result

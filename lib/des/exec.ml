@@ -1,85 +1,55 @@
 module Machines = Gridb_topology.Machines
-module Params = Gridb_plogp.Params
-module Sink = Gridb_obs.Sink
-module Event = Gridb_obs.Event
 
-type result = {
+type result = Session.result = {
   arrival : float array;
   makespan : float;
   transmissions : int;
   trace : Trace.transmission list;
 }
 
-(* The legacy [record_trace] path is a Memory-sink view over the same event
-   stream: the executor emits [Send_start]/[Send_end] pairs to an internal
-   Memory sink and the [trace] field is rebuilt from it.  Reversing the
-   chronological stream before the (stable) arrival sort reproduces the
-   historical reverse-prepend order bit for bit, equal arrivals included. *)
-let trace_of_mem mem =
-  Trace.of_events (Sink.events mem)
-  |> List.rev
-  |> List.sort (fun (a : Trace.transmission) b -> Float.compare a.arrival b.arrival)
+type transport = Session.transport =
+  | Fixed
+  | Adaptive of { config : Adaptive.config; reroute : bool }
 
-let intra machines src dst =
-  (Machines.machine machines src).Machines.cluster
-  = (Machines.machine machines dst).Machines.cluster
+type reliable = Session.reliable = {
+  r_arrival : float array;
+  r_makespan : float;
+  r_transmissions : int;
+  retransmissions : int;
+  acks : int;
+  delivered : int;
+  gave_up : (int * int) list;
+  crashed : int list;
+  left : int list;
+  joined : int list;
+  horizon : float;
+  reroutes : (int * int * int) list;
+  circuit_opens : int;
+  estimator : Adaptive.t option;
+  r_trace : Trace.transmission list;
+}
 
-let run ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_000)
-    ?(record_trace = false) ?(obs = Sink.null) machines plan =
+module Config = Session.Config
+
+(* Both executors are single-session wrappers over {!Session}: a private
+   wire sized to the session's rank population, a private engine, one
+   launch, run to quiescence, extract.  Bit-identical to the historical
+   monolithic executors (the golden corpus digest pins this). *)
+
+let run_with (config : Config.t) machines plan =
   let n = Machines.count machines in
   if Plan.size plan <> n then invalid_arg "Exec.run: plan size mismatch";
-  let rng =
-    match rng with Some r -> r | None -> Gridb_util.Rng.create 0
-  in
-  let engine = Engine.create ~obs () in
-  let arrival = Array.make n nan in
-  let nic_free = Array.make n 0. in
-  let transmissions = ref 0 in
-  let mem = if record_trace then Sink.memory () else Sink.null in
-  let tracing = Sink.enabled mem || Sink.enabled obs in
-  let emit e =
-    if Sink.enabled mem then Sink.emit mem e;
-    if Sink.enabled obs then Sink.emit obs e
-  in
-  (* On delivery, a rank enqueues its forwarding list: each send seizes the
-     NIC for one (noisy) gap; the child receives a (noisy) latency after the
-     send starts injecting. *)
-  let rec deliver ~src rank engine =
-    let time = Engine.now engine in
-    arrival.(rank) <- time;
-    nic_free.(rank) <- Float.max nic_free.(rank) time;
-    if tracing then emit (Event.Arrival { src; dst = rank; time });
-    List.iter
-      (fun child ->
-        let p = Machines.link_params machines rank child in
-        let g = Noise.apply noise rng (Params.gap p msg) in
-        let l = Noise.apply noise rng (Params.latency p) in
-        let start = nic_free.(rank) in
-        nic_free.(rank) <- start +. g;
-        incr transmissions;
-        if tracing then begin
-          emit
-            (Event.Send_start
-               {
-                 src = rank;
-                 dst = child;
-                 time = start;
-                 msg;
-                 intra = intra machines rank child;
-                 try_no = 0;
-               });
-          emit
-            (Event.Send_end
-               { src = rank; dst = child; time = start +. g; arrival = start +. g +. l })
-        end;
-        Engine.schedule engine ~time:(start +. g +. l) (deliver ~src:rank child))
-      plan.Plan.children.(rank)
-  in
-  Engine.schedule engine ~time:start_delay (deliver ~src:plan.Plan.root plan.Plan.root);
+  let wire = Wire.create ~n in
+  let engine = Engine.create ~obs:config.Config.obs () in
+  let s = Session.launch ~who:"Exec.run" ~wire ~engine config machines plan in
   Engine.run engine;
-  let makespan = Array.fold_left Float.max 0. arrival in
-  let trace = if record_trace then trace_of_mem mem else [] in
-  { arrival; makespan; transmissions = !transmissions; trace }
+  Session.result s
+
+let run ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_000)
+    ?(record_trace = false) ?(obs = Gridb_obs.Sink.null) machines plan =
+  run_with
+    { Config.default with noise; rng; start_delay; msg; record_trace; obs }
+    machines plan
 
 let mean_makespan ?(noise = Noise.default_measured) ?(msg = 1_000_000)
     ?(repetitions = 10) ?(jobs = 1) ~seed machines plan =
@@ -96,8 +66,6 @@ let mean_makespan ?(noise = Noise.default_measured) ?(msg = 1_000_000)
       (Array.make repetitions ())
   in
   Array.fold_left ( +. ) 0. makespans /. float_of_int repetitions
-
-type transport = Fixed | Adaptive of { config : Adaptive.config; reroute : bool }
 
 let adaptive ?(config = Adaptive.default) ?(reroute = false) () =
   Adaptive { config; reroute }
@@ -117,482 +85,24 @@ let transport_to_string = function
   | Adaptive { reroute = false; _ } -> "adaptive"
   | Adaptive { reroute = true; _ } -> "adaptive,reroute"
 
-type reliable = {
-  r_arrival : float array;
-  r_makespan : float;
-  r_transmissions : int;
-  retransmissions : int;
-  acks : int;
-  delivered : int;
-  gave_up : (int * int) list;
-  crashed : int list;
-  left : int list;
-  joined : int list;
-  horizon : float;
-  reroutes : (int * int * int) list;
-  circuit_opens : int;
-  estimator : Adaptive.t option;
-  r_trace : Trace.transmission list;
-}
-
-(* ACK/timeout/exponential-backoff reliable broadcast along a plan.
-
-   Data transmissions follow exactly the pLogP semantics of [run] (same
-   arithmetic, same rng draw order), so with an empty fault spec the two
-   executors are bit-identical.  On top of that, every plan edge runs a
-   stop-and-wait reliability protocol: the receiver returns an ACK on the
-   control plane (latency only, no NIC seizure), the sender arms a
-   cancellable retransmission timer at [rto] past the end of its injection,
-   and every timeout doubles [rto] (capped at [rto_max]) and retransmits
-   until [retries] is exhausted.
-
-   [Fixed] transport then abandons the edge (and the subtree hanging off
-   it) — graceful degradation to partial delivery.  [Adaptive] transport
-   additionally feeds every clean round trip and every timeout into an
-   {!Adaptive.t} estimator: the RTO comes from SRTT/RTTVAR instead of the
-   static model, and per-link circuit breakers publish
-   [Circuit_open]/[Circuit_close].  With [reroute] on, an edge whose
-   breaker opens or whose retry budget dies re-parents the orphaned child
-   onto an already-delivered alive rank — picked by the ECEF arrival score
-   over live-estimated link parameters — so delivery is total unless the
-   destination is crashed or physically partitioned.
-
-   The estimator is pure float bookkeeping on times the executor already
-   has: it draws no randomness and never touches the data-path arithmetic,
-   and with no faults every retransmission timer is cancelled by its ACK
-   before firing — which is why the zero-fault adaptive run stays
-   bit-identical to [run] too. *)
-let run_reliable ?(noise = Noise.Exact) ?rng ?(start_delay = 0.) ?(msg = 1_000_000)
-    ?(record_trace = false) ?(obs = Sink.null) ?faults ?dynamics
-    ?(on_tick = fun ~now:_ _ -> ()) ?(tick_every = 0.) ?(retries = 5) ?(rto_mult = 2.)
-    ?(rto_min = 1.) ?(rto_max = 1e9) ?(transport = Fixed) machines plan =
-  let n = Machines.count machines in
-  if Plan.size plan <> n then invalid_arg "Exec.run_reliable: plan size mismatch";
-  if retries < 0 then invalid_arg "Exec.run_reliable: negative retries";
-  if rto_mult < 1. then invalid_arg "Exec.run_reliable: rto_mult < 1";
-  if rto_min <= 0. then invalid_arg "Exec.run_reliable: rto_min must be positive";
-  if rto_max < rto_min then invalid_arg "Exec.run_reliable: rto_max < rto_min";
-  if tick_every < 0. then invalid_arg "Exec.run_reliable: negative tick_every";
-  let faults =
-    match faults with
-    | Some f ->
-        if Faults.size f <> n then
-          invalid_arg "Exec.run_reliable: fault model size mismatch";
-        f
-    | None -> Faults.create ~n Faults.none
+let run_reliable_with (config : Config.t) machines plan =
+  Config.validate ~who:"Exec.run_reliable" config machines plan;
+  let wire = Wire.create ~n:(Session.population config machines) in
+  let engine = Engine.create ~obs:config.Config.obs () in
+  let s =
+    Session.launch_reliable ~who:"Exec.run_reliable" ~wire ~engine config machines
+      plan
   in
-  (match dynamics with
-  | Some d when Dynamics.size d <> n ->
-      invalid_arg "Exec.run_reliable: dynamics model size mismatch"
-  | _ -> ());
-  (* Joins extend the rank space above the planning-time population: every
-     per-rank array is sized [ntot], and ranks >= n exist from time 0 as
-     far as the arrays are concerned but only become reachable once their
-     join event fires (the adoption below). *)
-  let joins = match dynamics with Some d -> Dynamics.joins d | None -> [||] in
-  let ntot = n + Array.length joins in
-  let grid = Machines.grid machines in
-  let cluster_of r =
-    if r < n then (Machines.machine machines r).Machines.cluster
-    else joins.(r - n).Dynamics.cluster
-  in
-  (* Link parameters generalised to join ranks: a joining machine gets
-     fresh links with its cluster's nominal intra parameters, and the
-     nominal inter-cluster parameters towards everyone else. *)
-  let params_for src dst =
-    if src < n && dst < n then Machines.link_params machines src dst
-    else
-      let cs = cluster_of src and cd = cluster_of dst in
-      if cs = cd then (Gridb_topology.Grid.cluster grid cs).Gridb_topology.Cluster.intra
-      else Gridb_topology.Grid.link grid cs cd
-  in
-  (* A rank halts at its fault-model crash or its dynamics departure,
-     whichever comes first; join ranks never halt. *)
-  let halt r =
-    let crash = if r < n then Faults.crash_time faults r else infinity in
-    match dynamics with
-    | None -> crash
-    | Some d -> Float.min crash (Dynamics.leave_time d r)
-  in
-  (* Fault processes are drawn over the planning-time population only; a
-     join's fresh links are loss-free, cut-free and undegraded (and
-     {!Dynamics.factor} is exactly 1. on them too). *)
-  let fresh_link src dst = src >= n || dst >= n in
-  let lose_on src dst =
-    (not (fresh_link src dst)) && Faults.lose faults ~src ~dst
-  in
-  let link_up src dst ~at =
-    fresh_link src dst || Faults.link_up faults ~src ~dst ~at
-  in
-  let slowdown src dst ~at =
-    let f = if fresh_link src dst then 1. else Faults.slowdown faults ~src ~dst ~at in
-    match dynamics with None -> f | Some d -> f *. Dynamics.factor d ~src ~dst ~at
-  in
-  let rng = match rng with Some r -> r | None -> Gridb_util.Rng.create 0 in
-  let engine = Engine.create ~obs () in
-  let arrival = Array.make ntot nan in
-  let nic_free = Array.make ntot 0. in
-  let has_msg = Array.make ntot false in
-  let transmissions = ref 0 in
-  let retransmissions = ref 0 in
-  let acks = ref 0 in
-  let gave_up = ref [] in
-  let mem = if record_trace then Sink.memory () else Sink.null in
-  let tracing = Sink.enabled mem || Sink.enabled obs in
-  let emit e =
-    if Sink.enabled mem then Sink.emit mem e;
-    if Sink.enabled obs then Sink.emit obs e
-  in
-  let est, reroute =
-    match transport with
-    | Fixed -> (None, false)
-    | Adaptive { config; reroute } -> (Some (Adaptive.create ~config ~n:ntot ()), reroute)
-  in
-  let max_reroutes =
-    match est with
-    | None -> 0
-    | Some est ->
-        let m = (Adaptive.config est).Adaptive.max_reroutes in
-        if m = 0 then 2 * ntot else m
-  in
-  (* Per-edge protocol state, indexed by the child (each non-root rank has a
-     unique parent in the plan; under reroute the parent can change, but a
-     child still has at most one live edge at a time). *)
-  let acked = Array.make ntot false in
-  let timers = Array.make ntot None in
-  let cur_parent = Array.make ntot (-1) in
-  let cur_try = Array.make ntot 0 in
-  let last_start = Array.make ntot nan in
-  let reroutes_used = Array.make ntot 0 in
-  let failed = Array.make (ntot * ntot) false in
-  (* Orphans with no delivered alive candidate yet, retried on the next
-     delivery: (dst, parent that last failed it). *)
-  let pending = ref [] in
-  let reroute_log = ref [] in
-  let circuit_opens = ref 0 in
-  (* Noiseless round trip: data gap + data latency + ACK latency.  The RTO
-     inflates it by rto_mult and floors it at rto_min; the estimator's
-     nominal (the quality denominator SRTT converges to) must stay raw. *)
-  let model_round_trip src dst =
-    let p = params_for src dst in
-    let pb = params_for dst src in
-    Params.gap p msg +. Params.latency p +. Params.latency pb
-  in
-  let model_rto src dst = Float.max rto_min (rto_mult *. model_round_trip src dst) in
-  let initial_rto src dst =
-    let fallback = model_rto src dst in
-    match est with
-    | None -> fallback
-    | Some est ->
-        Adaptive.rto est ~src ~dst ~nominal:(model_round_trip src dst) ~fallback
-  in
-  let backoff rto = Float.min rto_max (2. *. rto) in
-  (* Best already-delivered alive parent for an orphan, by the ECEF arrival
-     score over live-estimated link quality; candidates whose circuit to
-     [dst] is open (or that already failed this orphan) only as a last
-     resort. *)
-  let pick_parent ~dst ~now =
-    match est with
-    | None -> None
-    | Some est ->
-        let best = ref None in
-        for p = 0 to ntot - 1 do
-          (* Liveness must be judged at the moment the parent could actually
-             start sending — max(now, nic_free) — not at [now]: a backlogged
-             parent that crashes before its NIC frees would fail the attempt
-             at start, re-orphan the child synchronously, and the cycle
-             would churn the whole reroute budget in one instant.  Judged at
-             the send horizon, doomed parents are no candidates at all and
-             the orphan parks until a later delivery provides a live one. *)
-          if p <> dst && has_msg.(p) && halt p > Float.max now nic_free.(p) then begin
-            (* Pure breaker read: scoring must not half-open circuits of
-               candidates no probe will cross; the winner's transition is
-               applied in [try_reroute]. *)
-            let tier =
-              if failed.((dst * ntot) + p) then 2
-              else if Adaptive.usable_now est ~src:p ~dst ~now then 0
-              else 1
-            in
-            let ep = Adaptive.estimated_params est ~src:p ~dst (params_for p dst) in
-            let score =
-              Gridb_sched.Policy.arrival_score
-                ~avail:(Float.max now nic_free.(p))
-                ~gap:(Params.gap ep msg) ~latency:(Params.latency ep)
-            in
-            match !best with
-            | Some (bt, bs, _) when bt < tier || (bt = tier && bs <= score) -> ()
-            | _ -> best := Some (tier, score, p)
-          end
-        done;
-        Option.map (fun ((_ : int), (_ : float), p) -> p) !best
-  in
-  (* Join arrivals and estimator-snapshot ticks are processed
-     opportunistically from the protocol handlers instead of being
-     scheduled as engine events: the estimator's state only changes at
-     those handlers anyway, and pre-scheduled ticks would keep the engine
-     alive long past quiescence.  A join (or tick) later than the last
-     protocol event is outside the simulated horizon and never happened. *)
-  let next_join = ref 0 in
-  let next_tick = ref (if tick_every > 0. then start_delay +. tick_every else infinity) in
-  let dyn_on = Array.length joins > 0 || tick_every > 0. in
-  let rec dyn_tick engine =
-    let now = Engine.now engine in
-    (if reroute then
-       while !next_join < Array.length joins && joins.(!next_join).Dynamics.at <= now do
-         let j = joins.(!next_join) in
-         incr next_join;
-         (* The new rank announces itself to its cluster's coordinator and
-            is adopted through the ordinary reroute machinery — parked
-            until a delivered alive parent exists. *)
-         if not has_msg.(j.Dynamics.rank) then
-           try_reroute
-             ~old_parent:(Machines.coordinator machines j.Dynamics.cluster)
-             ~dst:j.Dynamics.rank engine
-       done);
-    if now >= !next_tick then begin
-      while !next_tick <= now do
-        next_tick := !next_tick +. tick_every
-      done;
-      on_tick ~now est
-    end
-  and attempt ~src ~dst ~try_no ~rto engine =
-    let now = Engine.now engine in
-    let start = Float.max now nic_free.(src) in
-    (* A halted sender transmits nothing more; its pending edges die here
-       (under reroute the child becomes an orphan instead). *)
-    if halt src > start then begin
-      cur_parent.(dst) <- src;
-      cur_try.(dst) <- try_no;
-      last_start.(dst) <- start;
-      let p = params_for src dst in
-      let d = slowdown src dst ~at:start in
-      let g = Noise.apply noise rng (Params.gap p msg) *. d in
-      let l = Noise.apply noise rng (Params.latency p) *. d in
-      nic_free.(src) <- start +. g;
-      incr transmissions;
-      if try_no > 0 then incr retransmissions;
-      let arr = start +. g +. l in
-      if tracing then begin
-        emit
-          (Event.Send_start
-             {
-               src;
-               dst;
-               time = start;
-               msg;
-               intra = cluster_of src = cluster_of dst;
-               try_no;
-             });
-        emit (Event.Send_end { src; dst; time = start +. g; arrival = arr })
-      end;
-      let lost =
-        lose_on src dst || (not (link_up src dst ~at:start)) || halt dst <= arr
-      in
-      if not lost then Engine.schedule engine ~time:arr (data_arrives ~src ~dst);
-      let tm =
-        Engine.schedule_timer engine ~time:(start +. g +. rto)
-          (timeout ~src ~dst ~try_no ~rto)
-      in
-      timers.(dst) <- Some tm
-    end
-    else if reroute then orphaned ~old_parent:src ~dst engine
-  and data_arrives ~src ~dst engine =
-    if dyn_on then dyn_tick engine;
-    let now = Engine.now engine in
-    if not has_msg.(dst) then begin
-      has_msg.(dst) <- true;
-      arrival.(dst) <- now;
-      nic_free.(dst) <- Float.max nic_free.(dst) now;
-      if tracing then emit (Event.Arrival { src; dst; time = now });
-      forward dst engine;
-      if reroute then drain_pending engine
-    end;
-    (* ACK on the control plane: pays the reverse latency (degraded if the
-       reverse link is) but does not seize the receiver's NIC, so the ACK
-       never perturbs data timing.  Duplicated deliveries are re-ACKed so a
-       sender that lost an ACK eventually stops retransmitting. *)
-    let pb = params_for dst src in
-    let l_back = Noise.apply noise rng (Params.latency pb) *. slowdown dst src ~at:now in
-    let ack_at = now +. l_back in
-    let ack_lost =
-      lose_on dst src || (not (link_up dst src ~at:now)) || halt src <= ack_at
-    in
-    if not ack_lost then
-      Engine.schedule engine ~time:ack_at (ack_arrives ~parent:src ~child:dst)
-  and ack_arrives ~parent ~child engine =
-    if dyn_on then dyn_tick engine;
-    incr acks;
-    let now = Engine.now engine in
-    if tracing then emit (Event.Ack { src = child; dst = parent; time = now });
-    (* RTT sample for the estimator — only for the edge currently armed
-       (a stale ACK from a pre-reroute parent must not be attributed to the
-       new link), and per Karn's rule flagged ambiguous when the edge has
-       retransmitted. *)
-    (match est with
-    | Some est when parent = cur_parent.(child) && not acked.(child) ->
-        let rtt = now -. last_start.(child) in
-        (match
-           Adaptive.on_sample est ~src:parent ~dst:child ~rtt
-             ~retransmitted:(cur_try.(child) > 0) ~now
-         with
-        | `No_change -> ()
-        | `Opened ->
-            incr circuit_opens;
-            if tracing then emit (Event.Circuit_open { src = parent; dst = child; time = now })
-        | `Closed ->
-            if tracing then emit (Event.Circuit_close { src = parent; dst = child; time = now }))
-    | _ -> ());
-    if not acked.(child) then begin
-      acked.(child) <- true;
-      match timers.(child) with
-      | Some tm ->
-          Engine.cancel engine tm;
-          timers.(child) <- None
-      | None -> ()
-    end
-  and timeout ~src ~dst ~try_no ~rto engine =
-    if dyn_on then dyn_tick engine;
-    timers.(dst) <- None;
-    if not acked.(dst) then begin
-      let now = Engine.now engine in
-      if halt src <= now then begin
-        if reroute then orphaned ~old_parent:src ~dst engine
-      end
-      else begin
-        let opened =
-          match est with
-          | None -> false
-          | Some est ->
-              let o = Adaptive.on_timeout est ~src ~dst ~now in
-              if o then begin
-                incr circuit_opens;
-                if tracing then emit (Event.Circuit_open { src; dst; time = now })
-              end;
-              o
-        in
-        if reroute && (opened || try_no >= retries) then
-          orphaned ~old_parent:src ~dst engine
-        else if try_no >= retries then begin
-          gave_up := (src, dst) :: !gave_up;
-          if tracing then emit (Event.Give_up { src; dst; time = now })
-        end
-        else begin
-          let rto' = backoff rto in
-          if tracing then
-            emit
-              (Event.Retransmit { src; dst; time = now; try_no = try_no + 1; rto = rto' });
-          attempt ~src ~dst ~try_no:(try_no + 1) ~rto:rto' engine
-        end
-      end
-    end
-  and orphaned ~old_parent ~dst engine =
-    (* A duplicate delivery may already have landed; then there is nothing
-       to reroute (the timer is gone either way). *)
-    if not has_msg.(dst) then begin
-      failed.((dst * ntot) + old_parent) <- true;
-      try_reroute ~old_parent ~dst engine
-    end
-  and try_reroute ~old_parent ~dst engine =
-    let now = Engine.now engine in
-    let lost =
-      (* A halted destination can never deliver (burning the reroute budget
-         on it would only inflate the sweep); past the budget the orphan is
-         abandoned for good. *)
-      halt dst <= now || reroutes_used.(dst) >= max_reroutes
-    in
-    if lost then begin
-      gave_up := (old_parent, dst) :: !gave_up;
-      if tracing then emit (Event.Give_up { src = old_parent; dst; time = now });
-      (* The subtree planned under a permanently lost child is stranded
-         with it — its members never saw an attempt, so re-parent each of
-         them onto the delivered set too.  (Join ranks have no planned
-         subtree: the plan predates them.) *)
-      if dst < n then
-        List.iter
-          (fun gc -> orphaned ~old_parent:dst ~dst:gc engine)
-          plan.Plan.children.(dst)
-    end
-    else
-      match pick_parent ~dst ~now with
-      | Some p ->
-          (* Only the chosen parent is actually probed, so only its breaker
-             takes the cooldown-expiry transition (Open -> Half_open). *)
-          (match est with
-          | Some est -> ignore (Adaptive.usable est ~src:p ~dst ~now : bool)
-          | None -> ());
-          reroutes_used.(dst) <- reroutes_used.(dst) + 1;
-          reroute_log := (dst, old_parent, p) :: !reroute_log;
-          if tracing then
-            emit (Event.Reroute { dst; old_parent; new_parent = p; time = now });
-          attempt ~src:p ~dst ~try_no:0 ~rto:(initial_rto p dst) engine
-      | None ->
-          if not (List.exists (fun (d, _) -> d = dst) !pending) then
-            pending := (dst, old_parent) :: !pending
-  and drain_pending engine =
-    match !pending with
-    | [] -> ()
-    | parked ->
-        pending := [];
-        List.iter
-          (fun (dst, old_parent) ->
-            if not has_msg.(dst) then try_reroute ~old_parent ~dst engine)
-          (List.rev parked)
-  and forward rank engine =
-    (* A delivered join rank forwards nothing: the plan predates it. *)
-    if rank < n then
-      List.iter
-        (fun child ->
-          attempt ~src:rank ~dst:child ~try_no:0 ~rto:(initial_rto rank child) engine)
-        plan.Plan.children.(rank)
-  in
-  Engine.schedule engine ~time:start_delay (fun engine ->
-      let now = Engine.now engine in
-      if halt plan.Plan.root > now then begin
-        has_msg.(plan.Plan.root) <- true;
-        arrival.(plan.Plan.root) <- now;
-        nic_free.(plan.Plan.root) <- Float.max nic_free.(plan.Plan.root) now;
-        if tracing then
-          emit (Event.Arrival { src = plan.Plan.root; dst = plan.Plan.root; time = now });
-        forward plan.Plan.root engine
-      end);
   Engine.run engine;
-  let makespan =
-    Array.fold_left (fun acc t -> if Float.is_nan t then acc else Float.max acc t) 0. arrival
-  in
-  let horizon = Engine.now engine in
-  let crashed =
-    List.filter (fun r -> Faults.crash_time faults r <= horizon) (List.init n Fun.id)
-  in
-  let left =
-    match dynamics with
-    | None -> []
-    | Some d ->
-        List.filter (fun r -> Dynamics.leave_time d r <= horizon) (List.init n Fun.id)
-  in
-  let joined =
-    Array.to_list joins
-    |> List.filter_map (fun j ->
-           if j.Dynamics.at <= horizon then Some j.Dynamics.rank else None)
-  in
-  let delivered = Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 has_msg in
-  let trace = if record_trace then trace_of_mem mem else [] in
-  {
-    r_arrival = arrival;
-    r_makespan = makespan;
-    r_transmissions = !transmissions;
-    retransmissions = !retransmissions;
-    acks = !acks;
-    delivered;
-    gave_up = List.rev !gave_up;
-    crashed;
-    left;
-    joined;
-    horizon;
-    reroutes = List.rev !reroute_log;
-    circuit_opens = !circuit_opens;
-    estimator = est;
-    r_trace = trace;
-  }
+  Session.reliable_result s
+
+let run_reliable ?noise ?rng ?start_delay ?msg ?record_trace ?obs ?faults ?dynamics
+    ?on_tick ?tick_every ?retries ?rto_mult ?rto_min ?rto_max ?transport machines
+    plan =
+  run_reliable_with
+    (Config.v ?noise ?rng ?start_delay ?msg ?record_trace ?obs ?faults ?dynamics
+       ?on_tick ?tick_every ?retries ?rto_mult ?rto_min ?rto_max ?transport ())
+    machines plan
 
 type reliable_summary = {
   reps : int;

@@ -21,9 +21,15 @@
     installs an internal {!Gridb_obs.Sink.memory} sink and rebuilds the
     [trace] field from the event stream, byte-for-byte equal (ordering of
     simultaneous arrivals included) to what the pre-bus executor
-    recorded. *)
+    recorded.
 
-type result = {
+    Since the wire/session refactor both executors are thin wrappers over
+    {!Session} with a private {!Wire} and engine — bit-identical to the
+    historical monolithic executors (the golden corpus digest pins this).
+    The types below are equations over {!Session}'s, so values flow freely
+    between the single-session API and the multi-session service layer. *)
+
+type result = Session.result = {
   arrival : float array;  (** per-rank delivery time; [start_delay] at the root *)
   makespan : float;  (** max arrival *)
   transmissions : int;  (** number of point-to-point sends executed *)
@@ -66,7 +72,7 @@ val mean_makespan :
     the mean is bit-identical for every [jobs] setting ([jobs], default 1,
     fans repetitions out over a {!Gridb_util.Pool}). *)
 
-type transport =
+type transport = Session.transport =
   | Fixed  (** model-derived RTO, exponential backoff, no reroute *)
   | Adaptive of { config : Adaptive.config; reroute : bool }
       (** live Jacobson/Karn RTO + circuit breakers; with [reroute],
@@ -83,7 +89,7 @@ val transport_of_string : string -> (transport, string) Stdlib.result
 val transport_to_string : transport -> string
 (** Left inverse of {!transport_of_string} for default configs. *)
 
-type reliable = {
+type reliable = Session.reliable = {
   r_arrival : float array;
       (** per-rank {e first} delivery time; [nan] for ranks never reached *)
   r_makespan : float;  (** max arrival over delivered ranks *)
@@ -114,6 +120,23 @@ type reliable = {
   r_trace : Trace.transmission list;
       (** data transmissions, arrival-ordered; [] unless recorded *)
 }
+
+module Config = Session.Config
+(** Session configuration — the former 13 optional arguments of
+    {!run_reliable} as one record ({!Config.default} carries their
+    historical defaults; {!Config.v} builds overrides).  Shared with the
+    multi-session {!Session} layer. *)
+
+val run_with : Config.t -> Gridb_topology.Machines.t -> Plan.t -> result
+(** {!run} driven by a {!Config.t}.  Only the
+    [noise]/[rng]/[start_delay]/[msg]/[record_trace]/[obs] fields apply;
+    the reliability fields are ignored.
+    @raise Invalid_argument if plan and machine view sizes differ. *)
+
+val run_reliable_with : Config.t -> Gridb_topology.Machines.t -> Plan.t -> reliable
+(** {!run_reliable} driven by a {!Config.t} — the record-first API; the
+    optional-argument form below is a back-compat wrapper over it.
+    @raise Invalid_argument on everything {!run_reliable} raises. *)
 
 val run_reliable :
   ?noise:Noise.t ->

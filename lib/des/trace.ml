@@ -15,8 +15,8 @@ let of_events events =
   let out = ref [] in
   List.iter
     (fun (e : Gridb_obs.Event.t) ->
-      match e with
-      | Send_start { src; dst; _ } -> Hashtbl.replace open_start (src, dst) e
+      match Gridb_obs.Event.untag e with
+      | Send_start { src; dst; _ } as e -> Hashtbl.replace open_start (src, dst) e
       | Send_end { src; dst; time; arrival } -> (
           match Hashtbl.find_opt open_start (src, dst) with
           | Some (Send_start { time = start; msg; _ }) ->

@@ -1,0 +1,37 @@
+(** Shared per-NIC occupancy state.
+
+    One [Wire.t] holds the [nic_free] times of every rank on the fabric.
+    A single-session executor owns a private wire; the broadcast service
+    hands {e one} wire to every concurrent {!Session} so their
+    transmissions contend for the same NICs — the half-duplex one-port
+    serialization of the pLogP model then holds {e across} sessions, not
+    just within one.
+
+    All times are simulated microseconds.  A rank's NIC is free again at
+    [free_at]; a send seizes it for the link's gap. *)
+
+type t
+
+val create : n:int -> t
+(** A wire for ranks [0 .. n-1], all NICs free at time 0.
+    @raise Invalid_argument if [n < 1]. *)
+
+val size : t -> int
+(** Number of ranks the wire covers. *)
+
+val free_at : t -> int -> float
+(** Earliest time [rank]'s NIC can start a new injection. *)
+
+val touch : t -> int -> now:float -> unit
+(** Delivery bookkeeping: [rank]'s NIC cannot inject before [now]
+    (monotone max — never moves [free_at] backwards). *)
+
+val seize : t -> int -> gap:float -> float
+(** Seize [rank]'s NIC at its current [free_at] for [gap] us; returns the
+    injection start time.  The back-to-back send form of the simple
+    executor ([start = free_at; free_at += gap]). *)
+
+val occupy : t -> int -> start:float -> gap:float -> unit
+(** Record an injection at an externally chosen [start] (the reliable
+    executor starts at [max now (free_at)]): sets [free_at] to
+    [start +. gap].  Caller must ensure [start >= free_at]. *)

@@ -3,15 +3,17 @@ module Grid = Gridb_topology.Grid
 module Cluster = Gridb_topology.Cluster
 module Params = Gridb_plogp.Params
 module Sink = Gridb_obs.Sink
-module Event = Gridb_obs.Event
+module Plan_cache = Gridb_service.Plan_cache
 
 type t = {
   machines : Machines.t;
   measured : Grid.t;
-  cache : (string * int * int, Gridb_sched.Schedule.t) Hashtbl.t;
+  (* The schedule cache is the shared service-layer one, keyed by the
+     fingerprint of the MEASURED view (plans are computed against it, so
+     re-measuring invalidates by key) plus (root, class, heuristic). *)
+  cache : Plan_cache.t;
+  fingerprint : Gridb_topology.Fingerprint.t;
   obs : Sink.t;
-  mutable hits : int;
-  mutable misses : int;
 }
 
 let measure_intra ?noise ?seed ?sizes machines cluster =
@@ -49,13 +51,13 @@ let create ?noise ?seed ?sizes ?(obs = Sink.null) machines =
       end
     done
   done;
+  let measured = Grid.v ~clusters ~inter in
   {
     machines;
-    measured = Grid.v ~clusters ~inter;
-    cache = Hashtbl.create 32;
+    measured;
+    cache = Plan_cache.create ~obs ();
+    fingerprint = Gridb_topology.Fingerprint.of_machines (Machines.expand measured);
     obs;
-    hits = 0;
-    misses = 0;
   }
 
 let machines t = t.machines
@@ -70,22 +72,19 @@ let size_class msg =
 let instance t ~root ~msg =
   Gridb_sched.Instance.of_grid ~root ~msg:(size_class msg) t.measured
 
-let key_string (name, root, cls) = Printf.sprintf "%s/root=%d/class=%d" name root cls
+let schedule ?estimator t ~heuristic ~root ~msg =
+  let key =
+    Plan_cache.key ~fingerprint:t.fingerprint ~root ~msg
+      ~policy:heuristic.Gridb_sched.Heuristics.name
+  in
+  let s, _ =
+    Plan_cache.lookup t.cache ?estimator key ~compute:(fun () ->
+        Gridb_sched.Heuristics.run heuristic (instance t ~root ~msg))
+  in
+  s
 
-let schedule t ~heuristic ~root ~msg =
-  let key = (heuristic.Gridb_sched.Heuristics.name, root, size_class msg) in
-  match Hashtbl.find_opt t.cache key with
-  | Some s ->
-      t.hits <- t.hits + 1;
-      if Sink.enabled t.obs then
-        Sink.emit t.obs (Event.Cache_hit { key = key_string key });
-      s
-  | None ->
-      t.misses <- t.misses + 1;
-      if Sink.enabled t.obs then
-        Sink.emit t.obs (Event.Cache_miss { key = key_string key });
-      let s = Gridb_sched.Heuristics.run heuristic (instance t ~root ~msg) in
-      Hashtbl.replace t.cache key s;
-      s
+let plan_cache t = t.cache
 
-let cache_stats t = (t.hits, t.misses)
+let cache_stats t =
+  let s = Plan_cache.stats t.cache in
+  (s.Plan_cache.hits, s.Plan_cache.misses)

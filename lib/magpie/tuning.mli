@@ -9,7 +9,14 @@
     link per cluster, and rebuilds a {e measured} grid from them.  Schedules
     are then computed against the measured grid — not the ground truth —
     exactly as a real deployment would, and cached per (heuristic, root,
-    message class) so repeated broadcasts pay the scheduling cost once. *)
+    message class) so repeated broadcasts pay the scheduling cost once.
+
+    The cache is a {!Gridb_service.Plan_cache} keyed by the fingerprint of
+    the {e measured} machine view plus (root, class, heuristic) — the same
+    memoization layer the broadcast service uses, so a [Tuning.t] can hand
+    its cache to service components and inherits divergence-driven
+    invalidation when lookups carry a live {!Gridb_des.Adaptive}
+    estimator. *)
 
 type t
 
@@ -45,9 +52,21 @@ val instance : t -> root:int -> msg:int -> Gridb_sched.Instance.t
     message size. *)
 
 val schedule :
-  t -> heuristic:Gridb_sched.Heuristics.t -> root:int -> msg:int -> Gridb_sched.Schedule.t
+  ?estimator:Gridb_des.Adaptive.t ->
+  t ->
+  heuristic:Gridb_sched.Heuristics.t ->
+  root:int ->
+  msg:int ->
+  Gridb_sched.Schedule.t
 (** Cached: the first call for a (heuristic, root, class) triple computes
-    and stores; later calls are hits. *)
+    and stores; later calls are hits.  With [estimator], the cached entry
+    is invalidated and recomputed when the live
+    {!Gridb_des.Adaptive.quality} matrix has drifted past the cache
+    threshold since the entry was planned. *)
+
+val plan_cache : t -> Gridb_service.Plan_cache.t
+(** The underlying shared-layer cache (for stats beyond hits/misses, or to
+    hand to service components). *)
 
 val cache_stats : t -> int * int
 (** (hits, misses) of the schedule cache so far. *)

@@ -32,6 +32,11 @@ type t =
   | Counter of { name : string; value : int }
   | Span_start of { name : string; time : float }
   | Span_end of { name : string; time : float }
+  | Tagged of { sid : int; event : t }
+
+let rec untag = function Tagged { event; _ } -> untag event | e -> e
+let sid = function Tagged { sid; _ } -> Some sid | _ -> None
+let tag ~sid event = Tagged { sid; event = untag event }
 
 (* --- writer ------------------------------------------------------------ *)
 
@@ -78,7 +83,16 @@ let obj ev fields =
 
 let heap_op_name = function Rescore -> "rescore" | Drop -> "drop"
 
-let to_json = function
+let rec to_json = function
+  | Tagged { sid; event } ->
+      (* The correlation id rides as one extra flat field on the inner
+         event's object — the reader (and any field-tolerant consumer)
+         sees the same shape, plus "sid". *)
+      let inner = to_json (untag event) in
+      String.sub inner 0 (String.length inner - 1) ^ Printf.sprintf ",\"sid\":%d}" sid
+  | e -> to_json_untagged e
+
+and to_json_untagged = function
   | Send_start { src; dst; time; msg; intra; try_no } ->
       obj "send_start"
         [ I ("src", src); I ("dst", dst); F ("t", time); I ("msg", msg);
@@ -126,6 +140,7 @@ let to_json = function
   | Counter { name; value } -> obj "counter" [ S ("name", name); I ("value", value) ]
   | Span_start { name; time } -> obj "span_start" [ S ("name", name); F ("t", time) ]
   | Span_end { name; time } -> obj "span_end" [ S ("name", name); F ("t", time) ]
+  | Tagged _ as e -> to_json e
 
 (* --- reader ------------------------------------------------------------ *)
 
@@ -276,7 +291,14 @@ let of_json line =
   match
     let fields = parse_fields (String.trim line) in
     let ev = gets fields "ev" in
-    match ev with
+    let wrap event =
+      match List.assoc_opt "sid" fields with
+      | None -> event
+      | Some (Int sid) -> Tagged { sid; event }
+      | Some _ -> raise (Bad "field \"sid\": expected int")
+    in
+    wrap
+      (match ev with
     | "send_start" ->
         Send_start
           {
@@ -368,7 +390,7 @@ let of_json line =
     | "counter" -> Counter { name = gets fields "name"; value = geti fields "value" }
     | "span_start" -> Span_start { name = gets fields "name"; time = getf fields "t" }
     | "span_end" -> Span_end { name = gets fields "name"; time = getf fields "t" }
-    | other -> raise (Bad (Printf.sprintf "unknown event %S" other))
+    | other -> raise (Bad (Printf.sprintf "unknown event %S" other)))
   with
   | event -> Ok event
   | exception Bad msg -> Error msg

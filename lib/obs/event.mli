@@ -75,6 +75,22 @@ type t =
   | Counter of { name : string; value : int }
   | Span_start of { name : string; time : float }
   | Span_end of { name : string; time : float }
+  | Tagged of { sid : int; event : t }
+      (** [event], correlated with broadcast session / service request
+          [sid].  The session layer wraps every event it publishes so
+          multi-broadcast streams can be attributed per request; JSON adds
+          one flat ["sid"] field to the inner event's object.  [event] is
+          never itself [Tagged] when built with {!tag}. *)
+
+val untag : t -> t
+(** Strip any [Tagged] wrappers ({!tag} never nests them, but [untag] is
+    total anyway). *)
+
+val sid : t -> int option
+(** The correlation id, for [Tagged] events. *)
+
+val tag : sid:int -> t -> t
+(** [tag ~sid e] is [Tagged { sid; event = untag e }]. *)
 
 val to_json : t -> string
 (** One-line JSON object, no trailing newline.  Floats are printed with

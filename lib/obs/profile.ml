@@ -1,3 +1,10 @@
+type session_row = {
+  sid : int;
+  s_sends : int;  (** data transmissions tagged with this sid *)
+  s_busy_us : float;  (** NIC occupancy of those transmissions *)
+  s_makespan_us : float;  (** latest tagged arrival *)
+}
+
 type report = {
   schedule_us : float;
   transmit_us : float;
@@ -12,6 +19,7 @@ type report = {
   events : int;
   spans : (string * float) list;
   counters : (string * int) list;
+  sessions : session_row list;
 }
 
 (* Small ordered accumulator: first-seen key order is preserved so reports
@@ -33,13 +41,28 @@ let of_events events =
   let open_spans : (string, float list) Hashtbl.t = Hashtbl.create 8 in
   let spans = ref [] and counters = ref [] in
   let total = ref 0 in
+  (* Per-correlation-id attribution, first-seen sid order. *)
+  let session_tbl : (int, session_row ref) Hashtbl.t = Hashtbl.create 8 in
+  let session_order = ref [] in
+  let session sid =
+    match Hashtbl.find_opt session_tbl sid with
+    | Some r -> r
+    | None ->
+        let r = ref { sid; s_sends = 0; s_busy_us = 0.; s_makespan_us = 0. } in
+        Hashtbl.add session_tbl sid r;
+        session_order := sid :: !session_order;
+        r
+  in
   List.iter
     (fun (e : Event.t) ->
       incr total;
-      match e with
-      | Send_start { src; dst; try_no; _ } ->
+      let sid = Event.sid e in
+      let tally f = match sid with None -> () | Some s -> let r = session s in r := f !r in
+      match Event.untag e with
+      | Send_start { src; dst; try_no; _ } as e ->
           incr sends;
           if try_no > 0 then incr retransmits;
+          tally (fun r -> { r with s_sends = r.s_sends + 1 });
           Hashtbl.replace pending_send (src, dst) e
       | Send_end { src; dst; time; arrival } -> (
           makespan := Float.max !makespan arrival;
@@ -47,11 +70,14 @@ let of_events events =
           | Some (Send_start { time = start; intra = is_intra; try_no; _ }) ->
               Hashtbl.remove pending_send (src, dst);
               let gap = time -. start in
+              tally (fun r -> { r with s_busy_us = r.s_busy_us +. gap });
               if try_no > 0 then retransmit := !retransmit +. gap
               else if is_intra then intra := !intra +. gap
               else transmit := !transmit +. gap
           | _ -> ())
-      | Arrival { time; _ } -> makespan := Float.max !makespan time
+      | Arrival { time; _ } ->
+          makespan := Float.max !makespan time;
+          tally (fun r -> { r with s_makespan_us = Float.max r.s_makespan_us time })
       | Give_up _ -> incr give_ups
       | Circuit_open _ -> incr circuit_opens
       | Reroute _ -> incr reroutes
@@ -84,6 +110,8 @@ let of_events events =
     events = !total;
     spans = !spans;
     counters = !counters;
+    sessions =
+      List.rev_map (fun sid -> !(Hashtbl.find session_tbl sid)) !session_order;
   }
 
 let render r =
@@ -111,4 +139,14 @@ let render r =
     r.spans;
   if r.counters <> [] then Gridb_util.Text_table.add_separator table;
   List.iter (fun (name, v) -> add name (string_of_int v)) r.counters;
+  if r.sessions <> [] then begin
+    Gridb_util.Text_table.add_separator table;
+    List.iter
+      (fun s ->
+        add
+          (Printf.sprintf "session %d" s.sid)
+          (Printf.sprintf "%d sends, %.1f us busy, makespan %.1f us" s.s_sends
+             s.s_busy_us s.s_makespan_us))
+      r.sessions
+  end;
   Gridb_util.Text_table.render table

@@ -6,6 +6,15 @@
     NIC occupancy, split by the [intra]/[try_no] tags of the send events),
     plus the named counters and span totals the producers published. *)
 
+type session_row = {
+  sid : int;
+  s_sends : int;  (** data transmissions tagged with this correlation id *)
+  s_busy_us : float;  (** NIC occupancy (simulated us) of those sends *)
+  s_makespan_us : float;  (** latest tagged arrival *)
+}
+(** Per-request attribution over a multi-session stream: events wrapped in
+    {!Event.Tagged} are additionally accounted to their [sid]. *)
+
 type report = {
   schedule_us : float;
       (** total of spans named ["schedule"] (host CPU time, us) *)
@@ -24,6 +33,9 @@ type report = {
       (** per-name span totals (us), insertion order *)
   counters : (string * int) list;
       (** named counters, last value wins, insertion order *)
+  sessions : session_row list;
+      (** per-sid rollup of [Tagged] events, first-seen order; [] for
+          single-session (untagged) streams *)
 }
 
 val of_events : Event.t list -> report

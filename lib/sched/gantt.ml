@@ -60,7 +60,7 @@ let render_events ?(width = 72) events =
   let max_rank = ref 0 in
   List.iter
     (fun (e : Gridb_obs.Event.t) ->
-      match e with
+      match Gridb_obs.Event.untag e with
       | Send_start { src; dst; time; try_no; _ } ->
           max_rank := max !max_rank (max src dst);
           Hashtbl.replace open_start (src, dst) (time, try_no > 0)

@@ -1,0 +1,45 @@
+type t = {
+  max_concurrent : int;
+  max_backlog_us : float;
+  (* Predicted finish times of admitted, not-yet-finished sessions,
+     ascending.  The population is small (bounded by max_concurrent), so a
+     sorted list beats a heap on constant factors and keeps decisions
+     trivially deterministic. *)
+  mutable inflight : float list;
+}
+
+type decision = Admit | Reject of string
+
+let create ?(max_concurrent = 8) ?(max_backlog_us = infinity) () =
+  if max_concurrent < 1 then invalid_arg "Admission.create: max_concurrent < 1";
+  if max_backlog_us <= 0. then invalid_arg "Admission.create: max_backlog_us <= 0";
+  { max_concurrent; max_backlog_us; inflight = [] }
+
+let rec insert t = function
+  | [] -> [ t ]
+  | x :: rest when x <= t -> x :: insert t rest
+  | later -> t :: later
+
+(* Admission is judged on the {e predicted} makespan of the (cached) plan,
+   not on simulated completions: the decision is available at request
+   arrival, before any execution, and is identical however the batch is
+   parallelised.  Prediction errs optimistic under contention (plans are
+   costed uncontended), which makes the controller an upper bound on
+   admitted load — the honest direction for overload protection. *)
+let decide t ~now ~predicted_makespan =
+  t.inflight <- List.filter (fun finish -> finish > now) t.inflight;
+  let inflight = List.length t.inflight in
+  if inflight >= t.max_concurrent then
+    Reject (Printf.sprintf "concurrency limit (%d in flight)" inflight)
+  else
+    let backlog =
+      match t.inflight with [] -> 0. | l -> List.fold_left Float.max 0. l -. now
+    in
+    if backlog > t.max_backlog_us then
+      Reject (Printf.sprintf "backlog %.0f us over budget" backlog)
+    else begin
+      t.inflight <- insert (now +. predicted_makespan) t.inflight;
+      Admit
+    end
+
+let inflight t ~now = List.length (List.filter (fun f -> f > now) t.inflight)

@@ -1,0 +1,25 @@
+(** Predicted-load admission control for the broadcast service.
+
+    Decisions are made at request arrival from the {e predicted} makespan
+    of the request's (cached) plan — never from simulated completions, so
+    the controller is causal (it cannot peek at the future), deterministic
+    and independent of how planning was parallelised.  A request is
+    rejected when the concurrency cap is reached or the predicted backlog
+    (latest predicted finish minus now) exceeds the budget; an admitted
+    request books [now + predicted_makespan] as its predicted finish. *)
+
+type t
+
+type decision = Admit | Reject of string  (** reason, human-readable *)
+
+val create : ?max_concurrent:int -> ?max_backlog_us:float -> unit -> t
+(** Defaults: at most 8 predicted-concurrent sessions, unbounded backlog.
+    @raise Invalid_argument if [max_concurrent < 1] or
+    [max_backlog_us <= 0.]. *)
+
+val decide : t -> now:float -> predicted_makespan:float -> decision
+(** Decide one request; call in arrival order ([now] non-decreasing).
+    [Admit] records the predicted finish. *)
+
+val inflight : t -> now:float -> int
+(** Sessions whose predicted finish is past [now]. *)

@@ -1,0 +1,119 @@
+module Fingerprint = Gridb_topology.Fingerprint
+module Adaptive = Gridb_des.Adaptive
+module Sink = Gridb_obs.Sink
+module Event = Gridb_obs.Event
+
+type key = {
+  fingerprint : Fingerprint.t;
+  root : int;
+  bucket : int;
+  policy : string;
+}
+
+let bucket_of_size msg =
+  if msg < 0 then invalid_arg "Plan_cache.bucket_of_size: negative size";
+  let rec up c = if c >= msg then c else up (2 * c) in
+  up 64
+
+let key ~fingerprint ~root ~msg ~policy =
+  { fingerprint; root; bucket = bucket_of_size msg; policy }
+
+let key_string k =
+  Printf.sprintf "%s/fp=%s/root=%d/class=%d" k.policy
+    (Fingerprint.to_string k.fingerprint)
+    k.root k.bucket
+
+type entry = {
+  schedule : Gridb_sched.Schedule.t;
+  (* Flattened n*n quality matrix at plan time; [None] when the entry was
+     planned without a live estimator (nominal conditions, quality 1.). *)
+  snapshot : float array option;
+}
+
+type stats = { hits : int; misses : int; invalidations : int; entries : int }
+
+type t = {
+  tbl : (key, entry) Hashtbl.t;
+  threshold : float;
+  obs : Sink.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+let default_threshold = 0.25
+
+let create ?(threshold = default_threshold) ?(obs = Sink.null) () =
+  if threshold <= 0. then invalid_arg "Plan_cache.create: threshold must be positive";
+  { tbl = Hashtbl.create 64; threshold; obs; hits = 0; misses = 0; invalidations = 0 }
+
+let snapshot_of est =
+  let n = Adaptive.size est in
+  Array.init (n * n) (fun i -> Adaptive.quality est ~src:(i / n) ~dst:(i mod n))
+
+(* Mean absolute per-link quality drift between plan time and now.  A
+   nominal snapshot ([None]) counts every link as quality 1.; incompatible
+   estimator sizes diverge infinitely (a population change always
+   invalidates). *)
+let divergence ~snapshot est =
+  let live = snapshot_of est in
+  let m = Array.length live in
+  if m = 0 then 0.
+  else
+    match snapshot with
+    | Some snap when Array.length snap <> m -> infinity
+    | _ ->
+        let base i = match snapshot with Some snap -> snap.(i) | None -> 1. in
+        let acc = ref 0. in
+        for i = 0 to m - 1 do
+          acc := !acc +. Float.abs (live.(i) -. base i)
+        done;
+        !acc /. float_of_int m
+
+let publish_counters t =
+  if Sink.enabled t.obs then begin
+    Sink.emit t.obs (Event.Counter { name = "plan_cache.hits"; value = t.hits });
+    Sink.emit t.obs (Event.Counter { name = "plan_cache.misses"; value = t.misses });
+    Sink.emit t.obs
+      (Event.Counter { name = "plan_cache.invalidations"; value = t.invalidations })
+  end
+
+let store t k ?estimator schedule =
+  Hashtbl.replace t.tbl k { schedule; snapshot = Option.map snapshot_of estimator }
+
+let miss t k ?estimator compute =
+  t.misses <- t.misses + 1;
+  if Sink.enabled t.obs then Sink.emit t.obs (Event.Cache_miss { key = key_string k });
+  let s = compute () in
+  store t k ?estimator s;
+  publish_counters t;
+  s
+
+let lookup t ?estimator k ~compute =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> (miss t k ?estimator compute, `Miss)
+  | Some entry -> (
+      match estimator with
+      | Some est when divergence ~snapshot:entry.snapshot est > t.threshold ->
+          Hashtbl.remove t.tbl k;
+          t.invalidations <- t.invalidations + 1;
+          (miss t k ?estimator compute, `Invalidated)
+      | _ ->
+          t.hits <- t.hits + 1;
+          if Sink.enabled t.obs then
+            Sink.emit t.obs (Event.Cache_hit { key = key_string k });
+          publish_counters t;
+          (entry.schedule, `Hit))
+
+let find t k = Option.map (fun e -> e.schedule) (Hashtbl.find_opt t.tbl k)
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    entries = Hashtbl.length t.tbl;
+  }
+
+let threshold t = t.threshold
+let clear t = Hashtbl.reset t.tbl

@@ -1,0 +1,215 @@
+module Machines = Gridb_topology.Machines
+module Fingerprint = Gridb_topology.Fingerprint
+module Heuristics = Gridb_sched.Heuristics
+module Instance = Gridb_sched.Instance
+module Schedule = Gridb_sched.Schedule
+module Session = Gridb_des.Session
+module Wire = Gridb_des.Wire
+module Engine = Gridb_des.Engine
+module Plan = Gridb_des.Plan
+module Sink = Gridb_obs.Sink
+module Rng = Gridb_util.Rng
+module Pool = Gridb_util.Pool
+
+type outcome = {
+  request : Workload.request;
+  cache : [ `Hit | `Miss | `Invalidated ];
+  plan_us : float;
+  predicted_us : float;
+  decision : Admission.decision;
+  result : Session.reliable option;
+}
+
+type report = {
+  outcomes : outcome array;
+  requests : int;
+  admitted : int;
+  rejected : int;
+  cache_stats : Plan_cache.stats;
+  hit_rate : float;
+  plan_wall_s : float;
+  plans_per_sec : float;
+  plan_p50_us : float;
+  plan_p99_us : float;
+  horizon_us : float;
+  delivered : int;
+  mean_makespan_us : float;
+}
+
+let percentile sorted p =
+  let m = Array.length sorted in
+  if m = 0 then 0.
+  else
+    let idx = int_of_float (ceil (p /. 100. *. float_of_int m)) - 1 in
+    sorted.(min (m - 1) (max 0 idx))
+
+let heuristic_of policy =
+  match Heuristics.by_name policy with
+  | Some h -> h
+  | None -> invalid_arg (Printf.sprintf "Server.run: unknown policy %S" policy)
+
+let run ?(jobs = 1) ?transport ?admission ?cache ?(obs = Sink.null) ?(seed = 0)
+    machines requests =
+  let admission = match admission with Some a -> a | None -> Admission.create () in
+  let cache = match cache with Some c -> c | None -> Plan_cache.create ~obs () in
+  let requests = Array.of_list requests in
+  let grid = Machines.grid machines in
+  let fingerprint = Fingerprint.of_machines machines in
+  let key_of (r : Workload.request) =
+    Plan_cache.key ~fingerprint ~root:r.Workload.root ~msg:r.Workload.msg
+      ~policy:r.Workload.policy
+  in
+  (* Arrival order must be non-decreasing: the admission controller and the
+     sequential cache replay both assume it. *)
+  Array.iteri
+    (fun i r ->
+      if i > 0 && r.Workload.at < requests.(i - 1).Workload.at then
+        invalid_arg "Server.run: requests not in arrival order")
+    requests;
+  let t0 = Unix.gettimeofday () in
+  (* Batch planning: the distinct cache keys of the whole request batch,
+     first-appearance order, each planned once — in parallel over the pool
+     (planning is pure; results land by index, so any --jobs gives the
+     same plans).  The sequential replay below then charges hits and
+     misses exactly as an online server would have. *)
+  let seen = Hashtbl.create 64 in
+  let unique = ref [] in
+  Array.iter
+    (fun r ->
+      let k = key_of r in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        unique := k :: !unique
+      end)
+    requests;
+  let unique = Array.of_list (List.rev !unique) in
+  let planned =
+    Pool.mapi ~jobs
+      (fun _ (k : Plan_cache.key) ->
+        let t0 = Unix.gettimeofday () in
+        let h = heuristic_of k.Plan_cache.policy in
+        let inst = Instance.of_grid ~root:k.Plan_cache.root ~msg:k.Plan_cache.bucket grid in
+        let s = Heuristics.run h inst in
+        let predicted = Schedule.makespan inst s in
+        (s, predicted, (Unix.gettimeofday () -. t0) *. 1e6))
+      unique
+  in
+  let plan_tbl = Hashtbl.create 64 in
+  Array.iteri (fun i k -> Hashtbl.replace plan_tbl k planned.(i)) unique;
+  (* Sequential replay in arrival order: cache accounting, admission, and
+     session launch onto ONE engine and ONE wire — admitted broadcasts
+     contend for the same NICs. *)
+  let n = Machines.count machines in
+  let wire = Wire.create ~n in
+  let engine = Engine.create ~obs () in
+  let base = Rng.create seed in
+  let partial =
+    Array.map
+      (fun (r : Workload.request) ->
+        let k = key_of r in
+        let schedule, predicted, compute_us = Hashtbl.find plan_tbl k in
+        let l0 = Unix.gettimeofday () in
+        let _, kind = Plan_cache.lookup cache k ~compute:(fun () -> schedule) in
+        let lookup_us = (Unix.gettimeofday () -. l0) *. 1e6 in
+        let plan_us = match kind with `Hit -> lookup_us | _ -> compute_us +. lookup_us in
+        let decision =
+          Admission.decide admission ~now:r.Workload.at ~predicted_makespan:predicted
+        in
+        let session =
+          match decision with
+          | Admission.Reject _ -> None
+          | Admission.Admit ->
+              let plan = Plan.of_cluster_schedule machines schedule in
+              let config =
+                Session.Config.v
+                  ~rng:(Rng.split base r.Workload.rid)
+                  ~start_delay:r.Workload.at ~msg:r.Workload.msg ~obs
+                  ?transport ()
+              in
+              Some
+                (Session.launch_reliable ~sid:r.Workload.rid ~who:"Server.run" ~wire
+                   ~engine config machines plan)
+        in
+        (r, kind, plan_us, predicted, decision, session))
+      requests
+  in
+  let plan_wall_s = Unix.gettimeofday () -. t0 in
+  Engine.run engine;
+  let outcomes =
+    Array.map
+      (fun (request, cache, plan_us, predicted_us, decision, session) ->
+        {
+          request;
+          cache;
+          plan_us;
+          predicted_us;
+          decision;
+          result = Option.map Session.reliable_result session;
+        })
+      partial
+  in
+  let admitted = ref 0 and delivered = ref 0 and mk_sum = ref 0. in
+  Array.iter
+    (fun o ->
+      match o.result with
+      | Some r ->
+          incr admitted;
+          delivered := !delivered + r.Session.delivered;
+          mk_sum := !mk_sum +. (r.Session.r_makespan -. o.request.Workload.at)
+      | None -> ())
+    outcomes;
+  let latencies = Array.map (fun o -> o.plan_us) outcomes in
+  Array.sort Float.compare latencies;
+  let stats = Plan_cache.stats cache in
+  let lookups = stats.Plan_cache.hits + stats.Plan_cache.misses in
+  {
+    outcomes;
+    requests = Array.length requests;
+    admitted = !admitted;
+    rejected = Array.length requests - !admitted;
+    cache_stats = stats;
+    hit_rate =
+      (if lookups = 0 then 0.
+       else float_of_int stats.Plan_cache.hits /. float_of_int lookups);
+    plan_wall_s;
+    plans_per_sec =
+      (if plan_wall_s > 0. then float_of_int (Array.length requests) /. plan_wall_s
+       else 0.);
+    plan_p50_us = percentile latencies 50.;
+    plan_p99_us = percentile latencies 99.;
+    horizon_us = Engine.now engine;
+    delivered = !delivered;
+    mean_makespan_us = (if !admitted = 0 then 0. else !mk_sum /. float_of_int !admitted);
+  }
+
+let smoke_lines report =
+  let lines = ref [] in
+  let addf fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  Array.iter
+    (fun o ->
+      let r = o.request in
+      addf "req %-3d at=%.1f root=%d msg=%d policy=%s cache=%s %s%s" r.Workload.rid
+        r.Workload.at r.Workload.root r.Workload.msg r.Workload.policy
+        (match o.cache with
+        | `Hit -> "hit"
+        | `Miss -> "miss"
+        | `Invalidated -> "invalidated")
+        (match o.decision with
+        | Admission.Admit -> "admitted"
+        | Admission.Reject reason -> "rejected (" ^ reason ^ ")")
+        (match o.result with
+        | None -> ""
+        | Some res ->
+            Printf.sprintf " delivered=%d/%d makespan=%.1f" res.Session.delivered
+              (Array.length res.Session.r_arrival)
+              (res.Session.r_makespan -. r.Workload.at)))
+    report.outcomes;
+  addf "requests %d admitted %d rejected %d" report.requests report.admitted
+    report.rejected;
+  addf "cache hits %d misses %d invalidations %d entries %d (hit rate %.3f)"
+    report.cache_stats.Plan_cache.hits report.cache_stats.Plan_cache.misses
+    report.cache_stats.Plan_cache.invalidations report.cache_stats.Plan_cache.entries
+    report.hit_rate;
+  addf "delivered ranks %d, mean session makespan %.1f us, horizon %.1f us"
+    report.delivered report.mean_makespan_us report.horizon_us;
+  List.rev !lines

@@ -1,0 +1,68 @@
+(** Broadcast-as-a-service: many broadcasts, one engine, one wire.
+
+    [run] serves a batch of {!Workload} requests the way an online
+    broadcast service would:
+
+    + {b Batch planning} — the batch's {e distinct} {!Plan_cache} keys are
+      planned once each, fanned out over a {!Gridb_util.Pool} ([jobs]).
+      Planning is pure and results land by index, so every [jobs] setting
+      yields the same plans.
+    + {b Replay} — requests are replayed sequentially in arrival order:
+      each charges the plan cache (hit / miss / divergence invalidation),
+      passes {!Admission} on its plan's {e predicted} makespan, and, if
+      admitted, launches a {!Gridb_des.Session} at its arrival time.
+    + {b Execution} — one [Engine.run] drives every admitted session;
+      all of them contend on one shared {!Gridb_des.Wire}, so the one-port
+      gap serialization holds across concurrent broadcasts.  Session
+      events are tagged with the request id ([sid = rid]).
+
+    Everything except the host-clock timing fields ([plan_*], [plans_per_sec])
+    is bit-identical across [jobs] — the property the CI smoke check
+    byte-compares. *)
+
+type outcome = {
+  request : Workload.request;
+  cache : [ `Hit | `Miss | `Invalidated ];
+  plan_us : float;  (** host-clock plan latency (compute cost on a miss) *)
+  predicted_us : float;  (** the plan's predicted makespan *)
+  decision : Admission.decision;
+  result : Gridb_des.Session.reliable option;  (** [None] iff rejected *)
+}
+
+type report = {
+  outcomes : outcome array;  (** one per request, arrival order *)
+  requests : int;
+  admitted : int;
+  rejected : int;
+  cache_stats : Plan_cache.stats;
+  hit_rate : float;  (** hits / lookups *)
+  plan_wall_s : float;  (** host wall clock of planning + replay *)
+  plans_per_sec : float;  (** requests served per host second *)
+  plan_p50_us : float;  (** median per-request plan latency *)
+  plan_p99_us : float;
+  horizon_us : float;  (** simulated quiescence *)
+  delivered : int;  (** ranks delivered, summed over admitted sessions *)
+  mean_makespan_us : float;  (** mean (makespan - arrival) over admitted *)
+}
+
+val run :
+  ?jobs:int ->
+  ?transport:Gridb_des.Session.transport ->
+  ?admission:Admission.t ->
+  ?cache:Plan_cache.t ->
+  ?obs:Gridb_obs.Sink.t ->
+  ?seed:int ->
+  Gridb_topology.Machines.t ->
+  Workload.request list ->
+  report
+(** Serve [requests] (chronological; rids should be dense from 0 — session
+    [rid] seeds its rng stream via {!Gridb_util.Rng.split}[ seed rid]).
+    Defaults: sequential planning, [Fixed] transport, a fresh
+    {!Admission.create}[ ()] controller, a fresh cache, null sink, seed 0.
+    @raise Invalid_argument on out-of-order requests or an unknown policy
+    name. *)
+
+val smoke_lines : report -> string list
+(** Deterministic rendering of the jobs-invariant part of a report (no
+    host-clock fields) — one line per request plus summary lines; the CI
+    smoke check byte-compares it at [--jobs 1] vs [4]. *)

@@ -1,0 +1,69 @@
+module Rng = Gridb_util.Rng
+module Machines = Gridb_topology.Machines
+module Grid = Gridb_topology.Grid
+
+type request = {
+  rid : int;
+  at : float;
+  root : int;
+  msg : int;
+  policy : string;
+}
+
+type mix = {
+  roots : int array;
+  msgs : int array;
+  policies : string array;
+}
+
+let default_mix machines =
+  let clusters = Grid.size (Machines.grid machines) in
+  {
+    (* Few distinct roots/sizes/policies: the key space stays small, so a
+       sustained request stream revisits keys and the plan cache earns its
+       keep (hit rate > 0.5 on the default bench workload). *)
+    roots = Array.init (min 3 clusters) Fun.id;
+    msgs = [| 65_536; 1_000_000 |];
+    policies = [| "ECEF"; "ECEF-LA" |];
+  }
+
+let validate_mix machines m =
+  let clusters = Grid.size (Machines.grid machines) in
+  if Array.length m.roots = 0 then invalid_arg "Workload.generate: empty root mix";
+  Array.iter
+    (fun r ->
+      if r < 0 || r >= clusters then
+        invalid_arg "Workload.generate: root cluster out of range")
+    m.roots;
+  if Array.length m.msgs = 0 then invalid_arg "Workload.generate: empty size mix";
+  Array.iter
+    (fun s -> if s < 1 then invalid_arg "Workload.generate: message size < 1")
+    m.msgs;
+  if Array.length m.policies = 0 then
+    invalid_arg "Workload.generate: empty policy mix";
+  Array.iter
+    (fun p ->
+      if Gridb_sched.Heuristics.by_name p = None then
+        invalid_arg (Printf.sprintf "Workload.generate: unknown policy %S" p))
+    m.policies
+
+let generate ?mix ~seed ~rate ~duration machines =
+  if rate <= 0. then invalid_arg "Workload.generate: rate must be positive";
+  if duration <= 0. then invalid_arg "Workload.generate: duration must be positive";
+  let m = match mix with Some m -> m | None -> default_mix machines in
+  validate_mix machines m;
+  let rng = Rng.create seed in
+  (* Open loop: arrivals are a Poisson process of rate [rate], independent
+     of service times — the generator never waits for completions.  Fixed
+     per-request draw order (interarrival, root, size, policy) keeps equal
+     seeds giving equal request streams whatever the mix sizes. *)
+  let rec go rid t acc =
+    let t = t +. Rng.exponential rng rate in
+    if t > duration then List.rev acc
+    else
+      let root = Rng.pick rng m.roots in
+      let msg = Rng.pick rng m.msgs in
+      let policy = Rng.pick rng m.policies in
+      go (rid + 1) t ({ rid; at = t; root; msg; policy } :: acc)
+  in
+  go 0 0. []

@@ -1,0 +1,38 @@
+(** Deterministic open-loop request generation for the broadcast service.
+
+    Requests arrive as a seeded Poisson process — open loop: the arrival
+    times never depend on how fast the service drains them, so overload
+    actually overloads (the scenario admission control exists for).
+    Equal seeds give equal request streams. *)
+
+type request = {
+  rid : int;  (** dense request id, 0-based arrival order *)
+  at : float;  (** arrival time, simulated us *)
+  root : int;  (** root cluster *)
+  msg : int;  (** message size, bytes (pre-bucketing) *)
+  policy : string;  (** scheduling heuristic name *)
+}
+
+type mix = {
+  roots : int array;  (** candidate root clusters *)
+  msgs : int array;  (** candidate message sizes *)
+  policies : string array;  (** candidate heuristic names *)
+}
+
+val default_mix : Gridb_topology.Machines.t -> mix
+(** Up to 3 root clusters, 64 KB / 1 MB messages, ECEF and ECEF-LA —
+    a key space small enough that sustained streams revisit it (plan-cache
+    hit rate > 0.5 on the default bench workload). *)
+
+val generate :
+  ?mix:mix ->
+  seed:int ->
+  rate:float ->
+  duration:float ->
+  Gridb_topology.Machines.t ->
+  request list
+(** Requests of a Poisson process with [rate] arrivals per simulated us
+    over [(0, duration]], each drawing root/size/policy uniformly from
+    [mix] (default {!default_mix}); chronological, rids dense from 0.
+    @raise Invalid_argument on non-positive [rate]/[duration], an empty or
+    out-of-range mix, or an unknown policy name. *)

@@ -1,0 +1,48 @@
+type t = int64
+
+(* FNV-1a, 64-bit.  Stable across runs, platforms and OCaml versions:
+   floats enter the hash via their IEEE-754 bit patterns, so two machine
+   views hash equal iff their parameter matrices are bit-equal. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let int64 h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := byte !h (Int64.to_int (Int64.shift_right_logical v (8 * shift)))
+  done;
+  !h
+
+let int h v = int64 h (Int64.of_int v)
+let float h v = int64 h (Int64.bits_of_float v)
+
+(* Gap is a piecewise function of the message size; probing it at spread
+   sizes (small, page, chunk, the paper's 1 MB) captures every segment the
+   schedules actually evaluate without hashing the raw tables. *)
+let probe_sizes = [ 64; 4_096; 65_536; 1_048_576 ]
+
+let of_machines machines =
+  let n = Machines.count machines in
+  let h = ref (int fnv_offset n) in
+  for r = 0 to n - 1 do
+    h := int !h (Machines.machine machines r).Machines.cluster
+  done;
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then begin
+        let p = Machines.link_params machines src dst in
+        h := float !h (Gridb_plogp.Params.latency p);
+        List.iter
+          (fun m -> h := float !h (Gridb_plogp.Params.gap p m))
+          probe_sizes
+      end
+    done
+  done;
+  !h
+
+let equal = Int64.equal
+let compare = Int64.compare
+let to_string t = Printf.sprintf "%016Lx" t
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,26 @@
+(** Stable identity of a machine view's communication parameters.
+
+    The broadcast service keys its memoized plan cache by topology: two
+    requests may share a cached schedule only if they see the {e same}
+    network.  [of_machines] condenses a {!Machines.t} into a 64-bit FNV-1a
+    hash over the cluster assignment and, per directed rank pair, the
+    link's latency and its gap probed at spread message sizes (64 B, 4 KB,
+    64 KB, 1 MB) — every quantity the scheduling heuristics read.  Floats
+    are hashed by IEEE-754 bit pattern, so the fingerprint is exactly as
+    strict as the planner's own arithmetic: bit-equal parameters hash
+    equal, any parameter perturbation (drift, re-measurement) moves it.
+
+    Deterministic across runs and platforms; {e not} cryptographic. *)
+
+type t = int64
+
+val of_machines : Machines.t -> t
+(** Fingerprint of the expanded machine view. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_string : t -> string
+(** 16 lowercase hex digits. *)
+
+val pp : Format.formatter -> t -> unit

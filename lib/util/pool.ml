@@ -48,6 +48,72 @@ let mapi ?jobs f items =
 
 let map ?jobs f items = mapi ?jobs (fun _ x -> f x) items
 
+let mapi_stream ?jobs ~consume f items =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let n = Array.length items in
+  if n = 0 then [||]
+  else if jobs = 1 || n = 1 then
+    Array.mapi
+      (fun i x ->
+        let r = f i x in
+        consume i r;
+        r)
+      items
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    (* Publication: a worker plain-writes its slot, then release-stores the
+       slot's flag; the consuming domain acquire-loads the flag before
+       reading the slot.  Plain array reads without the flag would race. *)
+    let ready = Array.init n (fun _ -> Atomic.make false) in
+    let next = Atomic.make 0 in
+    let task i =
+      (match f i items.(i) with
+      | v -> results.(i) <- Some v
+      | exception e -> errors.(i) <- Some e);
+      Atomic.set ready.(i) true
+    in
+    let claim () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        task i;
+        true
+      end
+      else false
+    in
+    let worker () = while claim () do () done in
+    (* Only the calling domain consumes: results stream out in strictly
+       ascending index order, flushed whenever the caller finishes one of
+       its own claims (and finally after the join), so the output is
+       byte-identical to the sequential run's.  A failed slot stops the
+       stream; the error itself is re-raised after the join, exactly where
+       a sequential left-to-right run would have stopped. *)
+    let next_flush = ref 0 in
+    let flush () =
+      let continue = ref true in
+      while !continue && !next_flush < n do
+        let i = !next_flush in
+        if Atomic.get ready.(i) then
+          match errors.(i) with
+          | Some _ -> continue := false
+          | None ->
+              (match results.(i) with Some v -> consume i v | None -> assert false);
+              incr next_flush
+        else continue := false
+      done
+    in
+    let domains =
+      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    while claim () do
+      flush ()
+    done;
+    Array.iter Domain.join domains;
+    flush ();
+    raise_first_error errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
 let map_list ?jobs f items =
   Array.to_list (map ?jobs f (Array.of_list items))
 

@@ -33,6 +33,19 @@ val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 (** Like {!map}, passing the index — the hook for per-task stream
     derivation ([Rng.split base i]). *)
 
+val mapi_stream :
+  ?jobs:int -> consume:(int -> 'b -> unit) -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** {!mapi} that additionally streams results out as they complete:
+    [consume i r] runs on the {e calling} domain, in strictly ascending
+    index order, as soon as every slot up to [i] has finished — so a
+    parallel benchmark sweep prints its cells incrementally (instead of
+    buffering everything until the join) yet the printed output is
+    byte-identical to the sequential run's.  With [jobs = 1] each result
+    is consumed immediately after it is computed, inline.  If a task
+    raises, consumption stops just before the lowest failing index and
+    that exception is re-raised after the batch completes — again matching
+    the sequential run. *)
+
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over lists (converts through arrays). *)
 

@@ -83,6 +83,118 @@ let test_grid5000_instance_golden () =
   check_golden "T Orsay-A (ms)" 50.290240 (inst.Instance.intra.(0) /. 1e3);
   check_golden "gap Orsay->IDPOT 1MB (ms)" 769.280769 (inst.Instance.gap.(0).(2) /. 1e3)
 
+(* Golden pin of the DES executors' exact output over a seeded corpus —
+   event streams, arrival vectors, protocol counters, at full precision.
+   The constant was recorded from the pre-refactor monolithic
+   [Exec.run]/[run_reliable] immediately BEFORE the wire/session split, so
+   the refactored single-session wrappers must reproduce every byte: a
+   reassociated float add, a reordered rng draw or a changed tie-break in
+   the session layer fails here even though the schedules still validate. *)
+let exec_corpus_digest = "d505aeb03c59f565c075e1c5b8fb93a6"
+let exec_corpus_bytes = 9_195_362
+
+let exec_corpus_buffer () =
+  let module Generators = Gridb_topology.Generators in
+  let module Machines = Gridb_topology.Machines in
+  let module Plan = Gridb_des.Plan in
+  let module Exec = Gridb_des.Exec in
+  let module Faults = Gridb_des.Faults in
+  let module Dynamics = Gridb_des.Dynamics in
+  let module Sink = Gridb_obs.Sink in
+  let module Event = Gridb_obs.Event in
+  let buf = Buffer.create 65536 in
+  let addf f = Buffer.add_string buf (Printf.sprintf "%.17g," f) in
+  let add_arrivals a = Array.iter addf a in
+  let add_events sink =
+    List.iter
+      (fun e ->
+        Buffer.add_string buf (Event.to_json e);
+        Buffer.add_char buf '\n')
+      (Sink.events sink)
+  in
+  let faults_spec =
+    match Faults.of_string "loss=0.05,crash=2e-8,degrade=1e-7" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "bad fault spec: %s" e
+  in
+  let dyn_spec =
+    match Dynamics.of_string "drift=2e-5,churn=5e-8,recluster=2e5" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "bad dynamics spec: %s" e
+  in
+  for i = 0 to 11 do
+    let n = 2 + (i mod 9) in
+    let rng = Rng.create (21_000 + i) in
+    let grid = Generators.uniform_random ~rng ~n Generators.default_random_spec in
+    let machines = Machines.expand grid in
+    let n_ranks = Machines.count machines in
+    let msg = if i mod 2 = 0 then 1_000_000 else 65_536 in
+    let root = i mod n in
+    let inst = Instance.of_grid ~root ~msg grid in
+    let plan = Plan.of_cluster_schedule machines (Heuristics.run Heuristics.ecef_la inst) in
+    (* Simple executor: exact and noisy. *)
+    let sink = Sink.memory () in
+    let r = Gridb_des.Exec.run ~msg ~obs:sink machines plan in
+    add_arrivals r.Exec.arrival;
+    addf r.Exec.makespan;
+    Buffer.add_string buf (string_of_int r.Exec.transmissions);
+    add_events sink;
+    let r =
+      Gridb_des.Exec.run
+        ~noise:(Gridb_des.Noise.Lognormal 0.08)
+        ~rng:(Rng.create (91_000 + i)) ~msg machines plan
+    in
+    add_arrivals r.Exec.arrival;
+    addf r.Exec.makespan;
+    (* Reliable executor under faults, all three transports. *)
+    List.iter
+      (fun transport ->
+        let faults = Faults.create ~seed:(61_000 + i) ~n:n_ranks faults_spec in
+        let sink = Sink.memory () in
+        let r =
+          Exec.run_reliable ~rng:(Rng.create (31_000 + i)) ~msg ~obs:sink ~faults
+            ~transport machines plan
+        in
+        add_arrivals r.Exec.r_arrival;
+        addf r.Exec.r_makespan;
+        addf r.Exec.horizon;
+        Buffer.add_string buf
+          (Printf.sprintf "tx=%d,rtx=%d,acks=%d,del=%d,co=%d" r.Exec.r_transmissions
+             r.Exec.retransmissions r.Exec.acks r.Exec.delivered r.Exec.circuit_opens);
+        List.iter (fun (p, c) -> Buffer.add_string buf (Printf.sprintf "|g%d>%d" p c)) r.Exec.gave_up;
+        List.iter
+          (fun (d, o, p) -> Buffer.add_string buf (Printf.sprintf "|r%d:%d>%d" d o p))
+          r.Exec.reroutes;
+        add_events sink)
+      [ Exec.Fixed; Exec.adaptive (); Exec.adaptive ~reroute:true () ];
+    (* Dynamics-bearing reliable run (drift + churn + ticks). *)
+    let faults = Faults.create ~seed:(61_000 + i) ~n:n_ranks faults_spec in
+    let d = Dynamics.create ~seed:(71_000 + i) ~n:n_ranks ~clusters:n dyn_spec in
+    let sink = Sink.memory () in
+    let r =
+      Exec.run_reliable ~rng:(Rng.create (41_000 + i)) ~msg ~obs:sink ~faults ~dynamics:d
+        ~tick_every:dyn_spec.Dynamics.recluster_every
+        ~transport:(Exec.adaptive ~reroute:true ())
+        machines plan
+    in
+    add_arrivals r.Exec.r_arrival;
+    addf r.Exec.r_makespan;
+    addf r.Exec.horizon;
+    Buffer.add_string buf
+      (Printf.sprintf "del=%d,left=%s,joined=%s" r.Exec.delivered
+         (String.concat "," (List.map string_of_int r.Exec.left))
+         (String.concat "," (List.map string_of_int r.Exec.joined)));
+    add_events sink
+  done;
+  buf
+
+let test_exec_corpus_golden () =
+  let buf = exec_corpus_buffer () in
+  Alcotest.(check int) "exec corpus size" exec_corpus_bytes (Buffer.length buf);
+  Alcotest.(check string)
+    "exec corpus digest" exec_corpus_digest
+    (Digest.to_hex (Digest.string (Buffer.contents buf)))
+
 let regen () =
   let grid = Gridb_topology.Grid5000.grid () in
   let inst = Instance.of_grid ~root:0 ~msg:1_000_000 grid in
@@ -107,7 +219,11 @@ let regen () =
   let inst = Instance.of_grid ~root:0 ~msg:1_000_000 grid in
   Printf.printf "T Orsay-A: %.6f ms, gap 0->2: %.6f ms\n"
     (inst.Instance.intra.(0) /. 1e3)
-    (inst.Instance.gap.(0).(2) /. 1e3)
+    (inst.Instance.gap.(0).(2) /. 1e3);
+  let buf = exec_corpus_buffer () in
+  Printf.printf "exec corpus: digest %s, %d bytes\n"
+    (Digest.to_hex (Digest.string (Buffer.contents buf)))
+    (Buffer.length buf)
 
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "regen" then regen ()
@@ -121,6 +237,7 @@ let () =
             quick "random instance makespans" test_random_instance_golden;
             quick "rng stream" test_rng_stream_golden;
             quick "grid5000 instance values" test_grid5000_instance_golden;
+            quick "pre-refactor executor corpus digest" test_exec_corpus_golden;
           ] );
       ]
   end

@@ -451,6 +451,59 @@ let test_profile_rollup () =
      in
      contains rendered "makespan")
 
+let test_tagged_json_roundtrip () =
+  List.iter
+    (fun e ->
+      let tagged = Event.tag ~sid:7 e in
+      match Event.of_json (Event.to_json tagged) with
+      | Ok e' -> Alcotest.check event (Event.to_json tagged) tagged e'
+      | Error msg -> Alcotest.failf "%s: %s" (Event.to_json tagged) msg)
+    sample_events;
+  (* The wire form is the inner object plus one flat "sid" field. *)
+  let inner = Event.Arrival { src = 1; dst = 2; time = 3. } in
+  let json = Event.to_json (Event.tag ~sid:42 inner) in
+  Alcotest.(check bool) "flat sid field" true
+    (let contains s sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     contains json "\"sid\":42");
+  (* tag never nests: re-tagging replaces the sid. *)
+  let retagged = Event.tag ~sid:9 (Event.tag ~sid:42 inner) in
+  Alcotest.(check (option int)) "latest sid wins" (Some 9) (Event.sid retagged);
+  Alcotest.check event "untag strips the wrapper" inner (Event.untag retagged)
+
+let test_profile_sessions_rollup () =
+  let send sid src dst t0 gap arrival =
+    [
+      Event.tag ~sid
+        (Event.Send_start { src; dst; time = t0; msg = 64; intra = false; try_no = 0 });
+      Event.tag ~sid (Event.Send_end { src; dst; time = t0 +. gap; arrival });
+      Event.tag ~sid (Event.Arrival { src; dst; time = arrival });
+    ]
+  in
+  let events =
+    send 0 0 1 0. 100. 110. @ send 1 2 3 50. 40. 95. @ send 0 1 2 110. 100. 220.
+  in
+  let p = Profile.of_events events in
+  (match p.Profile.sessions with
+  | [ s0; s1 ] ->
+      Alcotest.(check int) "first-seen order" 0 s0.Profile.sid;
+      Alcotest.(check int) "session 0 sends" 2 s0.Profile.s_sends;
+      Alcotest.(check (float 1e-9)) "session 0 busy" 200. s0.Profile.s_busy_us;
+      Alcotest.(check (float 1e-9)) "session 0 makespan" 220. s0.Profile.s_makespan_us;
+      Alcotest.(check int) "session 1 sid" 1 s1.Profile.sid;
+      Alcotest.(check int) "session 1 sends" 1 s1.Profile.s_sends;
+      Alcotest.(check (float 1e-9)) "session 1 makespan" 95. s1.Profile.s_makespan_us
+  | other -> Alcotest.failf "expected 2 session rows, got %d" (List.length other));
+  (* The global rollup still sees through the tags. *)
+  Alcotest.(check int) "global sends" 3 p.Profile.sends;
+  (* Untagged streams produce no session rows. *)
+  let untagged = List.map Event.untag events in
+  Alcotest.(check int) "untagged stream has no rows" 0
+    (List.length (Profile.of_events untagged).Profile.sessions)
+
 let test_gantt_events_renders () =
   let events, _ = profiled_events () in
   let s = Gridb_sched.Gantt.render_events events in
@@ -502,6 +555,8 @@ let () =
       ( "consumers",
         [
           quick "profile rollup" test_profile_rollup;
+          quick "tagged events round-trip" test_tagged_json_roundtrip;
+          quick "profile per-session rollup" test_profile_sessions_rollup;
           quick "gantt from events" test_gantt_events_renders;
         ] );
     ]

@@ -1,0 +1,456 @@
+(* Tests for the broadcast-as-a-service layer: topology fingerprints
+   (stability, sensitivity), the memoized plan cache (hit identity,
+   divergence invalidation, observability), the seeded workload generator,
+   predicted-load admission control, the server's jobs-invariance, and the
+   multi-session invariants of Gridb_check. *)
+
+module Machines = Gridb_topology.Machines
+module Grid = Gridb_topology.Grid
+module Generators = Gridb_topology.Generators
+module Fingerprint = Gridb_topology.Fingerprint
+module Params = Gridb_plogp.Params
+module Heuristics = Gridb_sched.Heuristics
+module Instance = Gridb_sched.Instance
+module Adaptive = Gridb_des.Adaptive
+module Session = Gridb_des.Session
+module Event = Gridb_obs.Event
+module Sink = Gridb_obs.Sink
+module Rng = Gridb_util.Rng
+module Plan_cache = Gridb_service.Plan_cache
+module Workload = Gridb_service.Workload
+module Admission = Gridb_service.Admission
+module Server = Gridb_service.Server
+module I = Gridb_check.Invariant
+module Scenario = Gridb_check.Scenario
+module Run = Gridb_check.Run
+
+let grid_of_seed ?(n = 4) seed =
+  let spec = { Generators.default_random_spec with cluster_size = (1, 4) } in
+  Generators.uniform_random ~rng:(Rng.create seed) ~n spec
+
+let machines_of_seed ?n seed = Machines.expand (grid_of_seed ?n seed)
+
+let fresh_schedule machines ~root ~msg ~policy =
+  let h = Option.get (Heuristics.by_name policy) in
+  Heuristics.run h (Instance.of_grid ~root ~msg (Machines.grid machines))
+
+(* --- fingerprint ------------------------------------------------------- *)
+
+let test_fingerprint_stable () =
+  for seed = 0 to 9 do
+    let g = grid_of_seed seed in
+    let a = Fingerprint.of_machines (Machines.expand g) in
+    let b = Fingerprint.of_machines (Machines.expand g) in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: same grid, same fingerprint" seed)
+      true (Fingerprint.equal a b)
+  done
+
+let test_fingerprint_distinguishes_grids () =
+  for seed = 0 to 9 do
+    let a = Fingerprint.of_machines (machines_of_seed seed) in
+    let b = Fingerprint.of_machines (machines_of_seed (seed + 1)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "seeds %d vs %d differ" seed (seed + 1))
+      false (Fingerprint.equal a b)
+  done
+
+let test_fingerprint_sensitive_to_perturbation () =
+  for seed = 0 to 9 do
+    let g = grid_of_seed seed in
+    let base = Fingerprint.of_machines (Machines.expand g) in
+    (* Nudge a single inter-cluster link by 0.01%: any bit-level parameter
+       change must move the hash. *)
+    let perturbed =
+      Grid.map_links
+        (fun i j p ->
+          if i = 0 && j = 1 then Params.rescale ~gap_factor:1. ~latency_factor:1.0001 p
+          else p)
+        g
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: perturbed link moves the fingerprint" seed)
+      false
+      (Fingerprint.equal base (Fingerprint.of_machines (Machines.expand perturbed)))
+  done
+
+let test_fingerprint_to_string () =
+  let fp = Fingerprint.of_machines (machines_of_seed 3) in
+  let s = Fingerprint.to_string fp in
+  Alcotest.(check int) "16 hex digits" 16 (String.length s);
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "lowercase hex" true
+        (match c with '0' .. '9' | 'a' .. 'f' -> true | _ -> false))
+    s
+
+(* --- plan cache -------------------------------------------------------- *)
+
+let test_bucket_of_size () =
+  List.iter
+    (fun (msg, want) ->
+      Alcotest.(check int) (Printf.sprintf "bucket of %d" msg) want
+        (Plan_cache.bucket_of_size msg))
+    [ (0, 64); (1, 64); (64, 64); (65, 128); (65_536, 65_536); (1_000_000, 1_048_576) ];
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Plan_cache.bucket_of_size: negative size") (fun () ->
+      ignore (Plan_cache.bucket_of_size (-1)))
+
+let test_cache_hit_returns_identical_plan () =
+  let machines = machines_of_seed 11 in
+  let fingerprint = Fingerprint.of_machines machines in
+  let cache = Plan_cache.create () in
+  let k = Plan_cache.key ~fingerprint ~root:1 ~msg:70_000 ~policy:"ECEF" in
+  let compute () =
+    fresh_schedule machines ~root:1 ~msg:(Plan_cache.bucket_of_size 70_000)
+      ~policy:"ECEF"
+  in
+  let s1, kind1 = Plan_cache.lookup cache k ~compute in
+  let s2, kind2 = Plan_cache.lookup cache k ~compute in
+  Alcotest.(check bool) "first lookup misses" true (kind1 = `Miss);
+  Alcotest.(check bool) "second lookup hits" true (kind2 = `Hit);
+  Alcotest.(check bool) "cached plan is the stored one" true (s1 == s2);
+  Alcotest.(check bool) "cached plan equals a fresh compute" true (s2 = compute ());
+  let stats = Plan_cache.stats cache in
+  Alcotest.(check int) "one hit" 1 stats.Plan_cache.hits;
+  Alcotest.(check int) "one miss" 1 stats.Plan_cache.misses;
+  Alcotest.(check int) "no invalidations" 0 stats.Plan_cache.invalidations;
+  Alcotest.(check int) "one entry" 1 stats.Plan_cache.entries
+
+let test_cache_key_buckets_msg () =
+  let machines = machines_of_seed 11 in
+  let fingerprint = Fingerprint.of_machines machines in
+  let a = Plan_cache.key ~fingerprint ~root:0 ~msg:65_537 ~policy:"ECEF" in
+  let b = Plan_cache.key ~fingerprint ~root:0 ~msg:100_000 ~policy:"ECEF" in
+  let c = Plan_cache.key ~fingerprint ~root:0 ~msg:65_536 ~policy:"ECEF" in
+  Alcotest.(check bool) "same bucket, same key" true (a = b);
+  Alcotest.(check bool) "different bucket, different key" false (a = c)
+
+(* Degrade three links of a 3-rank estimator to quality 2: mean drift
+   3/9 = 0.33 > 0.25 forces a divergence recomputation. *)
+let diverged_estimator () =
+  let est = Adaptive.create ~n:3 () in
+  List.iter
+    (fun (src, dst) ->
+      ignore (Adaptive.rto est ~src ~dst ~nominal:100. ~fallback:1_000.);
+      ignore (Adaptive.on_sample est ~src ~dst ~rtt:200. ~retransmitted:false ~now:0.))
+    [ (0, 1); (1, 2); (2, 0) ];
+  est
+
+let test_cache_divergence_invalidates () =
+  let machines = machines_of_seed 12 ~n:3 in
+  let fingerprint = Fingerprint.of_machines machines in
+  let cache = Plan_cache.create () in
+  let k = Plan_cache.key ~fingerprint ~root:0 ~msg:65_536 ~policy:"ECEF-LA" in
+  let compute () =
+    fresh_schedule machines ~root:0 ~msg:65_536 ~policy:"ECEF-LA"
+  in
+  (* Planned under nominal conditions (no estimator: snapshot = all 1.). *)
+  let _, kind1 = Plan_cache.lookup cache k ~compute in
+  Alcotest.(check bool) "miss" true (kind1 = `Miss);
+  let est = diverged_estimator () in
+  let _, kind2 = Plan_cache.lookup cache ~estimator:est k ~compute in
+  Alcotest.(check bool) "drifted estimator invalidates" true (kind2 = `Invalidated);
+  (* The recomputed entry snapshots the drifted matrix: same estimator
+     state now reads as zero drift. *)
+  let _, kind3 = Plan_cache.lookup cache ~estimator:est k ~compute in
+  Alcotest.(check bool) "re-snapshot hits" true (kind3 = `Hit);
+  let stats = Plan_cache.stats cache in
+  Alcotest.(check int) "invalidations counted" 1 stats.Plan_cache.invalidations;
+  (* Mild drift stays under the threshold: a fresh estimator with no
+     samples reads quality 1. everywhere. *)
+  let nominal = Adaptive.create ~n:3 () in
+  let _, kind4 = Plan_cache.lookup cache ~estimator:nominal k ~compute in
+  Alcotest.(check bool) "nominal estimator vs drifted snapshot invalidates again" true
+    (kind4 = `Invalidated)
+
+let test_cache_emits_events_and_counters () =
+  let machines = machines_of_seed 13 in
+  let fingerprint = Fingerprint.of_machines machines in
+  let sink = Sink.memory () in
+  let cache = Plan_cache.create ~obs:sink () in
+  let k = Plan_cache.key ~fingerprint ~root:0 ~msg:64 ~policy:"FlatTree" in
+  let compute () = fresh_schedule machines ~root:0 ~msg:64 ~policy:"FlatTree" in
+  ignore (Plan_cache.lookup cache k ~compute);
+  ignore (Plan_cache.lookup cache k ~compute);
+  let events = Sink.events sink in
+  let key = Plan_cache.key_string k in
+  Alcotest.(check bool) "miss event" true
+    (List.exists (function Event.Cache_miss { key = k' } -> k' = key | _ -> false) events);
+  Alcotest.(check bool) "hit event" true
+    (List.exists (function Event.Cache_hit { key = k' } -> k' = key | _ -> false) events);
+  let last_counter name =
+    List.fold_left
+      (fun acc e ->
+        match e with
+        | Event.Counter { name = n; value } when n = name -> Some value
+        | _ -> acc)
+      None events
+  in
+  Alcotest.(check (option int)) "hits counter" (Some 1) (last_counter "plan_cache.hits");
+  Alcotest.(check (option int)) "misses counter" (Some 1) (last_counter "plan_cache.misses")
+
+let test_cache_clear () =
+  let machines = machines_of_seed 14 in
+  let fingerprint = Fingerprint.of_machines machines in
+  let cache = Plan_cache.create () in
+  let k = Plan_cache.key ~fingerprint ~root:0 ~msg:64 ~policy:"ECEF" in
+  let compute () = fresh_schedule machines ~root:0 ~msg:64 ~policy:"ECEF" in
+  ignore (Plan_cache.lookup cache k ~compute);
+  Alcotest.(check bool) "entry present" true (Plan_cache.find cache k <> None);
+  Plan_cache.clear cache;
+  Alcotest.(check bool) "entry gone" true (Plan_cache.find cache k = None);
+  Alcotest.(check int) "counters survive clear" 1
+    (Plan_cache.stats cache).Plan_cache.misses
+
+(* --- workload ---------------------------------------------------------- *)
+
+let test_workload_deterministic () =
+  let machines = machines_of_seed 20 in
+  let a = Workload.generate ~seed:5 ~rate:5e-5 ~duration:1e6 machines in
+  let b = Workload.generate ~seed:5 ~rate:5e-5 ~duration:1e6 machines in
+  Alcotest.(check bool) "equal seeds, equal streams" true (a = b);
+  let c = Workload.generate ~seed:6 ~rate:5e-5 ~duration:1e6 machines in
+  Alcotest.(check bool) "different seed, different stream" false (a = c)
+
+let test_workload_shape () =
+  let machines = machines_of_seed 21 in
+  let requests = Workload.generate ~seed:1 ~rate:1e-4 ~duration:1e6 machines in
+  Alcotest.(check bool) "non-empty at this rate" true (requests <> []);
+  List.iteri
+    (fun i (r : Workload.request) ->
+      Alcotest.(check int) "dense rid" i r.Workload.rid;
+      Alcotest.(check bool) "arrival in (0, duration]" true
+        (r.Workload.at > 0. && r.Workload.at <= 1e6))
+    requests;
+  let rec chronological = function
+    | a :: (b : Workload.request) :: rest ->
+        Alcotest.(check bool) "non-decreasing arrivals" true
+          (a.Workload.at <= b.Workload.at);
+        chronological (b :: rest)
+    | _ -> ()
+  in
+  chronological requests
+
+let test_workload_validation () =
+  let machines = machines_of_seed 22 in
+  Alcotest.check_raises "non-positive rate"
+    (Invalid_argument "Workload.generate: rate must be positive") (fun () ->
+      ignore (Workload.generate ~seed:0 ~rate:0. ~duration:1e6 machines));
+  let bad_mix =
+    { Workload.roots = [| 0 |]; msgs = [| 64 |]; policies = [| "NoSuchPolicy" |] }
+  in
+  Alcotest.(check bool) "unknown policy rejected" true
+    (try
+       ignore (Workload.generate ~mix:bad_mix ~seed:0 ~rate:1e-5 ~duration:1e6 machines);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- admission --------------------------------------------------------- *)
+
+let test_admission_concurrency_cap () =
+  let a = Admission.create ~max_concurrent:2 () in
+  let admit now =
+    match Admission.decide a ~now ~predicted_makespan:100. with
+    | Admission.Admit -> true
+    | Admission.Reject _ -> false
+  in
+  Alcotest.(check bool) "first admitted" true (admit 0.);
+  Alcotest.(check bool) "second admitted" true (admit 0.);
+  Alcotest.(check bool) "third rejected at the cap" false (admit 0.);
+  Alcotest.(check int) "two inflight" 2 (Admission.inflight a ~now:0.);
+  (* Predicted finishes pass: slots free up. *)
+  Alcotest.(check bool) "admitted again after drain" true (admit 200.);
+  Alcotest.(check int) "one inflight after drain" 1 (Admission.inflight a ~now:200.)
+
+let test_admission_backlog_budget () =
+  (* Backlog = latest predicted finish minus now, judged on the queue as it
+     stands (the candidate books its own finish only on admit). *)
+  let a = Admission.create ~max_concurrent:100 ~max_backlog_us:250. () in
+  let decide now predicted = Admission.decide a ~now ~predicted_makespan:predicted in
+  Alcotest.(check bool) "empty queue admits" true (decide 0. 300. = Admission.Admit);
+  Alcotest.(check bool) "backlog over budget rejects" true
+    (match decide 0. 10. with Admission.Reject _ -> true | _ -> false);
+  Alcotest.(check bool) "admits again once the backlog drains" true
+    (decide 100. 10. = Admission.Admit)
+
+(* --- server ------------------------------------------------------------ *)
+
+let server_fixture ?(seed = 30) ?(rate = 4e-5) () =
+  let machines = machines_of_seed seed in
+  let requests = Workload.generate ~seed ~rate ~duration:1e6 machines in
+  (machines, requests)
+
+let test_server_accounting () =
+  let machines, requests = server_fixture () in
+  let sink = Sink.memory () in
+  let report = Server.run ~obs:sink machines requests in
+  Alcotest.(check int) "one outcome per request" (List.length requests)
+    (Array.length report.Server.outcomes);
+  Alcotest.(check int) "admitted + rejected = requests" report.Server.requests
+    (report.Server.admitted + report.Server.rejected);
+  let stats = report.Server.cache_stats in
+  Alcotest.(check int) "one cache lookup per request" report.Server.requests
+    (stats.Plan_cache.hits + stats.Plan_cache.misses);
+  (* No faults: every admitted session delivers its full population. *)
+  Alcotest.(check int) "all admitted sessions deliver everyone"
+    (report.Server.admitted * Machines.count machines)
+    report.Server.delivered
+
+let test_server_jobs_invariant () =
+  let machines, requests = server_fixture ~seed:31 () in
+  let lines jobs = Server.smoke_lines (Server.run ~jobs machines requests) in
+  Alcotest.(check (list string)) "smoke lines identical at jobs 1 vs 4" (lines 1)
+    (lines 4)
+
+let test_server_multi_session_invariants () =
+  let machines, requests = server_fixture ~seed:32 ~rate:8e-5 () in
+  let n = Machines.count machines in
+  let sink = Sink.memory () in
+  let report = Server.run ~obs:sink machines requests in
+  Alcotest.(check bool) "some concurrency in the fixture" true
+    (report.Server.admitted >= 2);
+  let events = Sink.events sink in
+  (match I.sessions_nic_serialization ~n events with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "shared wire: %a" I.pp_violation v);
+  let sessions = I.split_sessions events in
+  Alcotest.(check int) "one tagged session per admitted request"
+    report.Server.admitted (List.length sessions);
+  List.iter
+    (fun (sid, evs) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "session %d untagged after split" sid)
+        true
+        (List.for_all (fun e -> Event.sid e = None) evs);
+      match I.stream_receive_at_most_once ~n evs with
+      | Ok () -> ()
+      | Error v -> Alcotest.failf "session %d: %a" sid I.pp_violation v)
+    sessions
+
+let test_server_rejects_out_of_order () =
+  let machines = machines_of_seed 33 in
+  let r rid at =
+    { Workload.rid; at; root = 0; msg = 64; policy = "ECEF" }
+  in
+  Alcotest.check_raises "out-of-order requests"
+    (Invalid_argument "Server.run: requests not in arrival order") (fun () ->
+      ignore (Server.run machines [ r 0 100.; r 1 50. ]))
+
+(* --- multi-session invariants on synthetic streams --------------------- *)
+
+let test_sessions_nic_serialization_catches_overlap () =
+  (* Two sessions drive rank 0's NIC at overlapping times — exactly what a
+     shared wire must prevent. *)
+  let events =
+    [
+      Event.tag ~sid:0
+        (Event.Send_start { src = 0; dst = 1; time = 0.; msg = 64; intra = false; try_no = 0 });
+      Event.tag ~sid:0 (Event.Send_end { src = 0; dst = 1; time = 100.; arrival = 110. });
+      Event.tag ~sid:1
+        (Event.Send_start { src = 0; dst = 2; time = 50.; msg = 64; intra = false; try_no = 0 });
+      Event.tag ~sid:1 (Event.Send_end { src = 0; dst = 2; time = 150.; arrival = 160. });
+    ]
+  in
+  match I.sessions_nic_serialization ~n:3 events with
+  | Ok () -> Alcotest.fail "overlapping cross-session injections not caught"
+  | Error v ->
+      Alcotest.(check string) "invariant name" "sessions-nic-serialization"
+        v.I.invariant
+
+let test_sessions_nic_serialization_allows_disjoint () =
+  let events =
+    [
+      Event.tag ~sid:0
+        (Event.Send_start { src = 0; dst = 1; time = 0.; msg = 64; intra = false; try_no = 0 });
+      Event.tag ~sid:0 (Event.Send_end { src = 0; dst = 1; time = 100.; arrival = 110. });
+      Event.tag ~sid:1
+        (Event.Send_start { src = 0; dst = 2; time = 100.; msg = 64; intra = false; try_no = 0 });
+      Event.tag ~sid:1 (Event.Send_end { src = 0; dst = 2; time = 200.; arrival = 210. });
+      (* Untagged noise is ignored. *)
+      Event.Counter { name = "plan_cache.hits"; value = 3 };
+    ]
+  in
+  match I.sessions_nic_serialization ~n:3 events with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "disjoint injections flagged: %a" I.pp_violation v
+
+let test_split_sessions_groups_and_orders () =
+  let e t = Event.Arrival { src = 0; dst = 1; time = t } in
+  let events =
+    [ Event.tag ~sid:2 (e 1.); Event.tag ~sid:0 (e 2.); Event.tag ~sid:2 (e 3.);
+      Event.Counter { name = "x"; value = 1 } ]
+  in
+  match I.split_sessions events with
+  | [ (0, [ a ]); (2, [ b; c ]) ] ->
+      Alcotest.(check bool) "sid 0 slice" true (a = e 2.);
+      Alcotest.(check bool) "sid 2 order kept" true (b = e 1. && c = e 3.)
+  | other ->
+      Alcotest.failf "unexpected grouping: %d groups" (List.length other)
+
+(* --- the service family end to end ------------------------------------- *)
+
+let test_check_service_passes () =
+  let sc =
+    {
+      Scenario.seed = 424_242;
+      n = 4;
+      msg = 65_536;
+      root = 0;
+      policy = "ECEF-LA";
+      transport = "adaptive";
+      faults = "none";
+      dynamics = "none";
+    }
+  in
+  match Run.check_service sc with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "service scenario: %a" I.pp_violation v
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "service"
+    [
+      ( "fingerprint",
+        [
+          quick "stable across expansions" test_fingerprint_stable;
+          quick "distinguishes random grids" test_fingerprint_distinguishes_grids;
+          quick "sensitive to one-link perturbation" test_fingerprint_sensitive_to_perturbation;
+          quick "hex rendering" test_fingerprint_to_string;
+        ] );
+      ( "plan-cache",
+        [
+          quick "bucket_of_size" test_bucket_of_size;
+          quick "hit returns the identical plan" test_cache_hit_returns_identical_plan;
+          quick "keys bucket message sizes" test_cache_key_buckets_msg;
+          quick "divergence invalidates" test_cache_divergence_invalidates;
+          quick "events and counters" test_cache_emits_events_and_counters;
+          quick "clear drops entries, keeps counters" test_cache_clear;
+        ] );
+      ( "workload",
+        [
+          quick "deterministic in the seed" test_workload_deterministic;
+          quick "dense rids, chronological arrivals" test_workload_shape;
+          quick "validation" test_workload_validation;
+        ] );
+      ( "admission",
+        [
+          quick "concurrency cap" test_admission_concurrency_cap;
+          quick "backlog budget" test_admission_backlog_budget;
+        ] );
+      ( "server",
+        [
+          quick "accounting" test_server_accounting;
+          quick "jobs-invariant smoke lines" test_server_jobs_invariant;
+          quick "multi-session invariants hold" test_server_multi_session_invariants;
+          quick "out-of-order requests rejected" test_server_rejects_out_of_order;
+        ] );
+      ( "invariants",
+        [
+          quick "cross-session overlap caught" test_sessions_nic_serialization_catches_overlap;
+          quick "disjoint injections pass" test_sessions_nic_serialization_allows_disjoint;
+          quick "split_sessions groups by sid" test_split_sessions_groups_and_orders;
+        ] );
+      ( "family",
+        [ quick "check_service passes a fixed scenario" test_check_service_passes ] );
+    ]
