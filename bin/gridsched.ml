@@ -629,10 +629,12 @@ let check_cmd =
       match family with
       | `Pipeline -> Gridb_check.Run.check
       | `Service -> Gridb_check.Run.check_service
+      | `Chaos -> Gridb_check.Run.check_chaos
       | `All ->
           fun sc ->
             Result.bind (Gridb_check.Run.check sc) (fun () ->
-                Gridb_check.Run.check_service sc)
+                Result.bind (Gridb_check.Run.check_service sc) (fun () ->
+                    Gridb_check.Run.check_chaos sc))
     in
     if list then begin
       print_string (Gridb_check.Report.catalogue ());
@@ -689,13 +691,21 @@ let check_cmd =
   let family =
     Arg.(
       value
-      & opt (enum [ ("pipeline", `Pipeline); ("service", `Service); ("all", `All) ])
+      & opt
+          (enum
+             [
+               ("pipeline", `Pipeline);
+               ("service", `Service);
+               ("chaos", `Chaos);
+               ("all", `All);
+             ])
           `Pipeline
       & info [ "family" ] ~docv:"FAMILY"
           ~doc:
             "Which property family each scenario runs through: the single-broadcast \
-             $(b,pipeline) (default), the multi-session $(b,service) checks, or \
-             $(b,all) (pipeline, then service).")
+             $(b,pipeline) (default), the multi-session $(b,service) checks, the \
+             resilience $(b,chaos) checks (faulty retrying service with deadlines, \
+             priorities and shedding), or $(b,all) (pipeline, service, then chaos).")
   in
   Cmd.v
     (Cmd.info "check"
@@ -707,20 +717,43 @@ let check_cmd =
 
 let serve_cmd =
   let run topology rate duration seed jobs transport max_concurrent max_backlog smoke
-      profile trace =
+      profile trace mix faults dynamics retry_budget retry_backoff shed_watermark
+      shed_open_frac =
     match load_grid topology with
     | Error e ->
         prerr_endline e;
         1
-    | Ok grid ->
+    | Ok grid -> (
         let machines = Topology.Machines.expand grid in
+        let mix =
+          match mix with
+          | None -> Ok None
+          | Some s -> (
+              match Gridb_service.Workload.mix_of_string machines s with
+              | Ok m -> Ok (Some m)
+              | Error e -> Error e)
+        in
+        match mix with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok mix ->
         let requests =
-          Gridb_service.Workload.generate ~seed ~rate:(rate /. 1e6)
+          Gridb_service.Workload.generate ?mix ~seed ~rate:(rate /. 1e6)
             ~duration machines
+        in
+        let shed =
+          match (shed_watermark, shed_open_frac) with
+          | None, None -> Gridb_service.Admission.no_shed
+          | w, f ->
+              Gridb_service.Admission.shed ?watermark_us:w ?max_open_frac:f ()
         in
         let admission =
           Gridb_service.Admission.create ~max_concurrent
-            ?max_backlog_us:max_backlog ()
+            ?max_backlog_us:max_backlog ~shed ()
+        in
+        let retry =
+          { Gridb_service.Server.budget = retry_budget; backoff_us = retry_backoff }
         in
         let mem =
           if profile || trace <> None then Gridb_obs.Sink.memory ()
@@ -728,7 +761,7 @@ let serve_cmd =
         in
         let report =
           Gridb_service.Server.run ~jobs ~transport ~admission ~obs:mem
-            ~seed:(seed + 1) machines requests
+            ~seed:(seed + 1) ?faults ?dynamics ~retry machines requests
         in
         List.iter print_endline (Gridb_service.Server.smoke_lines report);
         if not smoke then
@@ -749,7 +782,7 @@ let serve_cmd =
                 List.iter (Gridb_obs.Sink.emit js) events);
             Printf.printf "trace: %d events -> %s\n" (List.length events) path
         | None -> ());
-        0
+        0)
   in
   let rate =
     Arg.(
@@ -804,14 +837,77 @@ let serve_cmd =
             "Collect the multi-session event stream and print the per-phase rollup, \
              including the per-request session rows (sid attribution).")
   in
+  let mix =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mix" ] ~docv:"SPEC"
+          ~doc:
+            "Request mix as comma-separated key=value pairs with '|'-separated list \
+             elements, e.g. \
+             $(b,roots=0|1,msgs=65536,policies=ECEF,deadlines=500000|inf,high=0.3); \
+             omitted keys keep the default mix.")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (some faults_conv) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Per-session fault spec (see $(b,simulate)); each session draws its own \
+             seeded fault model, retries included.")
+  in
+  let dynamics =
+    Arg.(
+      value
+      & opt (some dynamics_conv) None
+      & info [ "dynamics" ] ~docv:"SPEC"
+          ~doc:"Per-session dynamics spec (drift / churn / recluster).")
+  in
+  let retry_budget =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "retry-budget" ] ~docv:"N"
+          ~doc:
+            "Requeue a partially-delivered request up to $(docv) times (0 disables \
+             retries).")
+  in
+  let retry_backoff =
+    Arg.(
+      value
+      & opt float 1e4
+      & info [ "retry-backoff" ] ~docv:"US"
+          ~doc:"Base requeue backoff; the k-th retry waits $(docv)*2^(k-1) us.")
+  in
+  let shed_watermark =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "shed-watermark" ] ~docv:"US"
+          ~doc:
+            "Shed low-priority requests when the predicted backlog exceeds $(docv) \
+             (default: never).")
+  in
+  let shed_open_frac =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "shed-open-frac" ] ~docv:"FRAC"
+          ~doc:
+            "Shed low-priority requests when the open-circuit fraction of finished \
+             sessions exceeds $(docv) (default: never).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve a seeded open-loop broadcast workload: memoized planning, admission \
-          control, concurrent sessions on one shared wire")
+          control, concurrent sessions on one shared wire, optional chaos (faults, \
+          dynamics, retries, deadlines, load shedding)")
     Term.(
       const run $ topology_arg $ rate $ duration $ seed_arg $ jobs_arg $ transport
-      $ max_concurrent $ max_backlog $ smoke $ profile $ trace_arg)
+      $ max_concurrent $ max_backlog $ smoke $ profile $ trace_arg $ mix $ faults
+      $ dynamics $ retry_budget $ retry_backoff $ shed_watermark $ shed_open_frac)
 
 let main_cmd =
   let doc = "broadcast scheduling heuristics for grid environments (PMEO-PDS'06 reproduction)" in

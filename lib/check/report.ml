@@ -42,4 +42,5 @@ let catalogue () =
   section "metamorphic laws" Metamorphic.metamorphic_names;
   section "pipeline checks" Run.run_invariant_names;
   section "service checks" Run.service_invariant_names;
+  section "chaos checks" Run.chaos_invariant_names;
   Buffer.contents b

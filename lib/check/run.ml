@@ -387,3 +387,241 @@ let check_service (sc : Scenario.t) =
 
 let service_invariant_names =
   [ "service-accounting"; "session-attribution"; "session-clock" ]
+
+(* --- chaos family ------------------------------------------------------- *)
+
+module Admission = Gridb_service.Admission
+module Session = Gridb_des.Session
+
+let chaos_budget = 2
+
+(* Finite deadlines and a half-high-priority split: every resilience code
+   path (deadline bookkeeping, priority-aware shedding, retry waves) is
+   live whatever the scenario's fault/dynamics cell says. *)
+let chaos_mix machines =
+  {
+    (Workload.default_mix machines) with
+    Workload.deadlines = [| 2e5; 1e6; infinity |];
+    high_frac = 0.5;
+  }
+
+let check_chaos (sc : Scenario.t) =
+  let* transport = resolve Scenario.transport sc in
+  let* fspec = resolve Scenario.faults_spec sc in
+  let* dspec = resolve Scenario.dynamics_spec sc in
+  let grid = Scenario.grid sc in
+  let machines = Machines.expand grid in
+  let n_ranks = Machines.count machines in
+  let requests =
+    Workload.generate ~mix:(chaos_mix machines) ~seed:(Scenario.chaos_seed sc)
+      ~rate:4e-5 ~duration:1e6 machines
+  in
+  let nreq = List.length requests in
+  let sink = Sink.memory () in
+  let admission =
+    Admission.create
+      ~shed:(Admission.shed ~watermark_us:2e6 ~max_open_frac:0.5 ())
+      ()
+  in
+  let report =
+    Server.run ~transport ~admission ~obs:sink ~seed:sc.Scenario.seed
+      ?faults:(if Faults.is_none fspec then None else Some fspec)
+      ?dynamics:(if Dynamics.is_none dspec then None else Some dspec)
+      ~retry:{ Server.budget = chaos_budget; backoff_us = 1e4 }
+      machines requests
+  in
+  let events = Sink.events sink in
+  (* Books under chaos: every request lands somewhere, cache lookups cover
+     exactly the planned requests plus retry replans, and the per-class
+     SLO tables partition the global counters. *)
+  let* () =
+    if report.Server.admitted + report.Server.rejected = report.Server.requests
+    then Ok ()
+    else
+      fail "chaos-accounting" "admitted %d + rejected %d <> %d requests"
+        report.Server.admitted report.Server.rejected report.Server.requests
+  in
+  let* () =
+    let stats = report.Server.cache_stats in
+    let lookups = stats.Plan_cache.hits + stats.Plan_cache.misses in
+    let expected =
+      report.Server.requests - report.Server.invalid + report.Server.retry_lookups
+    in
+    if lookups = expected then Ok ()
+    else
+      fail "chaos-accounting"
+        "%d cache lookups, expected %d (%d requests - %d invalid + %d retry)"
+        lookups expected report.Server.requests report.Server.invalid
+        report.Server.retry_lookups
+  in
+  let* () =
+    let h = report.Server.slo_high and l = report.Server.slo_low in
+    if
+      h.Server.c_requests + l.Server.c_requests = report.Server.requests
+      && h.Server.c_admitted + l.Server.c_admitted = report.Server.admitted
+      && h.Server.c_shed + l.Server.c_shed = report.Server.sheds
+      && h.Server.c_requeues + l.Server.c_requeues = report.Server.requeues
+      && h.Server.c_delivered + l.Server.c_delivered = report.Server.delivered
+    then Ok ()
+    else fail "chaos-accounting" "per-class SLO tables do not partition the report"
+  in
+  (* Retry delivery-monotonicity: the union over attempts can only add
+     ranks to the final attempt's tally, never exceed the population, and
+     the attempt count respects the budget. *)
+  let* () =
+    let rec go i =
+      if i >= Array.length report.Server.outcomes then Ok ()
+      else
+        let o = report.Server.outcomes.(i) in
+        match o.Server.result with
+        | None ->
+            if o.Server.attempts = 0 then go (i + 1)
+            else
+              fail "retry-monotonicity" "rejected request %d records %d attempts" i
+                o.Server.attempts
+        | Some r ->
+            let population = Array.length r.Session.r_arrival in
+            if o.Server.attempts < 1 || o.Server.attempts > chaos_budget + 1 then
+              fail "retry-monotonicity" "request %d ran %d attempts (budget %d)" i
+                o.Server.attempts chaos_budget
+            else if o.Server.delivered_union < r.Session.delivered then
+              fail "retry-monotonicity"
+                "request %d: union %d below the final attempt's %d" i
+                o.Server.delivered_union r.Session.delivered
+            else if o.Server.delivered_union > population then
+              fail "retry-monotonicity" "request %d: union %d exceeds population %d"
+                i o.Server.delivered_union population
+            else go (i + 1)
+    in
+    go 0
+  in
+  (* Shed ordering: only low-priority requests may ever be shed, and the
+     stream's shed events agree with the report's counter.  Retry events
+     must stay within the budget and match the requeue counter. *)
+  let* () =
+    let rec sheds count = function
+      | [] ->
+          if count = report.Server.sheds then Ok ()
+          else
+            fail "shed-ordering" "stream carries %d shed events, report counted %d"
+              count report.Server.sheds
+      | Event.Shed { rid; priority; _ } :: rest ->
+          if priority <> "low" then
+            fail "shed-ordering"
+              "request %d shed with priority %s (high traffic must never be shed)"
+              rid priority
+          else sheds (count + 1) rest
+      | _ :: rest -> sheds count rest
+    in
+    sheds 0 events
+  in
+  let* () =
+    let rec retries count = function
+      | [] ->
+          if count = report.Server.requeues then Ok ()
+          else
+            fail "chaos-accounting"
+              "stream carries %d retry events, report counted %d requeues" count
+              report.Server.requeues
+      | Event.Retry { rid; attempt; _ } :: rest ->
+          if attempt < 1 || attempt > chaos_budget then
+            fail "retry-monotonicity" "request %d retry attempt %d outside [1, %d]"
+              rid attempt chaos_budget
+          else retries (count + 1) rest
+      | _ :: rest -> retries count rest
+    in
+    retries 0 events
+  in
+  (* Attribution across attempts: the tagged sids are exactly
+     [attempt * requests + rid] for every launched attempt. *)
+  let sessions = Invariant.split_sessions events in
+  let* () =
+    let expected = Hashtbl.create 64 in
+    Array.iter
+      (fun o ->
+        for k = 0 to o.Server.attempts - 1 do
+          Hashtbl.replace expected ((k * nreq) + o.Server.request.Workload.rid) ()
+        done)
+      report.Server.outcomes;
+    let rec go = function
+      | [] -> Ok ()
+      | (sid, _) :: rest ->
+          if Hashtbl.mem expected sid then begin
+            Hashtbl.remove expected sid;
+            go rest
+          end
+          else fail "session-attribution" "stream carries unexpected session id %d" sid
+    in
+    let* () = go sessions in
+    if Hashtbl.length expected = 0 then Ok ()
+    else
+      fail "session-attribution" "%d launched attempts produced no tagged events"
+        (Hashtbl.length expected)
+  in
+  (* Deadline bookkeeping vs session clocks: recompute each request's union
+     completion from the tagged arrival events of every attempt and demand
+     the report's verdicts (and miss counter) match exactly. *)
+  let by_sid = Hashtbl.create 64 in
+  List.iter (fun (sid, evs) -> Hashtbl.replace by_sid sid evs) sessions;
+  let misses = ref 0 in
+  let rec deadlines i =
+    if i >= Array.length report.Server.outcomes then Ok ()
+    else
+      let o = report.Server.outcomes.(i) in
+      let rid = o.Server.request.Workload.rid in
+      match o.Server.result with
+      | None ->
+          if o.Server.deadline_met = None then deadlines (i + 1)
+          else
+            fail "deadline-bookkeeping" "rejected request %d carries a deadline verdict"
+              rid
+      | Some _ ->
+          let u = Array.make n_ranks nan in
+          for k = 0 to o.Server.attempts - 1 do
+            match Hashtbl.find_opt by_sid ((k * nreq) + rid) with
+            | None -> ()
+            | Some evs ->
+                List.iter
+                  (function
+                    | Event.Arrival { dst; time; _ } when dst < n_ranks ->
+                        if Float.is_nan u.(dst) || time < u.(dst) then u.(dst) <- time
+                    | _ -> ())
+                  evs
+          done;
+          let complete = Array.for_all (fun a -> not (Float.is_nan a)) u in
+          let completion =
+            if complete then Array.fold_left Float.max neg_infinity u else nan
+          in
+          let agree =
+            if Float.is_nan completion then Float.is_nan o.Server.completion_us
+            else completion = o.Server.completion_us
+          in
+          if not agree then
+            fail "deadline-bookkeeping"
+              "request %d: stream says completion %.17g, report says %.17g" rid
+              completion o.Server.completion_us
+          else
+            let d = o.Server.request.Workload.deadline in
+            let expected =
+              if d = infinity then None
+              else
+                Some
+                  ((not (Float.is_nan completion))
+                  && completion -. o.Server.request.Workload.at <= d)
+            in
+            if expected <> o.Server.deadline_met then
+              fail "deadline-bookkeeping"
+                "request %d: deadline verdict disagrees with session clocks" rid
+            else begin
+              if o.Server.deadline_met = Some false then incr misses;
+              deadlines (i + 1)
+            end
+  in
+  let* () = deadlines 0 in
+  if !misses = report.Server.deadline_misses then Ok ()
+  else
+    fail "deadline-bookkeeping" "%d deadline misses recomputed, report counted %d"
+      !misses report.Server.deadline_misses
+
+let chaos_invariant_names =
+  [ "chaos-accounting"; "retry-monotonicity"; "shed-ordering"; "deadline-bookkeeping" ]

@@ -52,3 +52,29 @@ val service_invariant_names : string list
 (** The checks only [check_service] contributes
     (["sessions-nic-serialization"] is listed with the stream
     invariants). *)
+
+val check_chaos : Scenario.t -> Invariant.outcome
+(** The chaos family: a deadline/priority request stream over the
+    scenario's grid ({!Scenario.chaos_seed}; finite deadlines, half the
+    traffic high-priority), served through {!Gridb_service.Server.run}
+    with the scenario's transport {e and} its fault/dynamics specs, a
+    retry budget of 2 and a shedding admission controller — then the
+    resilience bookkeeping validated end to end:
+
+    - ["chaos-accounting"]: admitted + rejected = requests; cache lookups
+      = planned requests + retry replans; the per-class SLO tables
+      partition the global counters; stream [Retry] events match the
+      requeue counter;
+    - ["retry-monotonicity"]: attempts respect the budget, the
+      delivered-rank union never falls below the final attempt's tally nor
+      exceeds the population (retries never double-count delivery);
+    - ["shed-ordering"]: only low-priority requests are ever shed, and the
+      stream's [Shed] events agree with the report;
+    - ["session-attribution"]: tagged sids are exactly
+      [attempt * requests + rid] for every launched attempt;
+    - ["deadline-bookkeeping"]: each request's completion recomputed from
+      the tagged arrival events of all its attempts must reproduce the
+      report's completion times, deadline verdicts and miss counter. *)
+
+val chaos_invariant_names : string list
+(** The checks only [check_chaos] contributes. *)

@@ -69,6 +69,7 @@ let fault_seed t = t.seed lxor 0x666c74 (* "flt" *)
 let perm_seed t = t.seed lxor 0x7065726d (* "perm" *)
 let dyn_seed t = t.seed lxor 0x64796e (* "dyn" *)
 let service_seed t = t.seed lxor 0x737663 (* "svc" *)
+let chaos_seed t = t.seed lxor 0x63686173 (* "chas" *)
 
 let grid t =
   let spec =

@@ -51,6 +51,10 @@ val service_seed : t -> int
 (** Seed for the service family's {!Gridb_service.Workload} stream,
     distinct from all of the above. *)
 
+val chaos_seed : t -> int
+(** Seed for the chaos family's deadline/priority request stream, distinct
+    from the service family's so the two request mixes never alias. *)
+
 val policy : t -> (Gridb_sched.Policy.t, string) result
 val transport : t -> (Gridb_des.Exec.transport, string) result
 val faults_spec : t -> (Gridb_des.Faults.spec, string) result

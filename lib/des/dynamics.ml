@@ -165,14 +165,16 @@ type join = { rank : int; cluster : int; at : float }
 type t = {
   spec : spec;
   n : int;
+  t0 : float;  (* time origin; drawn times are offsets from it *)
   leave : float array;  (* per planning-time rank; infinity = never *)
   join_events : join array;
   drift_streams : drift_stream array;  (* n * n; [||] when drift_rate = 0 *)
 }
 
-let create ?(seed = 0) ~n ~clusters spec =
+let create ?(seed = 0) ?(t0 = 0.) ~n ~clusters spec =
   if n < 1 then invalid_arg "Dynamics.create: n < 1";
   if clusters < 1 then invalid_arg "Dynamics.create: clusters < 1";
+  if not (Float.is_finite t0) then invalid_arg "Dynamics.create: t0 must be finite";
   (* Re-run the smart constructor so hand-built records cannot smuggle
      invalid parameters in (the Faults.create discipline). *)
   let spec =
@@ -197,7 +199,7 @@ let create ?(seed = 0) ~n ~clusters spec =
       for k = 0 to spec.join_max - 1 do
         t := !t +. Rng.exponential jrng spec.join_rate;
         let cluster = Rng.int jrng clusters in
-        events := { rank = n + k; cluster; at = !t } :: !events
+        events := { rank = n + k; cluster; at = t0 +. !t } :: !events
       done;
       Array.of_list (List.rev !events)
     end
@@ -220,7 +222,7 @@ let create ?(seed = 0) ~n ~clusters spec =
           })
     else [||]
   in
-  { spec; n; leave; join_events; drift_streams }
+  { spec; n; t0; leave; join_events; drift_streams }
 
 let spec t = t.spec
 let size t = t.n
@@ -232,7 +234,7 @@ let check_rank t i name =
 
 let leave_time t i =
   check_rank t i "leave_time";
-  if i >= t.n then infinity else t.leave.(i)
+  if i >= t.n then infinity else t.t0 +. t.leave.(i)
 
 let left t i ~at = leave_time t i <= at
 
@@ -271,6 +273,7 @@ let factor t ~src ~dst ~at =
   then 1.
   else begin
     let s = t.drift_streams.((src * t.n) + dst) in
+    let at = at -. t.t0 in
     materialize t s ~at;
     match List.find_opt (fun (since, _) -> since <= at) s.segs with
     | Some (_, f) -> f

@@ -92,11 +92,20 @@ type join = {
   at : float;  (** arrival time, us *)
 }
 
-val create : ?seed:int -> n:int -> clusters:int -> spec -> t
+val create : ?seed:int -> ?t0:float -> n:int -> clusters:int -> spec -> t
 (** Pre-draws leave times and join arrivals and seeds the per-link drift
     streams (default seed 0).  [clusters] is the number of clusters joins
     may attach to.  With {!is_none} specs no randomness is consumed at all.
-    @raise Invalid_argument if [n < 1] or [clusters < 1]. *)
+
+    [t0] (default [0.]) is the model's time origin: every drawn time —
+    leave times, join arrivals, the drift-phase timeline — is an offset
+    from it.  A session launched mid-simulation (e.g. a broadcast-service
+    request, or a retry) passes its own start time so the model describes
+    dynamics {e from that session's start}, not from the simulation's
+    epoch; the drawn offsets themselves are [t0]-independent, so shifting
+    the origin never changes the random stream.
+    @raise Invalid_argument if [n < 1], [clusters < 1] or [t0] is not
+    finite. *)
 
 val spec : t -> spec
 val size : t -> int

@@ -117,14 +117,16 @@ type degrade_stream = {
 type t = {
   spec : spec;
   n : int;
+  t0 : float;  (* time origin; drawn times are offsets from it *)
   crash : float array;  (* per rank; infinity = never *)
   cut : float array;  (* directed link src * n + dst; infinity = never *)
   loss_streams : Rng.t array;  (* per directed link; [||] when loss = 0 *)
   degrade_streams : degrade_stream array;  (* [||] when degrade_rate = 0 *)
 }
 
-let create ?(seed = 0) ~n spec =
+let create ?(seed = 0) ?(t0 = 0.) ~n spec =
   if n < 1 then invalid_arg "Faults.create: n < 1";
+  if not (Float.is_finite t0) then invalid_arg "Faults.create: t0 must be finite";
   (* Field validity: re-run the smart constructor so hand-built records
      cannot smuggle invalid parameters in. *)
   let spec =
@@ -161,7 +163,7 @@ let create ?(seed = 0) ~n spec =
           })
     else [||]
   in
-  { spec; n; crash; cut; loss_streams; degrade_streams }
+  { spec; n; t0; crash; cut; loss_streams; degrade_streams }
 
 let spec t = t.spec
 let size t = t.n
@@ -171,7 +173,7 @@ let check_rank t i name =
 
 let crash_time t i =
   check_rank t i "crash_time";
-  t.crash.(i)
+  t.t0 +. t.crash.(i)
 
 let crashed t i ~at = crash_time t i <= at
 
@@ -182,7 +184,7 @@ let link_index t ~src ~dst name =
 
 let cut_time t ~src ~dst =
   let idx = link_index t ~src ~dst "cut_time" in
-  if Array.length t.cut = 0 then infinity else t.cut.(idx)
+  if Array.length t.cut = 0 then infinity else t.t0 +. t.cut.(idx)
 
 let link_up t ~src ~dst ~at = cut_time t ~src ~dst > at
 
@@ -196,6 +198,7 @@ let slowdown t ~src ~dst ~at =
   if Array.length t.degrade_streams = 0 then 1.
   else begin
     let s = t.degrade_streams.(idx) in
+    let at = at -. t.t0 in
     while s.next_start <= at do
       let start = s.next_start in
       let stop = start +. Rng.exponential s.drng (1. /. t.spec.degrade_mean) in

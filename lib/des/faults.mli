@@ -66,10 +66,18 @@ val to_string : spec -> string
 type t
 (** An instantiated fault model over [n] ranks. *)
 
-val create : ?seed:int -> n:int -> spec -> t
+val create : ?seed:int -> ?t0:float -> n:int -> spec -> t
 (** Pre-draws crash and cut times and seeds the per-link loss/degradation
     streams (default seed 0).  With {!is_none} specs no randomness is
-    consumed at all.  @raise Invalid_argument if [n < 1]. *)
+    consumed at all.
+
+    [t0] (default [0.]) is the model's time origin: crash times, cut times
+    and the degradation-episode timeline are offsets from it.  A session
+    launched mid-simulation (a broadcast-service request or retry) passes
+    its own start time so faults unfold from {e its} start rather than the
+    simulation's epoch; the drawn offsets are [t0]-independent, so
+    shifting the origin never changes the random stream.
+    @raise Invalid_argument if [n < 1] or [t0] is not finite. *)
 
 val spec : t -> spec
 val size : t -> int

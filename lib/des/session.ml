@@ -520,7 +520,13 @@ let launch_reliable ?sid ?(who = "Session.launch_reliable") ~wire ~engine
        new link), and per Karn's rule flagged ambiguous when the edge has
        retransmitted. *)
     (match est with
-    | Some est when parent = cur_parent.(child) && not acked.(child) ->
+    | Some est
+      when parent = cur_parent.(child)
+           && (not acked.(child))
+           (* Under contention a retransmission can be armed for a queued
+              future NIC slot; an ACK of an earlier try then lands before
+              [last_start] — ambiguous per Karn, so no sample. *)
+           && now >= last_start.(child) ->
         let rtt = now -. last_start.(child) in
         (match
            Adaptive.on_sample est ~src:parent ~dst:child ~rtt

@@ -29,6 +29,9 @@ type t =
   | Cache_miss of { key : string }
   | Strategy_selected of { name : string; predicted : float }
   | Repair_splice of { crashed : int; replanned : int }
+  | Shed of { rid : int; priority : string; reason : string; time : float }
+  | Retry of { rid : int; attempt : int; time : float }
+  | Deadline_miss of { rid : int; deadline : float; finish : float }
   | Counter of { name : string; value : int }
   | Span_start of { name : string; time : float }
   | Span_end of { name : string; time : float }
@@ -137,6 +140,13 @@ and to_json_untagged = function
       obj "strategy_selected" [ S ("name", name); F ("predicted", predicted) ]
   | Repair_splice { crashed; replanned } ->
       obj "repair_splice" [ I ("crashed", crashed); I ("replanned", replanned) ]
+  | Shed { rid; priority; reason; time } ->
+      obj "shed"
+        [ I ("rid", rid); S ("priority", priority); S ("reason", reason); F ("t", time) ]
+  | Retry { rid; attempt; time } ->
+      obj "retry" [ I ("rid", rid); I ("attempt", attempt); F ("t", time) ]
+  | Deadline_miss { rid; deadline; finish } ->
+      obj "deadline_miss" [ I ("rid", rid); F ("deadline", deadline); F ("finish", finish) ]
   | Counter { name; value } -> obj "counter" [ S ("name", name); I ("value", value) ]
   | Span_start { name; time } -> obj "span_start" [ S ("name", name); F ("t", time) ]
   | Span_end { name; time } -> obj "span_end" [ S ("name", name); F ("t", time) ]
@@ -387,6 +397,24 @@ let of_json line =
     | "repair_splice" ->
         Repair_splice
           { crashed = geti fields "crashed"; replanned = geti fields "replanned" }
+    | "shed" ->
+        Shed
+          {
+            rid = geti fields "rid";
+            priority = gets fields "priority";
+            reason = gets fields "reason";
+            time = getf fields "t";
+          }
+    | "retry" ->
+        Retry
+          { rid = geti fields "rid"; attempt = geti fields "attempt"; time = getf fields "t" }
+    | "deadline_miss" ->
+        Deadline_miss
+          {
+            rid = geti fields "rid";
+            deadline = getf fields "deadline";
+            finish = getf fields "finish";
+          }
     | "counter" -> Counter { name = gets fields "name"; value = geti fields "value" }
     | "span_start" -> Span_start { name = gets fields "name"; time = getf fields "t" }
     | "span_end" -> Span_end { name = gets fields "name"; time = getf fields "t" }

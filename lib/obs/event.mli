@@ -71,6 +71,16 @@ type t =
   | Repair_splice of { crashed : int; replanned : int }
       (** schedule repair replayed around [crashed] coordinators and
           replanned [replanned] transmissions *)
+  (* broadcast service (control plane) *)
+  | Shed of { rid : int; priority : string; reason : string; time : float }
+      (** degraded-mode admission dropped request [rid] ([priority] is the
+          request's class, [reason] the typed shed reason rendered) *)
+  | Retry of { rid : int; attempt : int; time : float }
+      (** the server re-enqueued a partially-delivered request; [attempt]
+          is the 1-based retry number, [time] when the relaunch starts *)
+  | Deadline_miss of { rid : int; deadline : float; finish : float }
+      (** request [rid] (deadline [deadline] us after arrival) did not
+          reach full delivery until [finish] — or never, [finish = nan] *)
   (* generic *)
   | Counter of { name : string; value : int }
   | Span_start of { name : string; time : float }

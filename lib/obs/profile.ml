@@ -16,6 +16,9 @@ type report = {
   give_ups : int;
   circuit_opens : int;
   reroutes : int;
+  sheds : int;
+  requeues : int;
+  deadline_misses : int;
   events : int;
   spans : (string * float) list;
   counters : (string * int) list;
@@ -37,6 +40,7 @@ let of_events events =
   let makespan = ref 0. in
   let sends = ref 0 and retransmits = ref 0 and give_ups = ref 0 in
   let circuit_opens = ref 0 and reroutes = ref 0 in
+  let sheds = ref 0 and requeues = ref 0 and deadline_misses = ref 0 in
   let pending_send : (int * int, Event.t) Hashtbl.t = Hashtbl.create 64 in
   let open_spans : (string, float list) Hashtbl.t = Hashtbl.create 8 in
   let spans = ref [] and counters = ref [] in
@@ -81,6 +85,9 @@ let of_events events =
       | Give_up _ -> incr give_ups
       | Circuit_open _ -> incr circuit_opens
       | Reroute _ -> incr reroutes
+      | Shed _ -> incr sheds
+      | Retry _ -> incr requeues
+      | Deadline_miss _ -> incr deadline_misses
       | Span_start { name; time } ->
           let stack = Option.value ~default:[] (Hashtbl.find_opt open_spans name) in
           Hashtbl.replace open_spans name (time :: stack)
@@ -107,6 +114,9 @@ let of_events events =
     give_ups = !give_ups;
     circuit_opens = !circuit_opens;
     reroutes = !reroutes;
+    sheds = !sheds;
+    requeues = !requeues;
+    deadline_misses = !deadline_misses;
     events = !total;
     spans = !spans;
     counters = !counters;
@@ -133,6 +143,9 @@ let render r =
   add "edges given up" (string_of_int r.give_ups);
   add "circuits opened" (string_of_int r.circuit_opens);
   add "reroutes" (string_of_int r.reroutes);
+  if r.sheds > 0 then add "requests shed" (string_of_int r.sheds);
+  if r.requeues > 0 then add "retry requeues" (string_of_int r.requeues);
+  if r.deadline_misses > 0 then add "deadline misses" (string_of_int r.deadline_misses);
   add "events on bus" (string_of_int r.events);
   List.iter
     (fun (name, v) -> if name <> "schedule" then us (Printf.sprintf "span %s" name) v)

@@ -28,6 +28,9 @@ type report = {
   give_ups : int;
   circuit_opens : int;  (** adaptive-transport breaker trips *)
   reroutes : int;  (** orphans re-parented by the adaptive transport *)
+  sheds : int;  (** requests dropped by degraded-mode admission *)
+  requeues : int;  (** service retry relaunches ([Retry] events) *)
+  deadline_misses : int;  (** requests past their deadline *)
   events : int;  (** stream length *)
   spans : (string * float) list;
       (** per-name span totals (us), insertion order *)

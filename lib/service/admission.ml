@@ -1,6 +1,38 @@
+type reason =
+  | Concurrency of int  (** sessions in flight at decision time *)
+  | Backlog of float  (** predicted backlog, us *)
+  | Shed_backlog of float  (** low-priority shed: backlog past the watermark *)
+  | Shed_circuit of float  (** low-priority shed: open-circuit fraction past threshold *)
+  | Bad_policy of string  (** unknown heuristic name (server-side reject) *)
+
+type decision = Admit | Reject of reason
+
+(* The first two render exactly the strings the pre-shedding controller
+   produced — the zero-chaos smoke output is pinned byte for byte. *)
+let reason_string = function
+  | Concurrency n -> Printf.sprintf "concurrency limit (%d in flight)" n
+  | Backlog b -> Printf.sprintf "backlog %.0f us over budget" b
+  | Shed_backlog b -> Printf.sprintf "shed: backlog %.0f us past watermark" b
+  | Shed_circuit f -> Printf.sprintf "shed: open-circuit fraction %.2f past threshold" f
+  | Bad_policy p -> Printf.sprintf "unknown policy %S" p
+
+let is_shed = function Shed_backlog _ | Shed_circuit _ -> true | _ -> false
+
+type shed = { watermark_us : float; max_open_frac : float }
+
+let no_shed = { watermark_us = infinity; max_open_frac = infinity }
+
+let shed ?(watermark_us = infinity) ?(max_open_frac = infinity) () =
+  if Float.is_nan watermark_us || watermark_us <= 0. then
+    invalid_arg "Admission.shed: watermark_us <= 0";
+  if Float.is_nan max_open_frac || max_open_frac < 0. then
+    invalid_arg "Admission.shed: max_open_frac < 0";
+  { watermark_us; max_open_frac }
+
 type t = {
   max_concurrent : int;
   max_backlog_us : float;
+  shed : shed;
   (* Predicted finish times of admitted, not-yet-finished sessions,
      ascending.  The population is small (bounded by max_concurrent), so a
      sorted list beats a heap on constant factors and keeps decisions
@@ -8,12 +40,10 @@ type t = {
   mutable inflight : float list;
 }
 
-type decision = Admit | Reject of string
-
-let create ?(max_concurrent = 8) ?(max_backlog_us = infinity) () =
+let create ?(max_concurrent = 8) ?(max_backlog_us = infinity) ?(shed = no_shed) () =
   if max_concurrent < 1 then invalid_arg "Admission.create: max_concurrent < 1";
   if max_backlog_us <= 0. then invalid_arg "Admission.create: max_backlog_us <= 0";
-  { max_concurrent; max_backlog_us; inflight = [] }
+  { max_concurrent; max_backlog_us; shed; inflight = [] }
 
 let rec insert t = function
   | [] -> [ t ]
@@ -25,21 +55,30 @@ let rec insert t = function
    arrival, before any execution, and is identical however the batch is
    parallelised.  Prediction errs optimistic under contention (plans are
    costed uncontended), which makes the controller an upper bound on
-   admitted load — the honest direction for overload protection. *)
-let decide t ~now ~predicted_makespan =
+   admitted load — the honest direction for overload protection.
+
+   Degraded mode: [Low]-priority requests are additionally shed when the
+   predicted backlog crosses the shedding watermark (softer than the hard
+   budget, so high-priority traffic still lands in the gap between the
+   two) or when the caller-supplied open-circuit fraction — the
+   server's live health signal — exceeds its threshold. *)
+let decide ?(priority = Workload.High) ?(open_frac = 0.) t ~now ~predicted_makespan =
   t.inflight <- List.filter (fun finish -> finish > now) t.inflight;
   let inflight = List.length t.inflight in
-  if inflight >= t.max_concurrent then
-    Reject (Printf.sprintf "concurrency limit (%d in flight)" inflight)
+  if inflight >= t.max_concurrent then Reject (Concurrency inflight)
   else
     let backlog =
       match t.inflight with [] -> 0. | l -> List.fold_left Float.max 0. l -. now
     in
-    if backlog > t.max_backlog_us then
-      Reject (Printf.sprintf "backlog %.0f us over budget" backlog)
+    if backlog > t.max_backlog_us then Reject (Backlog backlog)
+    else if priority = Workload.Low && backlog > t.shed.watermark_us then
+      Reject (Shed_backlog backlog)
+    else if priority = Workload.Low && open_frac > t.shed.max_open_frac then
+      Reject (Shed_circuit open_frac)
     else begin
       t.inflight <- insert (now +. predicted_makespan) t.inflight;
       Admit
     end
 
 let inflight t ~now = List.length (List.filter (fun f -> f > now) t.inflight)
+let shedding t = t.shed <> no_shed

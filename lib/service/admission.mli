@@ -6,20 +6,77 @@
     and independent of how planning was parallelised.  A request is
     rejected when the concurrency cap is reached or the predicted backlog
     (latest predicted finish minus now) exceeds the budget; an admitted
-    request books [now + predicted_makespan] as its predicted finish. *)
+    request books [now + predicted_makespan] as its predicted finish.
+
+    Degraded mode: an optional {!shed} policy sheds {e low-priority}
+    requests earlier than the hard caps would refuse them — when the
+    predicted backlog crosses a watermark, or when the caller-supplied
+    open-circuit fraction (the server's live circuit-breaker health
+    signal) exceeds a threshold.  High-priority traffic is never shed,
+    only capped.  Shed rejections carry their own typed {!reason}s so
+    accounting (and the shed-ordering invariant) can tell overload
+    protection from degraded-mode load shedding. *)
+
+type reason =
+  | Concurrency of int  (** hard cap: sessions in flight at decision time *)
+  | Backlog of float  (** hard cap: predicted backlog, us *)
+  | Shed_backlog of float
+      (** degraded mode: predicted backlog past the shedding watermark
+          (low-priority request) *)
+  | Shed_circuit of float
+      (** degraded mode: open-circuit fraction past the threshold
+          (low-priority request) *)
+  | Bad_policy of string
+      (** unknown heuristic name; produced by {!Server.run}, never by
+          {!decide} *)
+
+type decision = Admit | Reject of reason
+
+val reason_string : reason -> string
+(** Human-readable rendering ([Concurrency]/[Backlog] render exactly the
+    historical reason strings, which the smoke output pins). *)
+
+val is_shed : reason -> bool
+(** [true] on [Shed_backlog]/[Shed_circuit] only. *)
+
+type shed = { watermark_us : float; max_open_frac : float }
+(** Degraded-mode policy: shed low-priority requests when the predicted
+    backlog exceeds [watermark_us] (choose it below [max_backlog_us] so
+    high-priority traffic still lands in between) or the open-circuit
+    fraction exceeds [max_open_frac]. *)
+
+val no_shed : shed
+(** Both thresholds infinite: shedding disabled (the default). *)
+
+val shed : ?watermark_us:float -> ?max_open_frac:float -> unit -> shed
+(** Build a validated policy; omitted thresholds stay infinite.
+    @raise Invalid_argument on a non-positive [watermark_us] or a negative
+    [max_open_frac]. *)
 
 type t
 
-type decision = Admit | Reject of string  (** reason, human-readable *)
-
-val create : ?max_concurrent:int -> ?max_backlog_us:float -> unit -> t
-(** Defaults: at most 8 predicted-concurrent sessions, unbounded backlog.
+val create :
+  ?max_concurrent:int -> ?max_backlog_us:float -> ?shed:shed -> unit -> t
+(** Defaults: at most 8 predicted-concurrent sessions, unbounded backlog,
+    shedding disabled.
     @raise Invalid_argument if [max_concurrent < 1] or
     [max_backlog_us <= 0.]. *)
 
-val decide : t -> now:float -> predicted_makespan:float -> decision
+val decide :
+  ?priority:Workload.priority ->
+  ?open_frac:float ->
+  t ->
+  now:float ->
+  predicted_makespan:float ->
+  decision
 (** Decide one request; call in arrival order ([now] non-decreasing).
-    [Admit] records the predicted finish. *)
+    [priority] defaults to [High] (never shed); [open_frac] defaults to
+    [0.] (no circuit-health signal).  [Admit] records the predicted
+    finish. *)
 
 val inflight : t -> now:float -> int
 (** Sessions whose predicted finish is past [now]. *)
+
+val shedding : t -> bool
+(** Whether a degraded-mode {!shed} policy (other than {!no_shed}) is
+    installed. *)

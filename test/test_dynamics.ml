@@ -203,6 +203,40 @@ let test_churn_pre_drawn () =
     (Invalid_argument "Dynamics.leave_time: rank out of range") (fun () ->
       ignore (Dyn.leave_time d 8))
 
+let test_t0_shifts_origin () =
+  (* Shifting the time origin translates every drawn time — leaves, join
+     arrivals, the drift timeline — without touching the random stream, so
+     a session launched mid-simulation sees dynamics from its own start. *)
+  let spec = Dyn.v ~drift_rate:1e-5 ~leave_rate:1e-5 ~join_rate:1e-5 ~join_max:3 () in
+  let t0 = 5e5 in
+  let a = Dyn.create ~seed:3 ~n:5 ~clusters:4 spec
+  and b = Dyn.create ~seed:3 ~t0 ~n:5 ~clusters:4 spec in
+  for i = 0 to 4 do
+    let la = Dyn.leave_time a i in
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "leave %d shifted by t0" i)
+      (if Float.is_finite la then la +. t0 else la)
+      (Dyn.leave_time b i)
+  done;
+  Array.iter2
+    (fun (ja : Dyn.join) (jb : Dyn.join) ->
+      Alcotest.(check int) "join rank t0-independent" ja.Dyn.rank jb.Dyn.rank;
+      Alcotest.(check int) "join cluster t0-independent" ja.Dyn.cluster jb.Dyn.cluster;
+      Alcotest.(check (float 1e-9)) "join time shifted by t0" (ja.Dyn.at +. t0) jb.Dyn.at)
+    (Dyn.joins a) (Dyn.joins b);
+  for src = 0 to 4 do
+    for dst = 0 to 4 do
+      if src <> dst then
+        Alcotest.(check (float 1e-9))
+          "drift timeline shifted by t0"
+          (Dyn.factor a ~src ~dst ~at:1e5)
+          (Dyn.factor b ~src ~dst ~at:(1e5 +. t0))
+    done
+  done;
+  Alcotest.check_raises "non-finite t0"
+    (Invalid_argument "Dynamics.create: t0 must be finite") (fun () ->
+      ignore (Dyn.create ~t0:infinity ~n:5 ~clusters:4 spec))
+
 (* --- zero-dynamics bit-identity ----------------------------------------- *)
 
 let dynamics_identity_prop =
@@ -628,6 +662,7 @@ let () =
           quick "factor bounds and determinism" test_factor_bounds_and_determinism;
           quick "query order independence" test_factor_query_order_independence;
           quick "churn pre-drawn books" test_churn_pre_drawn;
+          quick "t0 shifts the origin, not the draws" test_t0_shifts_origin;
         ] );
       ( "executor",
         [

@@ -238,6 +238,42 @@ let test_faults_deterministic () =
   done;
   Alcotest.(check (list bool)) "loss draws query-order independent" !qa (List.rev !qb)
 
+let test_faults_t0_shifts_origin () =
+  (* Shifting the time origin translates every drawn time without touching
+     the random stream — what lets a broadcast-service session launched
+     mid-simulation face faults unfolding from its own start. *)
+  let spec = Faults.v ~loss:0.2 ~crash_rate:1e-6 ~cut_rate:1e-7 ~degrade_rate:1e-6 ()
+  and n = 8
+  and t0 = 5e5 in
+  let a = Faults.create ~seed:5 ~n spec and b = Faults.create ~seed:5 ~t0 ~n spec in
+  for r = 0 to n - 1 do
+    let ca = Faults.crash_time a r in
+    check_feq
+      (Printf.sprintf "crash %d shifted by t0" r)
+      (if Float.is_finite ca then ca +. t0 else ca)
+      (Faults.crash_time b r)
+  done;
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then begin
+        let ca = Faults.cut_time a ~src ~dst in
+        check_feq "cut shifted by t0"
+          (if Float.is_finite ca then ca +. t0 else ca)
+          (Faults.cut_time b ~src ~dst);
+        check_feq "degradation timeline shifted by t0"
+          (Faults.slowdown a ~src ~dst ~at:1e5)
+          (Faults.slowdown b ~src ~dst ~at:(1e5 +. t0));
+        Alcotest.(check bool)
+          "loss draws t0-independent"
+          (Faults.lose a ~src ~dst)
+          (Faults.lose b ~src ~dst)
+      end
+    done
+  done;
+  Alcotest.check_raises "non-finite t0"
+    (Invalid_argument "Faults.create: t0 must be finite") (fun () ->
+      ignore (Faults.create ~t0:nan ~n spec))
+
 (* --- Reliable executor -------------------------------------------------- *)
 
 (* The zero-fault identity must hold for every transport — the adaptive
@@ -788,6 +824,7 @@ let () =
           quick "errors name keys" test_spec_errors_name_keys;
           QCheck_alcotest.to_alcotest spec_roundtrip_property;
           quick "deterministic" test_faults_deterministic;
+          quick "t0 shifts the origin, not the draws" test_faults_t0_shifts_origin;
         ] );
       ( "reliable",
         [

@@ -45,6 +45,9 @@ let sample_events =
     Event.Cache_miss { key = "FlatTree/root=2/class=64" };
     Event.Strategy_selected { name = "ECEF-LAT"; predicted = 0.60098e6 };
     Event.Repair_splice { crashed = 1; replanned = 5 };
+    Event.Shed { rid = 7; priority = "low"; reason = "backlog 1.25e6 us past watermark"; time = 512.5 };
+    Event.Retry { rid = 3; attempt = 2; time = 4096.25 };
+    Event.Deadline_miss { rid = 9; deadline = 2e5; finish = 300000.5 };
     Event.Counter { name = "pair_evaluations"; value = 37 };
     Event.Span_start { name = "schedule"; time = 17.0 };
     Event.Span_end { name = "schedule"; time = 43.0 };

@@ -238,13 +238,68 @@ let test_workload_validation () =
     (Invalid_argument "Workload.generate: rate must be positive") (fun () ->
       ignore (Workload.generate ~seed:0 ~rate:0. ~duration:1e6 machines));
   let bad_mix =
-    { Workload.roots = [| 0 |]; msgs = [| 64 |]; policies = [| "NoSuchPolicy" |] }
+    {
+      Workload.roots = [| 0 |];
+      msgs = [| 64 |];
+      policies = [| "NoSuchPolicy" |];
+      deadlines = [| infinity |];
+      high_frac = 0.;
+    }
   in
   Alcotest.(check bool) "unknown policy rejected" true
     (try
        ignore (Workload.generate ~mix:bad_mix ~seed:0 ~rate:1e-5 ~duration:1e6 machines);
        false
      with Invalid_argument _ -> true)
+
+let test_mix_round_trip () =
+  let machines = machines_of_seed 22 in
+  let round m =
+    match Workload.mix_of_string machines (Workload.mix_to_string m) with
+    | Ok m' -> m'
+    | Error e -> Alcotest.failf "round trip of %S: %s" (Workload.mix_to_string m) e
+  in
+  let check_mix name m =
+    Alcotest.(check bool) name true (round m = m)
+  in
+  check_mix "default mix round-trips" (Workload.default_mix machines);
+  check_mix "chaotic mix round-trips"
+    {
+      Workload.roots = [| 0; 2 |];
+      msgs = [| 65_536 |];
+      policies = [| "ECEF" |];
+      deadlines = [| 2e5; infinity |];
+      high_frac = 0.25;
+    };
+  Alcotest.(check bool) "\"default\" is the default mix" true
+    (Workload.mix_of_string machines "default"
+    = Ok (Workload.default_mix machines))
+
+let test_mix_errors_name_keys () =
+  let machines = machines_of_seed 22 in
+  let err s =
+    match Workload.mix_of_string machines s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error e -> e
+  in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let check_names s fragment =
+    let e = err s in
+    Alcotest.(check bool)
+      (Printf.sprintf "%S error %S names %S" s e fragment)
+      true (contains e fragment)
+  in
+  check_names "roots=x" "mix key \"roots\"";
+  check_names "msgs=1|oops" "mix key \"msgs\"";
+  check_names "deadlines=-5" "deadline must be positive";
+  check_names "high=1.5" "mix key \"high\"";
+  check_names "roots=99" "root cluster out of range";
+  check_names "colour=blue" "unknown key";
+  check_names "roots" "expected key=value"
 
 (* --- admission --------------------------------------------------------- *)
 
@@ -273,6 +328,52 @@ let test_admission_backlog_budget () =
     (match decide 0. 10. with Admission.Reject _ -> true | _ -> false);
   Alcotest.(check bool) "admits again once the backlog drains" true
     (decide 100. 10. = Admission.Admit)
+
+let test_admission_boundary_exact_finish () =
+  (* A predicted finish is exclusive: a session booked to finish at t has
+     drained by an arrival at exactly t. *)
+  let a = Admission.create ~max_concurrent:1 () in
+  Alcotest.(check bool) "books the only slot" true
+    (Admission.decide a ~now:0. ~predicted_makespan:100. = Admission.Admit);
+  Alcotest.(check int) "inflight just before the finish" 1
+    (Admission.inflight a ~now:99.999);
+  Alcotest.(check int) "drained at exactly the predicted finish" 0
+    (Admission.inflight a ~now:100.);
+  Alcotest.(check bool) "arrival exactly at the finish admits" true
+    (Admission.decide a ~now:100. ~predicted_makespan:50. = Admission.Admit)
+
+let test_admission_boundary_exact_backlog () =
+  (* The backlog budget is inclusive: rejection needs backlog strictly
+     past it. *)
+  let a = Admission.create ~max_concurrent:100 ~max_backlog_us:250. () in
+  Alcotest.(check bool) "books a finish at 300" true
+    (Admission.decide a ~now:0. ~predicted_makespan:300. = Admission.Admit);
+  (match Admission.decide a ~now:40. ~predicted_makespan:10. with
+  | Admission.Reject (Admission.Backlog b) ->
+      Alcotest.(check (float 1e-9)) "reason carries the backlog" 260. b
+  | other ->
+      Alcotest.failf "backlog 260 > 250 should reject, got %s"
+        (match other with Admission.Admit -> "Admit" | _ -> "other reason"));
+  Alcotest.(check bool) "backlog exactly at the budget admits" true
+    (Admission.decide a ~now:50. ~predicted_makespan:10. = Admission.Admit)
+
+let test_admission_single_slot_drain_ordering () =
+  (* max_concurrent = 1 forces strict alternation: each admit books a
+     finish, every arrival before it bounces, the first at-or-after lands. *)
+  let a = Admission.create ~max_concurrent:1 () in
+  let outcomes =
+    List.map
+      (fun (now, predicted) ->
+        match Admission.decide a ~now ~predicted_makespan:predicted with
+        | Admission.Admit -> "admit"
+        | Admission.Reject (Admission.Concurrency _) -> "full"
+        | Admission.Reject _ -> "other")
+      [ (0., 100.); (10., 5.); (99., 5.); (100., 50.); (149., 5.); (150., 10.) ]
+  in
+  Alcotest.(check (list string))
+    "strict alternation through the single slot"
+    [ "admit"; "full"; "full"; "admit"; "full"; "admit" ]
+    outcomes
 
 (* --- server ------------------------------------------------------------ *)
 
@@ -331,11 +432,242 @@ let test_server_multi_session_invariants () =
 let test_server_rejects_out_of_order () =
   let machines = machines_of_seed 33 in
   let r rid at =
-    { Workload.rid; at; root = 0; msg = 64; policy = "ECEF" }
+    {
+      Workload.rid;
+      at;
+      root = 0;
+      msg = 64;
+      policy = "ECEF";
+      deadline = infinity;
+      priority = Workload.Low;
+    }
   in
   Alcotest.check_raises "out-of-order requests"
     (Invalid_argument "Server.run: requests not in arrival order") (fun () ->
       ignore (Server.run machines [ r 0 100.; r 1 50. ]))
+
+(* --- zero-chaos regression pin ----------------------------------------- *)
+
+(* The exact smoke rendering of the seed-30 fixture served with every
+   default (no faults, no dynamics, no retries, no shedding, no deadlines).
+   The resilience machinery must leave this byte-identical: any drift here
+   means the zero-chaos identity broke.  Regenerate only on a deliberate
+   output-format change. *)
+let zero_chaos_golden =
+  [
+    "req 0   at=10392.2 root=0 msg=65536 policy=ECEF-LA cache=miss admitted delivered=11/11 makespan=47368.6";
+    "req 1   at=13177.1 root=0 msg=65536 policy=ECEF-LA cache=hit admitted delivered=11/11 makespan=61537.0";
+    "req 2   at=75788.1 root=2 msg=65536 policy=ECEF cache=miss admitted delivered=11/11 makespan=62384.7";
+    "req 3   at=88923.1 root=2 msg=1000000 policy=ECEF cache=miss admitted delivered=11/11 makespan=1167354.5";
+    "req 4   at=101168.3 root=2 msg=1000000 policy=ECEF-LA cache=miss admitted delivered=11/11 makespan=1726844.1";
+    "req 5   at=103994.6 root=0 msg=65536 policy=ECEF-LA cache=hit admitted delivered=11/11 makespan=346074.8";
+    "req 6   at=107536.2 root=0 msg=65536 policy=ECEF-LA cache=hit admitted delivered=11/11 makespan=364997.9";
+    "req 7   at=111215.0 root=1 msg=1000000 policy=ECEF cache=miss admitted delivered=11/11 makespan=446694.3";
+    "req 8   at=117473.1 root=2 msg=1000000 policy=ECEF cache=hit admitted delivered=11/11 makespan=2431371.6";
+    "req 9   at=117710.2 root=2 msg=65536 policy=ECEF cache=hit admitted delivered=11/11 makespan=2443130.7";
+    "req 10  at=147846.2 root=1 msg=65536 policy=ECEF cache=miss admitted delivered=11/11 makespan=414116.8";
+    "req 11  at=169181.8 root=0 msg=1000000 policy=ECEF cache=miss admitted delivered=11/11 makespan=1133221.9";
+    "req 12  at=220557.2 root=0 msg=65536 policy=ECEF-LA cache=hit admitted delivered=11/11 makespan=1082022.1";
+    "req 13  at=221049.4 root=2 msg=1000000 policy=ECEF cache=hit admitted delivered=11/11 makespan=2496479.0";
+    "req 14  at=268299.9 root=1 msg=1000000 policy=ECEF cache=hit admitted delivered=11/11 makespan=725471.9";
+    "req 15  at=328618.0 root=1 msg=1000000 policy=ECEF-LA cache=miss admitted delivered=11/11 makespan=1300075.4";
+    "req 16  at=352327.4 root=2 msg=1000000 policy=ECEF-LA cache=hit rejected (concurrency limit (8 in flight))";
+    "req 17  at=361045.8 root=2 msg=65536 policy=ECEF cache=hit rejected (concurrency limit (8 in flight))";
+    "req 18  at=429548.7 root=1 msg=1000000 policy=ECEF cache=hit rejected (concurrency limit (8 in flight))";
+    "req 19  at=435801.3 root=2 msg=1000000 policy=ECEF-LA cache=hit rejected (concurrency limit (8 in flight))";
+    "req 20  at=437134.2 root=0 msg=65536 policy=ECEF cache=miss rejected (concurrency limit (8 in flight))";
+    "req 21  at=441574.1 root=1 msg=65536 policy=ECEF-LA cache=miss rejected (concurrency limit (8 in flight))";
+    "req 22  at=465126.5 root=2 msg=1000000 policy=ECEF-LA cache=hit rejected (concurrency limit (8 in flight))";
+    "req 23  at=465504.7 root=1 msg=65536 policy=ECEF cache=hit rejected (concurrency limit (8 in flight))";
+    "req 24  at=508952.0 root=1 msg=65536 policy=ECEF-LA cache=hit admitted delivered=11/11 makespan=1123090.4";
+    "req 25  at=518847.0 root=2 msg=65536 policy=ECEF cache=hit rejected (concurrency limit (8 in flight))";
+    "req 26  at=528690.2 root=1 msg=1000000 policy=ECEF cache=hit rejected (concurrency limit (8 in flight))";
+    "req 27  at=578369.4 root=2 msg=1000000 policy=ECEF-LA cache=hit admitted delivered=11/11 makespan=2293125.8";
+    "req 28  at=578490.1 root=2 msg=1000000 policy=ECEF-LA cache=hit admitted delivered=11/11 makespan=2446971.8";
+    "req 29  at=585230.6 root=1 msg=1000000 policy=ECEF-LA cache=hit admitted delivered=11/11 makespan=1153369.1";
+    "req 30  at=590375.9 root=2 msg=65536 policy=ECEF-LA cache=miss admitted delivered=11/11 makespan=2422909.5";
+    "req 31  at=605044.2 root=0 msg=1000000 policy=ECEF-LA cache=miss admitted delivered=11/11 makespan=1408270.7";
+    "req 32  at=607139.0 root=0 msg=1000000 policy=ECEF cache=hit rejected (concurrency limit (8 in flight))";
+    "req 33  at=634837.8 root=0 msg=65536 policy=ECEF cache=hit admitted delivered=11/11 makespan=1725223.2";
+    "req 34  at=657733.1 root=0 msg=65536 policy=ECEF-LA cache=hit admitted delivered=11/11 makespan=1724792.7";
+    "req 35  at=679590.1 root=2 msg=65536 policy=ECEF-LA cache=hit rejected (concurrency limit (8 in flight))";
+    "req 36  at=767079.1 root=2 msg=65536 policy=ECEF-LA cache=hit admitted delivered=11/11 makespan=2246382.0";
+    "req 37  at=844757.3 root=1 msg=1000000 policy=ECEF cache=hit admitted delivered=11/11 makespan=1505382.7";
+    "req 38  at=846215.2 root=0 msg=1000000 policy=ECEF cache=hit admitted delivered=11/11 makespan=1692529.9";
+    "req 39  at=881338.9 root=1 msg=65536 policy=ECEF cache=hit admitted delivered=11/11 makespan=1494807.7";
+    "req 40  at=919870.9 root=1 msg=65536 policy=ECEF-LA cache=hit admitted delivered=11/11 makespan=1478740.4";
+    "req 41  at=986326.7 root=0 msg=1000000 policy=ECEF cache=hit admitted delivered=11/11 makespan=1564882.9";
+    "requests 42 admitted 30 rejected 12";
+    "cache hits 30 misses 12 invalidations 0 entries 12 (hit rate 0.714)";
+    "delivered ranks 330, mean session makespan 1350987.5 us, horizon 3034530.9 us";
+  ]
+
+let test_server_zero_chaos_golden () =
+  let machines, requests = server_fixture () in
+  let report = Server.run machines requests in
+  Alcotest.(check bool) "zero-chaos run is not chaotic" false
+    report.Server.chaotic;
+  Alcotest.(check (list string)) "smoke lines pinned" zero_chaos_golden
+    (Server.smoke_lines report)
+
+(* --- resilience: retries, shedding, deadlines --------------------------- *)
+
+let chaotic_mix machines =
+  {
+    (Workload.default_mix machines) with
+    Workload.deadlines = [| 2e5; 2e6; infinity |];
+    high_frac = 0.4;
+  }
+
+let chaotic_fixture ?(seed = 30) ?(rate = 4e-5) () =
+  let machines = machines_of_seed seed in
+  let requests =
+    Workload.generate ~mix:(chaotic_mix machines) ~seed ~rate ~duration:1e6
+      machines
+  in
+  (machines, requests)
+
+let test_server_unknown_policy_rejected_per_request () =
+  (* Satellite 1: an unknown policy must not abort the batch mid-replay —
+     it becomes a per-request typed rejection and is never planned or
+     charged to the cache. *)
+  let machines, requests = server_fixture () in
+  let requests =
+    List.map
+      (fun (r : Workload.request) ->
+        if r.Workload.rid mod 5 = 2 then { r with Workload.policy = "NoSuchPolicy" }
+        else r)
+      requests
+  in
+  let report = Server.run machines requests in
+  let invalid =
+    List.length (List.filter (fun (r : Workload.request) -> r.Workload.policy = "NoSuchPolicy") requests)
+  in
+  Alcotest.(check int) "invalid counter" invalid report.Server.invalid;
+  Array.iter
+    (fun (o : Server.outcome) ->
+      if o.Server.request.Workload.policy = "NoSuchPolicy" then begin
+        (match o.Server.decision with
+        | Admission.Reject (Admission.Bad_policy "NoSuchPolicy") -> ()
+        | _ -> Alcotest.fail "unknown policy not rejected with Bad_policy");
+        Alcotest.(check bool) "never planned" true (o.Server.cache = `Unplanned);
+        Alcotest.(check int) "no session launched" 0 o.Server.attempts;
+        Alcotest.(check bool) "no result" true (o.Server.result = None)
+      end)
+    report.Server.outcomes;
+  let stats = report.Server.cache_stats in
+  Alcotest.(check int) "invalid requests never charge the cache"
+    (report.Server.requests - invalid)
+    (stats.Plan_cache.hits + stats.Plan_cache.misses)
+
+let test_server_retry_recovers_delivery () =
+  let machines, requests = chaotic_fixture () in
+  let faults = Gridb_des.Faults.v ~loss:0.45 () in
+  let run retry = Server.run ~faults ~retry machines requests in
+  let base = run Server.no_retry in
+  let retried = run (Server.retry ~budget:2 ()) in
+  Alcotest.(check bool) "fixture is lossy enough to leave gaps" true
+    (base.Server.delivered < base.Server.admitted * Machines.count machines);
+  Alcotest.(check int) "no requeues without a budget" 0 base.Server.requeues;
+  Alcotest.(check bool) "retries happened" true (retried.Server.requeues > 0);
+  Alcotest.(check bool) "union delivery never shrinks" true
+    (retried.Server.delivered >= base.Server.delivered);
+  let stats = retried.Server.cache_stats in
+  Alcotest.(check int) "retry replanning charged to the cache"
+    (retried.Server.requests - retried.Server.invalid + retried.Server.retry_lookups)
+    (stats.Plan_cache.hits + stats.Plan_cache.misses);
+  Array.iter
+    (fun (o : Server.outcome) ->
+      match o.Server.decision with
+      | Admission.Admit ->
+          Alcotest.(check bool) "attempts within budget" true
+            (o.Server.attempts >= 1 && o.Server.attempts <= 3);
+          let result = Option.get o.Server.result in
+          Alcotest.(check bool) "union at least the final attempt" true
+            (o.Server.delivered_union >= result.Session.delivered)
+      | Admission.Reject _ ->
+          Alcotest.(check int) "rejected requests launch nothing" 0
+            o.Server.attempts)
+    retried.Server.outcomes
+
+let test_server_shedding_protects_high_priority () =
+  let machines, requests = chaotic_fixture ~rate:8e-5 () in
+  let admission =
+    Admission.create ~shed:(Admission.shed ~watermark_us:2e5 ()) ()
+  in
+  let report = Server.run ~admission machines requests in
+  Alcotest.(check bool) "watermark low enough to shed" true
+    (report.Server.sheds > 0);
+  Array.iter
+    (fun (o : Server.outcome) ->
+      match o.Server.decision with
+      | Admission.Reject r when Admission.is_shed r ->
+          Alcotest.(check bool) "only low-priority requests shed" true
+            (o.Server.request.Workload.priority = Workload.Low)
+      | _ -> ())
+    report.Server.outcomes;
+  Alcotest.(check int) "high-priority class never shed" 0
+    report.Server.slo_high.Server.c_shed;
+  Alcotest.(check int) "sheds all land in the low class"
+    report.Server.sheds report.Server.slo_low.Server.c_shed;
+  (* The SLO tables partition the report. *)
+  let h = report.Server.slo_high and l = report.Server.slo_low in
+  Alcotest.(check int) "class requests partition"
+    report.Server.requests (h.Server.c_requests + l.Server.c_requests);
+  Alcotest.(check int) "class admissions partition"
+    report.Server.admitted (h.Server.c_admitted + l.Server.c_admitted)
+
+let test_server_deadline_bookkeeping () =
+  let machines, requests = chaotic_fixture () in
+  let report = Server.run ~faults:(Gridb_des.Faults.v ~loss:0.3 ()) machines requests in
+  let misses = ref 0 in
+  Array.iter
+    (fun (o : Server.outcome) ->
+      let r = o.Server.request in
+      (match o.Server.deadline_met with
+      | None ->
+          Alcotest.(check bool)
+            "verdicts absent only without a deadline or admission" true
+            (r.Workload.deadline = infinity || o.Server.result = None)
+      | Some met ->
+          Alcotest.(check bool) "verdict implies deadline and admission" true
+            (Float.is_finite r.Workload.deadline && o.Server.result <> None);
+          let on_time =
+            (not (Float.is_nan o.Server.completion_us))
+            && o.Server.completion_us -. r.Workload.at <= r.Workload.deadline
+          in
+          Alcotest.(check bool) "verdict recomputes from completion" met on_time;
+          if not met then incr misses);
+      if o.Server.attempts <= 1 then
+        match o.Server.result with
+        | Some result ->
+            Alcotest.(check int) "single-attempt union = delivered"
+              result.Session.delivered o.Server.delivered_union
+        | None -> ())
+    report.Server.outcomes;
+  Alcotest.(check int) "deadline_misses counter" !misses
+    report.Server.deadline_misses;
+  Alcotest.(check bool) "fixture exercises both verdicts" true
+    (!misses > 0 && report.Server.deadline_misses < report.Server.admitted)
+
+let test_server_chaotic_jobs_invariant () =
+  let machines, requests = chaotic_fixture ~seed:34 ~rate:6e-5 () in
+  let lines jobs =
+    let admission =
+      Admission.create ~shed:(Admission.shed ~watermark_us:5e5 ()) ()
+    in
+    Server.smoke_lines
+      (Server.run ~jobs ~admission
+         ~faults:(Gridb_des.Faults.v ~loss:0.25 ~crash_rate:2e-7 ())
+         ~dynamics:(Gridb_des.Dynamics.v ~drift_rate:2e-5 ~leave_rate:5e-8 ())
+         ~retry:(Server.retry ~budget:2 ())
+         ~seed:2006 machines requests)
+  in
+  let l1 = lines 1 in
+  Alcotest.(check bool) "chaotic fixture is chaotic" true
+    (List.exists (fun l -> String.length l >= 4 && String.sub l 0 4 = "slo ") l1);
+  Alcotest.(check (list string)) "chaotic smoke lines identical at jobs 1 vs 4"
+    l1 (lines 4)
 
 (* --- multi-session invariants on synthetic streams --------------------- *)
 
@@ -407,6 +739,23 @@ let test_check_service_passes () =
   | Ok () -> ()
   | Error v -> Alcotest.failf "service scenario: %a" I.pp_violation v
 
+let test_check_chaos_passes () =
+  let sc =
+    {
+      Scenario.seed = 424_242;
+      n = 4;
+      msg = 65_536;
+      root = 0;
+      policy = "ECEF-LA";
+      transport = "adaptive";
+      faults = "loss=0.3,crash=2e-7";
+      dynamics = "drift=2e-5,churn=5e-8";
+    }
+  in
+  match Run.check_chaos sc with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "chaos scenario: %a" I.pp_violation v
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "service"
@@ -432,11 +781,16 @@ let () =
           quick "deterministic in the seed" test_workload_deterministic;
           quick "dense rids, chronological arrivals" test_workload_shape;
           quick "validation" test_workload_validation;
+          quick "mix round-trips through its grammar" test_mix_round_trip;
+          quick "mix parse errors name the key" test_mix_errors_name_keys;
         ] );
       ( "admission",
         [
           quick "concurrency cap" test_admission_concurrency_cap;
           quick "backlog budget" test_admission_backlog_budget;
+          quick "arrival exactly at a predicted finish" test_admission_boundary_exact_finish;
+          quick "backlog exactly at the budget" test_admission_boundary_exact_backlog;
+          quick "single-slot drain ordering" test_admission_single_slot_drain_ordering;
         ] );
       ( "server",
         [
@@ -444,6 +798,15 @@ let () =
           quick "jobs-invariant smoke lines" test_server_jobs_invariant;
           quick "multi-session invariants hold" test_server_multi_session_invariants;
           quick "out-of-order requests rejected" test_server_rejects_out_of_order;
+          quick "zero-chaos smoke output pinned" test_server_zero_chaos_golden;
+        ] );
+      ( "resilience",
+        [
+          quick "unknown policy rejected per-request" test_server_unknown_policy_rejected_per_request;
+          quick "retries recover delivery" test_server_retry_recovers_delivery;
+          quick "shedding protects high priority" test_server_shedding_protects_high_priority;
+          quick "deadline bookkeeping" test_server_deadline_bookkeeping;
+          quick "chaotic smoke lines jobs-invariant" test_server_chaotic_jobs_invariant;
         ] );
       ( "invariants",
         [
@@ -452,5 +815,8 @@ let () =
           quick "split_sessions groups by sid" test_split_sessions_groups_and_orders;
         ] );
       ( "family",
-        [ quick "check_service passes a fixed scenario" test_check_service_passes ] );
+        [
+          quick "check_service passes a fixed scenario" test_check_service_passes;
+          quick "check_chaos passes a fixed scenario" test_check_chaos_passes;
+        ] );
     ]
