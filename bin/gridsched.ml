@@ -18,7 +18,7 @@ let heuristic_conv =
         Error
           (`Msg
             (Printf.sprintf "unknown heuristic %S (known: %s)" s
-               (String.concat ", " (List.map (fun h -> h.Heuristics.name) Heuristics.all))))
+               (String.concat ", " Heuristics.names)))
   in
   Arg.conv (parse, fun ppf h -> Format.pp_print_string ppf h.Heuristics.name)
 
@@ -323,7 +323,7 @@ let cluster_cmd =
     (Cmd.info "cluster" ~doc:"Detect logical clusters from a machine latency matrix")
     Term.(const run $ topology_arg $ matrix_file $ rho $ jitter $ seed_arg $ save_grid)
 
-(* --- optimal: brute-force optimum for small topologies --- *)
+(* --- optimal: certified optimum for small topologies --- *)
 
 let optimal_cmd =
   let run topology msg root =
@@ -333,22 +333,32 @@ let optimal_cmd =
         1
     | Ok grid ->
         let inst = Instance.of_grid ~root ~msg grid in
-        if inst.Instance.n > Gridb_sched.Optimal.default_max_clusters then begin
-          Printf.eprintf "brute force is capped at %d clusters (topology has %d)\n"
-            Gridb_sched.Optimal.default_max_clusters inst.Instance.n;
+        if inst.Instance.n > Gridb_opt.Exact.default_max_clusters then begin
+          Printf.eprintf "exact search is capped at %d clusters (topology has %d)\n"
+            Gridb_opt.Exact.default_max_clusters inst.Instance.n;
           1
         end
         else begin
-          let schedule = Gridb_sched.Optimal.schedule inst in
-          Format.printf "%a@." Schedule.pp schedule;
-          Format.printf "optimal makespan: %a  (%d candidate schedules)@."
-            Gridb_util.Units.pp_time
-            (Schedule.makespan inst schedule)
-            (Gridb_sched.Optimal.schedule_count inst.Instance.n);
+          let cert = Gridb_opt.Exact.solve inst in
+          Format.printf "%a@." Schedule.pp cert.Gridb_opt.Exact.schedule;
+          let st = cert.Gridb_opt.Exact.stats in
+          Format.printf
+            "certified optimal makespan: %a  (incumbent %s; %d expanded, %d \
+             bound-pruned, %d dominance-pruned)@."
+            Gridb_util.Units.pp_time cert.Gridb_opt.Exact.makespan
+            cert.Gridb_opt.Exact.incumbent st.Gridb_opt.Exact.expanded
+            st.Gridb_opt.Exact.pruned_bound st.Gridb_opt.Exact.pruned_dominated;
+          (match Gridb_opt.Traff.homogeneous inst with
+          | None -> ()
+          | Some params ->
+              Format.printf
+                "homogeneous instance: Traff closed form agrees at %a@."
+                Gridb_util.Units.pp_time
+                (Gridb_opt.Traff.makespan params));
           let table =
             Gridb_util.Text_table.create [ "heuristic"; "makespan (s)"; "vs optimal" ]
           in
-          let opt = Schedule.makespan inst schedule in
+          let opt = cert.Gridb_opt.Exact.makespan in
           List.iter
             (fun h ->
               let m = Heuristics.makespan h inst in
@@ -365,7 +375,8 @@ let optimal_cmd =
   in
   let root = Arg.(value & opt int 0 & info [ "root" ] ~docv:"CLUSTER") in
   Cmd.v
-    (Cmd.info "optimal" ~doc:"Brute-force optimal schedule and per-heuristic gaps")
+    (Cmd.info "optimal"
+       ~doc:"Certified optimal schedule (branch-and-bound) and per-heuristic gaps")
     Term.(const run $ topology_arg $ msg_arg $ root)
 
 (* --- measure: pLogP link measurement over the simulated wire --- *)
@@ -455,10 +466,7 @@ let simulate_cmd =
         | None ->
             Printf.eprintf "heuristic %s has no policy descriptor; pick one of: %s\n"
               heuristic.Heuristics.name
-              (String.concat ", "
-                 (List.filter_map
-                    (fun h -> Option.map (fun _ -> h.Heuristics.name) h.Heuristics.policy)
-                    Heuristics.all));
+              (String.concat ", " Heuristics.names);
             1
         | Some policy ->
             let noise =
@@ -578,10 +586,7 @@ let profile_cmd =
         | None ->
             Printf.eprintf "heuristic %s has no policy descriptor; pick one of: %s\n"
               heuristic.Heuristics.name
-              (String.concat ", "
-                 (List.filter_map
-                    (fun h -> Option.map (fun _ -> h.Heuristics.name) h.Heuristics.policy)
-                    Heuristics.all));
+              (String.concat ", " Heuristics.names);
             1
         | Some policy ->
             (* One Memory sink observes the whole pipeline: a host-time span
@@ -630,11 +635,13 @@ let check_cmd =
       | `Pipeline -> Gridb_check.Run.check
       | `Service -> Gridb_check.Run.check_service
       | `Chaos -> Gridb_check.Run.check_chaos
+      | `Opt -> Gridb_check.Run.check_opt
       | `All ->
           fun sc ->
             Result.bind (Gridb_check.Run.check sc) (fun () ->
                 Result.bind (Gridb_check.Run.check_service sc) (fun () ->
-                    Gridb_check.Run.check_chaos sc))
+                    Result.bind (Gridb_check.Run.check_chaos sc) (fun () ->
+                        Gridb_check.Run.check_opt sc)))
     in
     if list then begin
       print_string (Gridb_check.Report.catalogue ());
@@ -697,6 +704,7 @@ let check_cmd =
                ("pipeline", `Pipeline);
                ("service", `Service);
                ("chaos", `Chaos);
+               ("opt", `Opt);
                ("all", `All);
              ])
           `Pipeline
@@ -705,7 +713,10 @@ let check_cmd =
             "Which property family each scenario runs through: the single-broadcast \
              $(b,pipeline) (default), the multi-session $(b,service) checks, the \
              resilience $(b,chaos) checks (faulty retrying service with deadlines, \
-             priorities and shedding), or $(b,all) (pipeline, service, then chaos).")
+             priorities and shedding), the $(b,opt) optimality oracles (exact \
+             branch-and-bound vs every heuristic, Traff's construction on \
+             homogeneous instances), or $(b,all) (pipeline, service, chaos, then \
+             opt).")
   in
   Cmd.v
     (Cmd.info "check"

@@ -43,4 +43,7 @@ let catalogue () =
   section "pipeline checks" Run.run_invariant_names;
   section "service checks" Run.service_invariant_names;
   section "chaos checks" Run.chaos_invariant_names;
+  section "opt checks" Run.opt_invariant_names;
+  section "policies (Policy.names, the table every listing shares)"
+    (Array.to_list Scenario.policy_menu);
   Buffer.contents b

@@ -625,3 +625,88 @@ let check_chaos (sc : Scenario.t) =
 
 let chaos_invariant_names =
   [ "chaos-accounting"; "retry-monotonicity"; "shed-ordering"; "deadline-bookkeeping" ]
+
+(* --- opt family --------------------------------------------------------- *)
+
+module Exact = Gridb_opt.Exact
+module Traff = Gridb_opt.Traff
+
+let in_context ctx = function
+  | Ok () -> Ok ()
+  | Error v ->
+      Error { v with Invariant.detail = Printf.sprintf "%s: %s" ctx v.Invariant.detail }
+
+(* No valid schedule may beat a certified optimum; a violation in either
+   direction is fatal — a heuristic below the "optimum" means the solver
+   pruned the true best (or scored a leaf wrong), a bound above it means
+   the analytic bound is not a bound. *)
+let optimum_sandwich ~ctx inst (cert : Exact.certificate) extra_policies =
+  let opt = cert.Exact.makespan in
+  let rec heuristics = function
+    | [] -> Ok ()
+    | p :: rest ->
+        let m = Schedule.makespan inst (Engine.run p inst) in
+        if m >= opt || Invariant.feq m opt then heuristics rest
+        else
+          fail "opt-lower-bound"
+            "%s: %s makespan %.17g beats the certified optimum %.17g on n = %d" ctx
+            (Policy.name p) m opt inst.Instance.n
+  in
+  let* () = heuristics (Policy.all @ extra_policies) in
+  let lb = Bounds.combined inst in
+  if lb <= opt || Invariant.feq lb opt then Ok ()
+  else
+    fail "opt-lower-bound"
+      "%s: analytic bound %.17g exceeds the certified optimum %.17g" ctx lb opt
+
+let check_opt (sc : Scenario.t) =
+  let* policy = resolve Scenario.policy sc in
+  let grid = Scenario.grid sc in
+  let inst = Instance.of_grid ~root:sc.root ~msg:sc.msg grid in
+  (* The certified schedule is a schedule like any other: every invariant
+     of the catalogue must hold before its makespan is trusted. *)
+  let cert = Exact.solve inst in
+  let* () =
+    in_context "certified schedule" (Invariant.check_schedule inst cert.Exact.schedule)
+  in
+  let* () = optimum_sandwich ~ctx:"scenario grid" inst cert [ policy ] in
+  (* The certificate is not just a number: its schedule must execute on
+     the DES, fault-free, to exactly the certified makespan. *)
+  let machines = Machines.expand grid in
+  let plan = Plan.of_cluster_schedule machines cert.Exact.schedule in
+  let res = Exec.run ~msg:sc.msg machines plan in
+  let* () =
+    Invariant.cross_check ~invariant:"opt-des-replay" ~expected:cert.Exact.makespan
+      ~got:res.Exec.makespan
+  in
+  (* Homogeneous leg: an independent uniform instance drawn from the opt
+     stream, where Träff's log-time construction is provably optimal — the
+     B&B search and the closed-form schedule must agree, and the analytic
+     [t* + T] must agree with both. *)
+  let rng = Rng.create (Scenario.opt_seed sc) in
+  let r = Instance.table2_ranges in
+  let draw (lo, hi) = Rng.float_in rng lo hi in
+  let params =
+    {
+      Traff.n = sc.n;
+      root = sc.root;
+      latency = draw r.Instance.latency_us;
+      gap = draw r.Instance.gap_us;
+      intra = draw r.Instance.intra_us;
+    }
+  in
+  let hinst = Traff.instance params in
+  let hcert = Exact.solve hinst in
+  let ts = Traff.schedule hinst in
+  let* () = in_context "Traff schedule" (Invariant.check_schedule hinst ts) in
+  let* () =
+    Invariant.cross_check ~invariant:"opt-homogeneous"
+      ~expected:(Traff.makespan params) ~got:(Schedule.makespan hinst ts)
+  in
+  let* () =
+    Invariant.cross_check ~invariant:"opt-homogeneous" ~expected:(Traff.makespan params)
+      ~got:hcert.Exact.makespan
+  in
+  optimum_sandwich ~ctx:"homogeneous instance" hinst hcert []
+
+let opt_invariant_names = [ "opt-lower-bound"; "opt-des-replay"; "opt-homogeneous" ]

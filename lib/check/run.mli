@@ -78,3 +78,24 @@ val check_chaos : Scenario.t -> Invariant.outcome
 
 val chaos_invariant_names : string list
 (** The checks only [check_chaos] contributes. *)
+
+val check_opt : Scenario.t -> Invariant.outcome
+(** The optimality-oracle family: solve the scenario's instance exactly
+    with {!Gridb_opt.Exact} (scenarios are n <= 8, well inside the solver
+    ceiling) and hold the whole system against the certificate:
+
+    - the certified optimal schedule itself passes every schedule
+      invariant of the {!Invariant} catalogue;
+    - ["opt-lower-bound"]: no heuristic — the seven of the registry plus
+      the scenario's own policy — beats the certified optimum, and the
+      analytic {!Gridb_sched.Bounds.combined} never exceeds it;
+    - ["opt-des-replay"]: the certified schedule executed fault-free on
+      the DES reproduces the certified makespan exactly;
+    - ["opt-homogeneous"]: on a uniform instance drawn from
+      {!Scenario.opt_seed} (Table-2 parameter ranges), Träff's log-time
+      construction, its closed-form [t* + T] makespan and the B&B optimum
+      all agree, the construction's schedule passes the catalogue, and the
+      same no-heuristic-beats-it sandwich holds. *)
+
+val opt_invariant_names : string list
+(** The checks only [check_opt] contributes. *)

@@ -17,11 +17,12 @@ let format_tag = "gridsched-check/1"
 
 (* --- generation -------------------------------------------------------- *)
 
-let policies =
-  [|
-    "FlatTree"; "FEF"; "ECEF"; "ECEF-LA"; "ECEF-LAt"; "ECEF-LAT"; "BottomUp";
-    "Mixed<ECEF-LA|ECEF-LAT@10>";
-  |]
+(* The registry's own name table plus one Mixed form, so the menu can
+   never drift from what {!Gridb_sched.Policy.by_name} resolves.  The
+   Mixed entry stays last: the menu's order and length feed [Rng.pick],
+   and this layout reproduces the historical scenario stream exactly. *)
+let policy_menu =
+  Array.of_list (Gridb_sched.Policy.names @ [ "Mixed<ECEF-LA|ECEF-LAT@10>" ])
 
 let transports = [| "fixed"; "adaptive"; "adaptive,reroute" |]
 
@@ -54,7 +55,7 @@ let generate rng =
     n;
     msg = Rng.pick rng sizes;
     root = Rng.int rng n;
-    policy = Rng.pick rng policies;
+    policy = Rng.pick rng policy_menu;
     transport = Rng.pick rng transports;
     faults = Rng.pick rng fault_menu;
     dynamics = Rng.pick rng dynamics_menu;
@@ -70,6 +71,7 @@ let perm_seed t = t.seed lxor 0x7065726d (* "perm" *)
 let dyn_seed t = t.seed lxor 0x64796e (* "dyn" *)
 let service_seed t = t.seed lxor 0x737663 (* "svc" *)
 let chaos_seed t = t.seed lxor 0x63686173 (* "chas" *)
+let opt_seed t = t.seed lxor 0x6f7074 (* "opt" *)
 
 let grid t =
   let spec =

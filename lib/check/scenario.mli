@@ -30,6 +30,11 @@ val generate : Gridb_util.Rng.t -> t
     faults and dynamics each from a menu that is "none" about half the
     time. *)
 
+val policy_menu : string array
+(** The policy menu {!generate} draws from: {!Gridb_sched.Policy.names}
+    verbatim, plus ["Mixed<ECEF-LA|ECEF-LAT@10>"] last — derived from the
+    registry's shared name table, never hand-maintained. *)
+
 (** {1 Derived pipeline inputs} *)
 
 val grid : t -> Gridb_topology.Grid.t
@@ -54,6 +59,10 @@ val service_seed : t -> int
 val chaos_seed : t -> int
 (** Seed for the chaos family's deadline/priority request stream, distinct
     from the service family's so the two request mixes never alias. *)
+
+val opt_seed : t -> int
+(** Seed for the opt family's homogeneous-instance draw ([seed lxor
+    0x6f7074], "opt"), distinct from every other derived stream. *)
 
 val policy : t -> (Gridb_sched.Policy.t, string) result
 val transport : t -> (Gridb_des.Exec.transport, string) result

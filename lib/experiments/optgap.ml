@@ -1,0 +1,82 @@
+module Instance = Gridb_sched.Instance
+module Schedule = Gridb_sched.Schedule
+module Engine = Gridb_sched.Engine
+module Policy = Gridb_sched.Policy
+module Bounds = Gridb_sched.Bounds
+module Generators = Gridb_topology.Generators
+module Exact = Gridb_opt.Exact
+module Traff = Gridb_opt.Traff
+module Rng = Gridb_util.Rng
+
+type topology = Table2 | Random | Multilevel | Homogeneous
+
+let topologies =
+  [
+    ("table2", Table2);
+    ("random", Random);
+    ("multilevel", Multilevel);
+    ("homogeneous", Homogeneous);
+  ]
+
+let instance topo ~seed ~n ~msg =
+  if n < 2 then invalid_arg "Optgap.instance: n < 2";
+  let rng = Rng.create seed in
+  match topo with
+  | Table2 -> Instance.random ~rng ~n Instance.table2_ranges
+  | Random ->
+      let grid = Generators.uniform_random ~rng ~n Generators.default_random_spec in
+      Instance.of_grid ~root:0 ~msg grid
+  | Multilevel ->
+      if n mod 2 <> 0 then invalid_arg "Optgap.instance: Multilevel needs an even n";
+      let spec =
+        { Generators.default_multilevel_spec with sites = n / 2; clusters_per_site = 2 }
+      in
+      Instance.of_grid ~root:0 ~msg (Generators.multilevel ~rng spec)
+  | Homogeneous ->
+      let r = Instance.table2_ranges in
+      let draw (lo, hi) = Rng.float_in rng lo hi in
+      Traff.instance
+        {
+          Traff.n;
+          root = 0;
+          latency = draw r.Instance.latency_us;
+          gap = draw r.Instance.gap_us;
+          intra = draw r.Instance.intra_us;
+        }
+
+type sample = {
+  opt : float;
+  bound_ratio : float;
+  expanded : int;
+  gaps : (string * float) list;
+  traff_agrees : bool option;
+}
+
+let feq a b =
+  a = b || Float.abs (a -. b) <= 1e-9 *. Float.max (Float.abs a) (Float.abs b)
+
+let sample topo ~seed ~n ~msg =
+  let inst = instance topo ~seed ~n ~msg in
+  let cert = Exact.solve inst in
+  let opt = cert.Exact.makespan in
+  let gaps =
+    List.map
+      (fun p -> (Policy.name p, Schedule.makespan inst (Engine.run p inst) /. opt))
+      Policy.all
+  in
+  let traff_agrees =
+    match topo with
+    | Table2 | Random | Multilevel -> None
+    | Homogeneous ->
+        let params =
+          match Traff.homogeneous inst with Some p -> p | None -> assert false
+        in
+        Some (feq (Traff.makespan params) opt)
+  in
+  {
+    opt;
+    bound_ratio = opt /. Bounds.combined inst;
+    expanded = cert.Exact.stats.Exact.expanded;
+    gaps;
+    traff_agrees;
+  }

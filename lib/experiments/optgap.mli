@@ -1,0 +1,42 @@
+(** Optimality-gap scorecard: every heuristic against the certified
+    optimum of {!Gridb_opt.Exact}.
+
+    The paper scores its heuristics only against each other ("it is too
+    expensive to find the optimal schedule"); on solver-sized instances we
+    can do better and measure each heuristic's gap ratio
+    [makespan / optimal] (>= 1, 1 = optimal) per topology family and
+    size.  [bench/optgap.exe] sweeps this into BENCH_optgap.json and the
+    CI job gates on the ratios; {!sample} is the per-instance kernel it
+    and the tests share. *)
+
+type topology = Table2 | Random | Multilevel | Homogeneous
+
+val topologies : (string * topology) list
+(** ["table2"], ["random"], ["multilevel"], ["homogeneous"] — the
+    scorecard's topology axis. *)
+
+val instance : topology -> seed:int -> n:int -> msg:int -> Gridb_sched.Instance.t
+(** One seeded instance of the family: [Table2] draws the paper's Table 2
+    parameter matrices directly, [Random] and [Multilevel] evaluate a
+    generated {!Gridb_topology.Grid.t} at [msg] bytes ([Multilevel] pairs
+    two clusters per site, so [n] must be even), [Homogeneous] draws one
+    uniform (L, g, T) triple from the Table 2 ranges.
+    @raise Invalid_argument if [n < 2], or [Multilevel] with odd [n]. *)
+
+type sample = {
+  opt : float;  (** certified optimal makespan, us *)
+  bound_ratio : float;  (** [opt / Bounds.combined]: analytic-bound tightness *)
+  expanded : int;  (** B&B states branched on *)
+  gaps : (string * float) list;
+      (** per heuristic, registry order: [makespan /. opt] *)
+  traff_agrees : bool option;
+      (** [Homogeneous] only: Träff's closed form equals the certified
+          optimum (to {!Gridb_check.Invariant.feq} tolerance — but
+          computed here with plain relative 1e-9 to avoid the
+          dependency) *)
+}
+
+val sample : topology -> seed:int -> n:int -> msg:int -> sample
+(** Solve one instance exactly and score all seven heuristics on it.
+    @raise Invalid_argument as {!instance}, or beyond the solver
+    ceiling. *)

@@ -1,0 +1,68 @@
+(** Optimal broadcast schedules for the homogeneous special case.
+
+    When every inter-cluster link shares one latency [L] and one gap [g]
+    and every cluster shares one intra-cluster time [T], the Section 3
+    model collapses to the postal model of Bar-Noy and Kipnis, and Träff's
+    round-based construction ("Optimal Broadcast Schedules in Logarithmic
+    Time", PAPERS.md) applies: the number of coordinators that can hold
+    the message [t] after the root starts obeys
+
+    {v N(t) = 1              for 0 <= t < g + L
+       N(t) = N(t - g) + N(t - g - L)   for t >= g + L v}
+
+    (the root's first send splits the remaining broadcast into the root
+    continuing after its gap and the receiver starting a latency later),
+    and the keep-every-sender-busy schedule attains it — each coordinator,
+    once informed, sends back-to-back to still-uninformed clusters.  The
+    last coordinator is informed at [t* = min {t : N(t) >= n}] and, under
+    the [After_sends] completion model with uniform [T], the optimal
+    makespan is exactly [t* + T].
+
+    {!schedule} builds that schedule in the {!Gridb_sched.Schedule} shape
+    (so it replays on the DES and through every schedule invariant);
+    {!last_arrival} recomputes [t*] independently of the scheduling state
+    machine, with the same float associations, so the two agree bitwise.
+    The exact solver ({!Exact}) must agree with both on homogeneous
+    instances — each certifies the other. *)
+
+type params = {
+  n : int;  (** clusters *)
+  root : int;
+  latency : float;  (** uniform off-diagonal [L_ij], us *)
+  gap : float;  (** uniform off-diagonal [g_ij], us *)
+  intra : float;  (** uniform [T_k], us *)
+}
+
+val homogeneous : ?eps:float -> Gridb_sched.Instance.t -> params option
+(** [Some] iff every off-diagonal latency entry, every off-diagonal gap
+    entry and every intra time agree to within relative [eps] (default 0:
+    exact equality, which instances built by {!instance} or
+    {!Gridb_topology.Generators.homogeneous} satisfy).  Single-cluster
+    instances are trivially homogeneous. *)
+
+val instance : params -> Gridb_sched.Instance.t
+(** Uniform matrices (diagonal 0) from the parameters.
+    @raise Invalid_argument on negative parameters or a root out of
+    range. *)
+
+val informed : gap:float -> latency:float -> float -> int
+(** [informed ~gap ~latency t]: the recurrence [N(t)] above — the maximum
+    number of coordinators any schedule can inform within [t] of the root
+    holding the message.  @raise Invalid_argument if [gap <= 0.]. *)
+
+val last_arrival : n:int -> gap:float -> latency:float -> float
+(** [t*]: earliest time the [n]-th coordinator can hold the message — the
+    [(n-1)]-th pop of the keep-senders-busy event queue (0 for [n <= 1]).
+    Float arithmetic matches {!Gridb_sched.State.send}
+    ([(avail + g) + L]), so it equals the greedy schedule's last arrival
+    bitwise.  @raise Invalid_argument if [gap < 0.] or [latency < 0.]. *)
+
+val makespan : params -> float
+(** [last_arrival + intra] for [n >= 2]; [intra] for a single cluster.
+    The certified optimal [After_sends] makespan. *)
+
+val schedule : Gridb_sched.Instance.t -> Gridb_sched.Schedule.t
+(** The keep-every-sender-busy optimal schedule: each round the sender
+    with the smallest [avail] (ties to the smallest id) serves the
+    smallest-id cluster still in [B].  @raise Invalid_argument if the
+    instance is not homogeneous ({!homogeneous} with [eps = 0]). *)

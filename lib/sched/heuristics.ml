@@ -24,6 +24,7 @@ let bottom_up = of_policy Policy.bottom_up
 
 let all = [ flat_tree; fef; ecef; ecef_la; ecef_lat_min; ecef_lat_max; bottom_up ]
 let ecef_family = [ ecef; ecef_la; ecef_lat_min; ecef_lat_max ]
+let names = Policy.names
 
 let by_name name = Option.map of_policy (Policy.by_name name)
 

@@ -63,6 +63,11 @@ val ecef_family : t list
 (** The four curves of Figures 3 and 4: ECEF, ECEF-LA, ECEF-LAt,
     ECEF-LAT. *)
 
+val names : string list
+(** {!Policy.names} verbatim — the shared table every listing derives
+    from; [List.map (fun h -> h.name) all] is equal to it by
+    construction. *)
+
 val by_name : string -> t option
 (** {!Policy.by_name} wrapped in {!of_policy}: exact names, the
     parameterised forms ["ECEF-LA<lookahead>"] and

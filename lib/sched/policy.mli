@@ -66,6 +66,12 @@ val all : t list
 (** The seven paper heuristics, in paper order (same order and names as
     {!Heuristics.all}). *)
 
+val names : string list
+(** [List.map name all] — {e the} policy name table.  Every surface that
+    enumerates policies (the CLI's [--heuristic] parser and its error
+    message, [gridsched check --list], the fuzzer's scenario menu) derives
+    from this list, so the registry and its listings cannot drift. *)
+
 val select_min : ?name:string -> score:pair_score -> Lookahead.t -> t
 (** General minimising policy; default name ["ECEF-LA<lookahead>"]. *)
 
